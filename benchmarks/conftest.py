@@ -1,0 +1,36 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper through its
+``repro.experiments`` harness, records the resulting series as pytest-
+benchmark ``extra_info`` (so the JSON output carries the reproduced data),
+and asserts the figure's qualitative claim.
+
+The benchmarks use reduced-but-representative settings (shorter simulated
+horizons than the paper's multi-week training runs); the shapes they check
+are horizon-independent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import Table
+
+#: Simulated wall-clock horizon used by the benchmark-scale experiments.
+BENCH_HORIZON_SECONDS = 1200.0
+
+
+def record_table(benchmark, table: Table) -> None:
+    """Attach an experiment table to the benchmark's extra info."""
+    benchmark.extra_info["title"] = table.title
+    benchmark.extra_info["columns"] = list(table.columns)
+    benchmark.extra_info["rows"] = [
+        [None if v is None else (round(v, 6) if isinstance(v, float) else v) for v in row]
+        for row in table.rows
+    ]
+
+
+@pytest.fixture(scope="session")
+def bench_horizon() -> float:
+    """Simulated horizon shared by the benchmark experiments."""
+    return BENCH_HORIZON_SECONDS

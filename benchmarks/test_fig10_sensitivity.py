@@ -1,0 +1,51 @@
+"""Benchmark: Figure 10 (sensitivity to bubble size and bubble free memory)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_HORIZON_SECONDS, record_table
+from repro.experiments.fig10_sensitivity import run_fig10a, run_fig10b
+
+MODEL_SCALES = (0.5, 1.0, 2.0)
+FREE_MEMORY_GB = (2.0, 4.0, 8.0)
+
+
+def test_fig10a_bubble_size(benchmark):
+    table = benchmark.pedantic(
+        run_fig10a,
+        kwargs={"model_scales": MODEL_SCALES, "horizon_seconds": BENCH_HORIZON_SECONDS},
+        rounds=1,
+        iterations=1,
+    )
+    record_table(benchmark, table)
+    rows = {round(r["model scale"], 2): r for r in table.to_dicts()}
+    base = rows[1.0]["recovered TFLOPS/GPU"]
+    half = rows[0.5]["recovered TFLOPS/GPU"]
+    double = rows[2.0]["recovered TFLOPS/GPU"]
+    # Little difference across a 4x range of bubble sizes; shrinking the
+    # bubbles by 50% costs a modest amount (the paper measures 5.3%).
+    assert half <= base * 1.05
+    assert (base - half) / base < 0.30
+    assert abs(double - base) / base < 0.30
+    print()
+    print(table.to_ascii())
+
+
+def test_fig10b_free_memory(benchmark):
+    table = benchmark.pedantic(
+        run_fig10b,
+        kwargs={"free_memory_gb": FREE_MEMORY_GB, "horizon_seconds": BENCH_HORIZON_SECONDS},
+        rounds=1,
+        iterations=1,
+    )
+    record_table(benchmark, table)
+    recovered = table.column("recovered TFLOPS/GPU")
+    # More free memory recovers more TFLOPS, and the overall 2 GB -> 8 GB
+    # improvement is substantial but bounded (the paper reports +30% for
+    # 2->4 GB and +12% for 4->8 GB; our cost model shows the same direction
+    # with a threshold effect when large fill jobs start to fit).
+    assert recovered[1] >= recovered[0]
+    assert recovered[2] >= recovered[1]
+    total_gain = recovered[2] / recovered[0] - 1
+    assert 0.10 < total_gain < 0.80
+    print()
+    print(table.to_ascii())

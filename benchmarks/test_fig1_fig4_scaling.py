@@ -1,0 +1,59 @@
+"""Benchmark: Figures 1 and 4 (scaling the 40B main job from 1K to 8K GPUs).
+
+Checks the headline shapes:
+
+* days-to-train falls from ~82 to ~26 when scaling 1K -> 8K GPUs (Fig. 4a);
+* the bubble ratio follows ``(p-1)/(m+p-1)`` and exceeds 60% at 8K (Fig. 4b);
+* traditional per-GPU TFLOP/s drops by >50% while PipeFill recovers a large
+  share of it, more with the BERT-inference-only workload (Fig. 1 / 4c);
+* the main-job slowdown stays below 2%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_HORIZON_SECONDS, record_table
+from repro.experiments.fig4_scaling import run_fig4
+
+GPU_COUNTS = (1024, 2048, 4096, 8192)
+
+
+def test_fig1_fig4_scaling(benchmark):
+    table = benchmark.pedantic(
+        run_fig4,
+        kwargs={"gpu_counts": GPU_COUNTS, "horizon_seconds": BENCH_HORIZON_SECONDS},
+        rounds=1,
+        iterations=1,
+    )
+    record_table(benchmark, table)
+    rows = {r["gpus"]: r for r in table.to_dicts()}
+
+    # Figure 4a: days to train.
+    assert rows[1024]["days to train"] == pytest.approx(82, rel=0.15)
+    assert rows[8192]["days to train"] == pytest.approx(26, rel=0.25)
+
+    # Figure 4b: bubble ratio rises past 60% at 8K GPUs.
+    assert rows[1024]["bubble ratio"] == pytest.approx(0.19, abs=0.03)
+    assert rows[8192]["bubble ratio"] > 0.60
+
+    # Figure 1 / 4c: traditional TFLOPS halves (or worse); PipeFill recovers.
+    trad = [rows[g]["traditional TFLOPS/GPU"] for g in GPU_COUNTS]
+    assert trad == sorted(trad, reverse=True)
+    assert trad[-1] < 0.5 * trad[0]
+    for gpus in GPU_COUNTS:
+        row = rows[gpus]
+        assert row["PipeFill trace-mix TFLOPS/GPU"] > row["traditional TFLOPS/GPU"]
+        assert (
+            row["PipeFill BERT-inf TFLOPS/GPU"] >= row["PipeFill trace-mix TFLOPS/GPU"]
+        )
+        assert row["main-job slowdown"] < 0.02
+
+    # The relative gain grows with scale: 5-15%-ish at 1K, much larger at 8K.
+    gain_1k = rows[1024]["PipeFill trace-mix TFLOPS/GPU"] / rows[1024]["traditional TFLOPS/GPU"] - 1
+    gain_8k = rows[8192]["PipeFill trace-mix TFLOPS/GPU"] / rows[8192]["traditional TFLOPS/GPU"] - 1
+    assert 0.03 < gain_1k < 0.25
+    assert gain_8k > 0.25
+
+    print()
+    print(table.to_ascii())

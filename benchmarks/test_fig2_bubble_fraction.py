@@ -1,0 +1,20 @@
+"""Benchmark: Figure 2 (bubble growth when replicating the pipeline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.experiments.fig2_bubble_fraction import run_fig2
+
+
+def test_fig2_bubble_fraction(benchmark):
+    table = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    record_table(benchmark, table)
+    base, doubled, increase = (row[2] for row in table.rows)
+    # The illustrated 4-stage / 4-microbatch example: doubling the pipelines
+    # grows the bubble fraction by ~40% (the number quoted under Figure 2).
+    assert doubled > base
+    assert increase == pytest.approx(0.40, abs=0.02)
+    print()
+    print(table.to_ascii())

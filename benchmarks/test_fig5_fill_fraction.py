@@ -1,0 +1,37 @@
+"""Benchmark: Figure 5 (filled bubble fraction vs main-job overhead, 5B job)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_HORIZON_SECONDS, record_table
+from repro.experiments.fig5_fill_fraction import run_fig5
+
+FILL_FRACTIONS = (0.3, 0.5, 0.68, 0.85, 1.0)
+
+
+def test_fig5_fill_fraction(benchmark):
+    table = benchmark.pedantic(
+        run_fig5,
+        kwargs={
+            "fill_fractions": FILL_FRACTIONS,
+            "horizon_seconds": BENCH_HORIZON_SECONDS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_table(benchmark, table)
+    rows = {round(r["fill fraction"], 2): r for r in table.to_dicts()}
+
+    # <2% main-job overhead up to the 68% operating point...
+    for fraction in (0.3, 0.5, 0.68):
+        assert rows[fraction]["main-job overhead"] < 0.02
+    # ...substantial overhead beyond it.
+    assert rows[1.0]["main-job overhead"] > 0.05
+    # Recovered and total FLOPS keep increasing with the fill fraction.
+    recovered = [rows[f]["recovered TFLOPS/GPU"] for f in FILL_FRACTIONS]
+    assert recovered == sorted(recovered)
+    # At the 68% operating point the 5B job (65% bubbles) recovers a few
+    # TFLOP/s per GPU, the same order as the paper's 7.39.
+    assert 3.0 < rows[0.68]["recovered TFLOPS/GPU"] < 15.0
+
+    print()
+    print(table.to_ascii())

@@ -1,0 +1,47 @@
+"""Benchmark: Figure 7 (fill-job characterisation: TFLOPS and slowdown)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_table
+from repro.experiments.fig7_fill_job_char import run_fig7
+
+
+def test_fig7_fill_job_characterisation(benchmark):
+    table = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    record_table(benchmark, table)
+    rows = {(r["model"], r["job type"]): r for r in table.to_dicts()}
+
+    def tflops(model, job_type):
+        return rows[(model, job_type)]["recovered TFLOPS (7a)"]
+
+    # 7a: inference beats training for every model that supports both.
+    for model in ("bert-base", "bert-large", "efficientnet"):
+        assert tflops(model, "batch_inference") > tflops(model, "training")
+
+    # 7a: Swin and EfficientNet are the weakest; BERT and XLM inference are
+    # comparable; everything is far below the main job's ~60 TFLOP/s.
+    assert tflops("swin-large", "batch_inference") < tflops("bert-base", "batch_inference")
+    assert tflops("efficientnet", "batch_inference") < tflops("bert-base", "batch_inference")
+    ratio = tflops("xlm-roberta-xl", "batch_inference") / tflops("bert-base", "batch_inference")
+    assert 0.6 < ratio < 1.4
+    assert max(
+        r["recovered TFLOPS (7a)"] for r in rows.values() if r["recovered TFLOPS (7a)"]
+    ) < 60.0
+
+    # XLM training does not fit bubble memory at all (Table 1's rationale).
+    assert ("xlm-roberta-xl", "training") not in rows
+
+    # 7b: every fill job suffers a substantial slowdown vs exclusive GPUs
+    # (the paper: most workloads run at roughly 30% of exclusive execution),
+    # and XLM's offloading gives it a higher slowdown than BERT inference.
+    for row in rows.values():
+        if row["relative performance (7b)"] is None:
+            continue
+        assert 0.05 < row["relative performance (7b)"] < 0.6
+    assert (
+        rows[("xlm-roberta-xl", "batch_inference")]["slowdown (7b)"]
+        >= rows[("bert-base", "batch_inference")]["slowdown (7b)"] * 0.95
+    )
+
+    print()
+    print(table.to_ascii())

@@ -1,0 +1,33 @@
+"""Benchmark: Figure 9 (scheduling-policy sensitivity: JCT and makespan)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_HORIZON_SECONDS, record_table
+from repro.experiments.fig9_policies import run_fig9
+
+LOADS = (150.0, 600.0)
+
+
+def test_fig9_policies(benchmark):
+    table = benchmark.pedantic(
+        run_fig9,
+        kwargs={"loads": LOADS, "horizon_seconds": BENCH_HORIZON_SECONDS},
+        rounds=1,
+        iterations=1,
+    )
+    record_table(benchmark, table)
+    rows = {r["arrival rate (jobs/h)"]: r for r in table.to_dicts()}
+
+    for load in LOADS:
+        row = rows[load]
+        # 9a: SJF achieves average JCT at least as good as the makespan policy.
+        assert row["SJF avg JCT (s)"] <= row["Makespan-min avg JCT (s)"] * 1.10
+        # 9b: the makespan-minimizing policy achieves makespan at least as
+        # good as SJF.
+        assert row["Makespan-min makespan (s)"] <= row["SJF makespan (s)"] * 1.10
+
+    # Higher load lengthens completion times for both policies.
+    assert rows[600.0]["SJF avg JCT (s)"] >= rows[150.0]["SJF avg JCT (s)"]
+
+    print()
+    print(table.to_ascii())

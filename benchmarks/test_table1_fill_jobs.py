@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 1 (fill-job categories)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_table
+from repro.experiments.table1_fill_jobs import run_table1
+
+
+def test_table1_fill_jobs(benchmark):
+    table = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    record_table(benchmark, table)
+    rows = table.to_dicts()
+    # Five models spanning S/M/L and CV/NLP, matching Table 1.
+    assert len(rows) == 5
+    assert {r["size"] for r in rows} == {"S", "M", "L"}
+    assert {r["job type"] for r in rows} == {"CV", "NLP"}
+    xlm = next(r for r in rows if r["model"] == "xlm-roberta-xl")
+    assert xlm["training allowed"].startswith("no")
+    print()
+    print(table.to_ascii())

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Comparing fill-job scheduling policies (and writing your own).
+
+PipeFill's scheduler exposes its policy as a scoring function
+``f(job, state, executor_index) -> score`` (Section 4.4).  This example runs
+the same fill-job trace under four policies -- FIFO, Shortest-Job-First,
+Makespan-Minimizing, and a custom deadline-aware hierarchical policy -- and
+compares average job completion time, makespan and deadline misses.
+
+Run with ``python examples/scheduling_policies.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core import PipeFillSystem
+from repro.core.policies import (
+    JobView,
+    SchedulerView,
+    compose_policies,
+    edf_policy,
+    get_policy,
+    sjf_policy,
+)
+from repro.models import build_model
+from repro.pipeline import ParallelConfig
+from repro.utils.tables import Table
+from repro.workloads import build_fill_job_trace
+
+HORIZON = 3 * 3600.0
+
+
+def deadline_then_sjf(job: JobView, state: SchedulerView, executor_index: int) -> float:
+    """Custom policy: deadline jobs dominate; others fall back to SJF."""
+    return compose_policies((1_000.0, edf_policy), (1.0, sjf_policy))(job, state, executor_index)
+
+
+def main() -> None:
+    main_model = build_model("gpt-40b")
+    parallel = ParallelConfig(
+        tensor_parallel=8, pipeline_stages=16, data_parallel=64,
+        microbatch_size=2, global_batch_size=1024,
+    )
+    # A third of the jobs carry deadlines so the deadline-aware policy has
+    # something to work with.  The arrival rate is sized for the 16
+    # representative devices being simulated (one per pipeline stage) and
+    # the deadlines are loose enough (20x the exclusive-GPU processing time)
+    # that meeting them is possible but not automatic.
+    jobs = build_fill_job_trace(
+        HORIZON,
+        arrival_rate_per_hour=40,
+        deadline_fraction=0.33,
+        deadline_slack_factor=20.0,
+        seed=11,
+    )
+    print(f"Trace: {len(jobs)} fill jobs over {HORIZON / 3600:.0f} hours, "
+          f"{sum(1 for j in jobs if j.deadline is not None)} with deadlines\n")
+
+    policies = {
+        "fifo": get_policy("fifo"),
+        "sjf": get_policy("sjf"),
+        "makespan": get_policy("makespan"),
+        "deadline+sjf": deadline_then_sjf,
+    }
+
+    table = Table(
+        columns=["policy", "avg JCT (s)", "makespan (s)", "completed", "deadline misses"],
+        title="Scheduling policies on the same fill-job trace",
+        formats={"avg JCT (s)": ".0f", "makespan (s)": ".0f"},
+    )
+    for name, policy in policies.items():
+        system = PipeFillSystem(main_model, parallel, policy=policy)
+        report = system.run(jobs)
+        scheduler = report.simulation.scheduler
+        misses = sum(
+            1
+            for record in scheduler.completed_records()
+            if record.job.deadline is not None
+            and record.completion_time is not None
+            and record.completion_time > record.job.deadline
+        )
+        metrics = report.utilization.fill_metrics
+        table.add_row(name, metrics.average_jct, metrics.makespan,
+                      metrics.jobs_completed, misses)
+
+    print(table.to_ascii())
+    print("\nExpected shape: SJF minimises average JCT and the deadline-aware "
+          "policy misses the fewest deadlines.  At this moderate load the "
+          "policies differ only slightly; under heavy load (see the Figure 9 "
+          "benchmark) the makespan-minimizing policy pulls ahead on makespan.")
+
+
+if __name__ == "__main__":
+    main()

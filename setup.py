@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+The environment this reproduction targets is fully offline; older pip /
+setuptools combinations there cannot build PEP-517 editable wheels, so this
+shim lets ``pip install -e . --no-use-pep517`` (or plain ``python setup.py
+develop``) work.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""PipeFill reproduction library.
+
+``repro`` is a from-scratch, simulation-based reproduction of *PipeFill:
+Using GPUs During Bubbles in Pipeline-parallel LLM Training* (MLSys 2025).
+
+The package is organised in layers:
+
+* :mod:`repro.hardware` -- simulated accelerators, memory allocators, nodes
+  and cluster topology.
+* :mod:`repro.models` -- analytical model zoo (transformer LLM main jobs and
+  the five fill-job architectures) with per-layer FLOPs / memory accounting.
+* :mod:`repro.pipeline` -- pipeline-parallel substrate: stage partitioning,
+  GPipe / 1F1B schedules, and an instrumented pipeline engine.
+* :mod:`repro.core` -- the PipeFill contribution: pipeline bubble
+  instructions, bubble profiling, the fill-job execution planner
+  (Algorithm 1), the per-device executor, main-job offloading, and the
+  policy-driven fill-job scheduler.
+* :mod:`repro.sim` -- the event-driven cluster simulator used for the
+  large-scale experiments.
+* :mod:`repro.workloads` -- fill-job categories, the synthetic model-hub
+  distribution and Alibaba-style trace generation.
+* :mod:`repro.experiments` -- one harness per paper table/figure.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

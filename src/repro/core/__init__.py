@@ -1,0 +1,78 @@
+"""PipeFill core: bubble-filling planner, executor, offloader and scheduler.
+
+This package is the paper's primary contribution:
+
+* :mod:`repro.core.config` -- system-wide PipeFill tunables (fill fraction,
+  memory safety margin, context-switch costs).
+* :mod:`repro.core.plan` -- the Fill Job Execution Plan Algorithm
+  (Algorithm 1): replicate and greedily pack a fill job's linearised
+  computational graph into the repeating cycle of pipeline bubbles.
+* :mod:`repro.core.executor` -- the per-device Fill Job Executor: selects an
+  execution configuration, builds the plan, enforces the memory cap, and
+  estimates achieved throughput / recovered FLOPs.
+* :mod:`repro.core.offload` -- main-job optimizer-state offloading to grow
+  the free memory available in bubbles.
+* :mod:`repro.core.profiling` -- bubble characterisation: the doubling
+  probe for bubble durations and the free-memory probe.
+* :mod:`repro.core.policies` / :mod:`repro.core.scheduler` -- the fill-job
+  scheduler with user-defined scoring policies.
+* :mod:`repro.core.system` -- the PipeFillSystem facade wiring a main job,
+  executors and the scheduler together.
+"""
+
+from repro.core.config import PipeFillConfig, main_job_overhead_fraction
+from repro.core.plan import (
+    PlanError,
+    GraphPartition,
+    ExecutionPlan,
+    plan_fill_job,
+)
+from repro.core.executor import FillJobExecutor, FillExecutionEstimate
+from repro.core.offload import OffloadPlan, plan_optimizer_offload
+from repro.core.profiling import BubbleProfiler, BubbleProbeResult
+from repro.core.policies import (
+    SchedulingPolicy,
+    fifo_policy,
+    sjf_policy,
+    makespan_policy,
+    edf_policy,
+    compose_policies,
+    POLICIES,
+    get_policy,
+)
+from repro.core.scheduler import (
+    FillJob,
+    FillJobState,
+    ExecutorState,
+    FillJobScheduler,
+)
+from repro.core.system import PipeFillSystem, PipeFillReport
+
+__all__ = [
+    "PipeFillConfig",
+    "main_job_overhead_fraction",
+    "PlanError",
+    "GraphPartition",
+    "ExecutionPlan",
+    "plan_fill_job",
+    "FillJobExecutor",
+    "FillExecutionEstimate",
+    "OffloadPlan",
+    "plan_optimizer_offload",
+    "BubbleProfiler",
+    "BubbleProbeResult",
+    "SchedulingPolicy",
+    "fifo_policy",
+    "sjf_policy",
+    "makespan_policy",
+    "edf_policy",
+    "compose_policies",
+    "POLICIES",
+    "get_policy",
+    "FillJob",
+    "FillJobState",
+    "ExecutorState",
+    "FillJobScheduler",
+    "PipeFillSystem",
+    "PipeFillReport",
+]

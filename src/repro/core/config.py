@@ -1,0 +1,97 @@
+"""PipeFill system configuration and the main-job interference model.
+
+The paper's physical experiments (Figure 5) show that the executor can fill
+up to ~68% of each bubble's duration with <2% slowdown of the main training
+job; beyond that, context-switch overrun and interference grow quickly.
+:class:`PipeFillConfig` collects that fill fraction and the other knobs of
+the system; :func:`main_job_overhead_fraction` is the calibrated
+interference model used when experiments sweep the fill fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import check_fraction, check_non_negative
+
+
+@dataclass(frozen=True)
+class PipeFillConfig:
+    """Tunables of the PipeFill runtime.
+
+    Parameters
+    ----------
+    fill_fraction:
+        Fraction of each bubble's duration the executor plans work into.
+        The default (0.68) is the operating point the paper identifies as
+        the largest fill that keeps main-job slowdown below 2%.
+    memory_safety_fraction:
+        Fraction of the measured bubble free memory the executor allows the
+        fill job to use (Section 4.2: "to ensure there are no out-of-memory
+        errors PipeFill may opt only to allocate some fraction of the free
+        memory").
+    context_switch_seconds:
+        Fixed cost per bubble entry: signalling the executor process,
+        releasing cached blocks and re-priming streams.  Subtracted from the
+        usable bubble duration.
+    min_fill_bubble_seconds:
+        Bubbles shorter than this are not worth switching into and are left
+        idle (1F1B's non-contiguous gaps fall below it).
+    offload_main_job:
+        Whether the engine offloads the main job's optimizer states to host
+        memory to enlarge the bubbles' free memory.
+    """
+
+    fill_fraction: float = 0.68
+    memory_safety_fraction: float = 0.90
+    context_switch_seconds: float = 0.015
+    min_fill_bubble_seconds: float = 0.050
+    offload_main_job: bool = False
+
+    def __post_init__(self) -> None:
+        check_fraction(self.fill_fraction, "fill_fraction")
+        check_fraction(self.memory_safety_fraction, "memory_safety_fraction")
+        check_non_negative(self.context_switch_seconds, "context_switch_seconds")
+        check_non_negative(self.min_fill_bubble_seconds, "min_fill_bubble_seconds")
+
+    def with_fill_fraction(self, fill_fraction: float) -> "PipeFillConfig":
+        """Return a copy with a different fill fraction (Figure 5 sweep)."""
+        return replace(self, fill_fraction=fill_fraction)
+
+    def usable_bubble_seconds(self, bubble_duration: float) -> float:
+        """Seconds of a bubble the executor may plan work into."""
+        if bubble_duration < self.min_fill_bubble_seconds:
+            return 0.0
+        usable = self.fill_fraction * bubble_duration - self.context_switch_seconds
+        return max(0.0, usable)
+
+    def usable_bubble_memory(self, free_memory_bytes: float) -> float:
+        """Bytes of a bubble's free memory the fill job may allocate."""
+        return self.memory_safety_fraction * free_memory_bytes
+
+
+#: Fill fraction below which interference with the main job is negligible.
+SAFE_FILL_FRACTION = 0.68
+
+#: Quadratic growth rate of main-job overhead past the safe fill fraction.
+#: Calibrated so filling 100% of each bubble costs the main job roughly 15%
+#: (Figure 5 shows overhead rising steeply once the executor plans work into
+#: the tail of the bubble where prediction error causes overruns).
+_OVERHEAD_QUADRATIC_GAIN = 1.5
+
+#: Residual interference (cache/DRAM pressure) even at low fill fractions.
+_BASE_OVERHEAD = 0.004
+
+
+def main_job_overhead_fraction(fill_fraction: float, *, safe_fraction: float = SAFE_FILL_FRACTION) -> float:
+    """Relative main-job slowdown caused by filling ``fill_fraction`` of bubbles.
+
+    Below ``safe_fraction`` the overhead stays under ~1%; beyond it the
+    executor increasingly overruns bubble boundaries (the planned work is
+    based on profiled durations that do not account for warm-up variance),
+    and the overhead grows quadratically, reaching ~15% at 100% fill.
+    """
+    check_fraction(fill_fraction, "fill_fraction")
+    check_fraction(safe_fraction, "safe_fraction")
+    overshoot = max(0.0, fill_fraction - safe_fraction)
+    return _BASE_OVERHEAD * (fill_fraction / max(safe_fraction, 1e-9)) + _OVERHEAD_QUADRATIC_GAIN * overshoot**2

@@ -1,0 +1,282 @@
+"""The Fill Job Executor.
+
+One executor runs per device.  Given the device's repeating bubble cycle it
+
+1. evaluates the fill job under candidate execution configurations (batch
+   size, CPU offloading, activation checkpointing), discarding those whose
+   device footprint exceeds the bubbles' usable free memory,
+2. runs the Fill Job Execution Plan Algorithm (Algorithm 1) for each
+   surviving configuration and keeps the one with the highest effective
+   throughput,
+3. enforces the per-process memory cap so that a fill-job OOM can never
+   affect the main job, and
+4. exposes the throughput/recovered-FLOPs estimates the scheduler and the
+   cluster simulator use to place jobs and advance time.
+
+Fill jobs executing inside bubbles are slower than in exclusive execution
+for three reasons the paper calls out (Section 6.2): scarce memory limits
+the batch size / forces offloading, execution is interrupted at every
+bubble end, and each bubble restarts with cold caches.  The first two come
+out of the profile and the plan; the third is modelled by
+:meth:`repro.models.efficiency.EfficiencyModel.bubble_efficiency`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.config import PipeFillConfig
+from repro.core.plan import ExecutionPlan, GraphPartition, PlanError, plan_fill_job
+from repro.hardware.device import DeviceSpec, V100_16GB
+from repro.hardware.memory import DeviceOOMError, MemoryAllocator
+from repro.models.base import ModelSpec
+from repro.models.configs import ExecutionConfig, JobType, candidate_configs
+from repro.models.efficiency import DEFAULT_EFFICIENCY, EfficiencyModel
+from repro.models.profiles import ModelProfile, best_profile, profile_model
+from repro.pipeline.bubbles import BubbleCycle
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class FillExecutionEstimate:
+    """Predicted behaviour of one fill job on one device's bubble cycle.
+
+    All "effective" quantities include the packing and warm-up losses of
+    bubble execution; "isolated" quantities describe the same job running
+    alone on an exclusive device.
+    """
+
+    model_name: str
+    job_type: JobType
+    profile: ModelProfile
+    plan: ExecutionPlan
+    samples_per_cycle: float
+    flops_per_cycle: float
+    used_bubble_seconds_per_cycle: float
+    cycle_period: float
+    isolated_samples_per_second: float
+
+    @property
+    def effective_samples_per_second(self) -> float:
+        """Fill-job throughput per wall-clock second (bubbles only)."""
+        if self.cycle_period <= 0:
+            return 0.0
+        return self.samples_per_cycle / self.cycle_period
+
+    @property
+    def recovered_tflops(self) -> float:
+        """TFLOP/s over the bubble durations used (Figure 7a's metric)."""
+        if self.used_bubble_seconds_per_cycle <= 0:
+            return 0.0
+        return self.flops_per_cycle / self.used_bubble_seconds_per_cycle / 1e12
+
+    @property
+    def recovered_tflops_wallclock(self) -> float:
+        """TFLOP/s averaged over wall-clock time (Figure 1/4c's metric)."""
+        if self.cycle_period <= 0:
+            return 0.0
+        return self.flops_per_cycle / self.cycle_period / 1e12
+
+    @property
+    def relative_performance(self) -> float:
+        """Throughput while filling relative to exclusive execution (Fig. 7b).
+
+        This is the ``P`` in the paper's GPUs-saved estimate ``C * B * P``.
+        """
+        if self.isolated_samples_per_second <= 0 or self.used_bubble_seconds_per_cycle <= 0:
+            return 0.0
+        per_bubble_second = self.samples_per_cycle / self.used_bubble_seconds_per_cycle
+        return per_bubble_second / self.isolated_samples_per_second
+
+    @property
+    def slowdown(self) -> float:
+        """Exclusive-to-filled slowdown factor (>= 1)."""
+        rel = self.relative_performance
+        return float("inf") if rel == 0 else 1.0 / rel
+
+    def processing_time(self, num_samples: float) -> float:
+        """Wall-clock seconds to process ``num_samples`` on this device's bubbles."""
+        check_positive(num_samples, "num_samples")
+        if self.samples_per_cycle <= 0:
+            return float("inf")
+        cycles = num_samples / self.samples_per_cycle
+        return cycles * self.cycle_period
+
+    def flops_for_samples(self, num_samples: float) -> float:
+        """FLOPs executed when processing ``num_samples``."""
+        if self.samples_per_cycle <= 0:
+            return 0.0
+        return num_samples * (self.flops_per_cycle / self.samples_per_cycle)
+
+
+class FillJobExecutor:
+    """Per-device fill-job executor.
+
+    Parameters
+    ----------
+    cycle:
+        The device's repeating bubble cycle (from the instrumented engine,
+        the analytic main-job model, or a synthetic cycle).
+    device:
+        The device spec (used for timing and memory capacities).
+    config:
+        PipeFill tunables.
+    efficiency:
+        Efficiency model shared with the profiler.
+    """
+
+    def __init__(
+        self,
+        cycle: BubbleCycle,
+        *,
+        device: DeviceSpec = V100_16GB,
+        config: Optional[PipeFillConfig] = None,
+        efficiency: EfficiencyModel = DEFAULT_EFFICIENCY,
+    ) -> None:
+        self.cycle = cycle
+        self.device = device
+        self.config = config or PipeFillConfig()
+        self.efficiency = efficiency
+        self._estimate_cache: Dict[Tuple[str, JobType], Optional[FillExecutionEstimate]] = {}
+        self._isolated_cache: Dict[Tuple[str, JobType], float] = {}
+
+    # -- memory ---------------------------------------------------------------
+
+    @property
+    def usable_memory_bytes(self) -> float:
+        """Free memory (after the safety margin) available in the tightest bubble."""
+        return self.config.usable_bubble_memory(self.cycle.min_free_memory_bytes)
+
+    # -- estimation ------------------------------------------------------------
+
+    def _isolated_throughput(self, model: ModelSpec, job_type: JobType) -> float:
+        key = (model.name, job_type)
+        if key not in self._isolated_cache:
+            profile = best_profile(
+                model,
+                job_type,
+                memory_limit_bytes=self.device.usable_memory_bytes,
+                device=self.device,
+                efficiency_model=self.efficiency,
+            )
+            self._isolated_cache[key] = (
+                0.0 if profile is None else profile.throughput_samples_per_s
+            )
+        return self._isolated_cache[key]
+
+    def _evaluate_config(
+        self, model: ModelSpec, job_type: JobType, exec_config: ExecutionConfig
+    ) -> Optional[FillExecutionEstimate]:
+        profile = profile_model(
+            model, job_type, exec_config, self.device, self.efficiency
+        )
+        if profile.device_footprint_bytes > self.usable_memory_bytes:
+            return None
+        try:
+            plan = plan_fill_job(profile.graph, self.cycle, self.config)
+        except PlanError:
+            return None
+
+        num_cycles = max(plan.num_cycles, 1)
+        effective_work = 0.0
+        used_bubble = 0.0
+        bubble_durations = {i: b.duration for i, b in enumerate(plan.bubbles)}
+        for partition in plan.partitions:
+            if partition.is_empty:
+                continue
+            effective_work += partition.duration * self.efficiency.bubble_efficiency(
+                partition.duration
+            )
+            used_bubble += bubble_durations[partition.bubble_index]
+        # Convert completed node-time back into samples and FLOPs via the
+        # steady-state per-iteration totals.
+        iterations_completed = effective_work / profile.graph.total_duration
+        samples = iterations_completed * profile.config.batch_size
+        flops = iterations_completed * profile.graph.total_flops
+        return FillExecutionEstimate(
+            model_name=model.name,
+            job_type=job_type,
+            profile=profile,
+            plan=plan,
+            samples_per_cycle=samples / num_cycles,
+            flops_per_cycle=flops / num_cycles,
+            used_bubble_seconds_per_cycle=used_bubble / num_cycles,
+            cycle_period=self.cycle.period,
+            isolated_samples_per_second=self._isolated_throughput(model, job_type),
+        )
+
+    def build_estimate(
+        self,
+        model: ModelSpec,
+        job_type: JobType,
+        *,
+        configs: Optional[Sequence[ExecutionConfig]] = None,
+        use_cache: bool = True,
+    ) -> Optional[FillExecutionEstimate]:
+        """Pick the best execution configuration for a fill job on this device.
+
+        Returns ``None`` when no configuration fits the bubbles (the
+        scheduler then places the job elsewhere or rejects it).
+        """
+        key = (model.name, job_type)
+        default_configs = configs is None
+        if use_cache and default_configs and key in self._estimate_cache:
+            return self._estimate_cache[key]
+        if configs is None:
+            configs = candidate_configs(job_type)
+        best: Optional[FillExecutionEstimate] = None
+        for exec_config in configs:
+            estimate = self._evaluate_config(model, job_type, exec_config)
+            if estimate is None:
+                continue
+            if (
+                best is None
+                or estimate.effective_samples_per_second
+                > best.effective_samples_per_second
+            ):
+                best = estimate
+        if use_cache and default_configs:
+            self._estimate_cache[key] = best
+        return best
+
+    def processing_time(
+        self, model: ModelSpec, job_type: JobType, num_samples: float
+    ) -> float:
+        """Wall-clock seconds to complete ``num_samples`` of the job here."""
+        estimate = self.build_estimate(model, job_type)
+        if estimate is None:
+            return float("inf")
+        return estimate.processing_time(num_samples)
+
+    # -- memory capping / OOM isolation ----------------------------------------
+
+    def execute_partition_on(
+        self,
+        allocator: MemoryAllocator,
+        partition: GraphPartition,
+        *,
+        free_memory_bytes: Optional[float] = None,
+        pool: str = "fill-job",
+    ) -> bool:
+        """Simulate executing one graph partition under a memory cap.
+
+        Sets the fill-job pool's cap to the bubble's usable free memory
+        (the ``set_per_process_memory_fraction`` mechanism), allocates the
+        partition's working set, and releases it afterwards.  Returns
+        ``True`` on success and ``False`` if the partition OOMed -- in which
+        case the exception stays confined to the fill-job pool and the main
+        job's allocations are untouched.
+        """
+        if free_memory_bytes is None:
+            free_memory_bytes = self.cycle.min_free_memory_bytes
+        cap = self.config.usable_bubble_memory(free_memory_bytes)
+        allocator.set_memory_cap(pool, cap)
+        try:
+            allocator.allocate(pool, f"partition-{id(partition)}", partition.memory_bytes)
+        except DeviceOOMError as exc:
+            if exc.pool != pool:  # pragma: no cover - defensive
+                raise
+            return False
+        allocator.free(pool, f"partition-{id(partition)}", release=False)
+        return True

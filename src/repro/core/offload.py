@@ -1,0 +1,100 @@
+"""Main-job offloading: move optimizer states to host memory to grow bubbles.
+
+Section 4.2 of the paper: PipeFill can offload the main job's optimizer
+states (the Adam moment estimates and fp32 master weights) to CPU memory,
+because that data is only needed during the optimizer update.  The
+offloading is overlapped with the forward-pass execution and the onloading
+with the gradient synchronisation, so the main job is never blocked.  The
+freed device memory is added to the bubbles' free-memory capacity.
+
+:func:`plan_optimizer_offload` checks both overlap constraints against the
+stage cost model and host-memory availability, and reports how many extra
+bytes each bubble gains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.node import NodeSpec, P3_16XLARGE
+from repro.models.memory import ADAM_OPTIMIZER_BYTES_PER_PARAM
+from repro.pipeline.costs import StageCostModel
+from repro.pipeline.parallelism import ParallelConfig
+from repro.utils.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class OffloadPlan:
+    """Outcome of planning main-job optimizer-state offloading for one stage."""
+
+    offloadable_bytes: float
+    offloaded_bytes: float
+    offload_time: float
+    onload_time: float
+    forward_window: float
+    sync_window: float
+    host_bytes_required: float
+
+    @property
+    def is_full(self) -> bool:
+        """True when the entire optimizer state can be offloaded."""
+        return self.offloaded_bytes >= self.offloadable_bytes - 1e-6
+
+    @property
+    def extra_free_memory_bytes(self) -> float:
+        """Device bytes the bubbles gain from the offload."""
+        return self.offloaded_bytes
+
+
+def plan_optimizer_offload(
+    stage: StageCostModel,
+    parallel: ParallelConfig,
+    *,
+    node: NodeSpec = P3_16XLARGE,
+    overlap_utilisation: float = 0.8,
+) -> OffloadPlan:
+    """Plan how much of a stage's optimizer state can be offloaded transparently.
+
+    Parameters
+    ----------
+    stage:
+        The stage's resolved cost model (provides the per-microbatch forward
+        time and the gradient-synchronisation time the transfers overlap with).
+    parallel:
+        The main job's parallel configuration (provides microbatch count).
+    node:
+        Node spec; provides the host link bandwidth and host memory size.
+    overlap_utilisation:
+        Fraction of the overlap windows usable for transfers (transfers
+        share PCIe with other traffic, so full utilisation is optimistic).
+    """
+    check_fraction(overlap_utilisation, "overlap_utilisation")
+    optimizer_bytes = stage.params_per_device * ADAM_OPTIMIZER_BYTES_PER_PARAM
+
+    # Offload window: the forward passes of one iteration (the optimizer
+    # state is not needed until the update at the iteration's end).
+    forward_window = parallel.num_microbatches * stage.t_forward * overlap_utilisation
+    # Onload window: the gradient synchronisation plus the backward drain.
+    sync_window = (
+        stage.t_grad_reduce + parallel.num_microbatches * 0.25 * stage.t_backward
+    ) * overlap_utilisation
+
+    link = node.host_link
+    offload_capacity = forward_window * link.effective_bandwidth
+    onload_capacity = sync_window * link.effective_bandwidth
+    transferable = min(offload_capacity, onload_capacity)
+
+    host_free = node.host_memory_bytes / node.devices_per_node
+    offloaded = min(optimizer_bytes, transferable, host_free)
+
+    offload_time = offloaded / link.effective_bandwidth if offloaded > 0 else 0.0
+    onload_time = offload_time
+    return OffloadPlan(
+        offloadable_bytes=optimizer_bytes,
+        offloaded_bytes=offloaded,
+        offload_time=offload_time,
+        onload_time=onload_time,
+        forward_window=forward_window,
+        sync_window=sync_window,
+        host_bytes_required=offloaded,
+    )

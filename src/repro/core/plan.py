@@ -1,0 +1,256 @@
+"""Fill Job Execution Plan Algorithm (Algorithm 1 of the paper).
+
+Given the repeating cycle of pipeline bubbles on a device (durations ``B``
+and free-memory capacities ``M``) and a fill job's linearised computational
+graph ``F`` (per-node durations and memory requirements), the planner
+
+1. replicates the graph as many times as fit in one cycle's total bubble
+   time (each replica is one training/inference iteration of the fill job),
+   and
+2. greedily packs the resulting node sequence into consecutive bubbles,
+   never exceeding a bubble's usable duration or free memory, wrapping
+   around the cycle as needed.
+
+The output is an :class:`ExecutionPlan`: the list of
+:class:`GraphPartition` objects (one per bubble visit) the executor will
+run, plus the derived throughput/packing metrics used by the executor and
+the scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import PipeFillConfig
+from repro.models.base import ComputationalGraph, GraphNode
+from repro.pipeline.bubbles import Bubble, BubbleCycle
+
+
+class PlanError(ValueError):
+    """Raised when a fill job cannot be planned onto a bubble cycle.
+
+    Typical causes: a graph node needs more memory than any bubble offers,
+    or a node's duration exceeds every bubble's usable duration.
+    """
+
+
+@dataclass(frozen=True)
+class GraphPartition:
+    """The chunk of the fill job's graph assigned to one bubble visit."""
+
+    bubble_index: int
+    cycle_index: int
+    nodes: Tuple[GraphNode, ...]
+
+    @property
+    def duration(self) -> float:
+        """Planned execution time of the partition (sum of node durations)."""
+        return sum(node.duration for node in self.nodes)
+
+    @property
+    def memory_bytes(self) -> float:
+        """Peak memory requirement of the partition."""
+        return max((node.memory_bytes for node in self.nodes), default=0.0)
+
+    @property
+    def flops(self) -> float:
+        """FLOPs executed by the partition."""
+        return sum(node.flops for node in self.nodes)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the bubble visit carries no work (skipped bubble)."""
+        return not self.nodes
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Result of Algorithm 1 for one fill-job iteration bundle.
+
+    Attributes
+    ----------
+    partitions:
+        Graph partitions in execution order; ``partitions[i]`` runs in
+        bubble ``i mod len(bubbles)`` of cycle ``i // len(bubbles)``.
+    bubbles:
+        The fillable bubbles of the cycle the plan was built against.
+    iterations:
+        Number of fill-job iterations replicated into the plan (Algorithm 1
+        lines 3-7).
+    graph_duration:
+        Exclusive-execution duration of a single fill-job iteration.
+    cycle_period:
+        The main job's iteration period (the cycle repeats with this period).
+    """
+
+    partitions: Tuple[GraphPartition, ...]
+    bubbles: Tuple[Bubble, ...]
+    iterations: int
+    graph_duration: float
+    cycle_period: float
+
+    @property
+    def num_cycles(self) -> int:
+        """Number of bubble cycles (main-job iterations) the plan spans."""
+        if not self.partitions:
+            return 0
+        return self.partitions[-1].cycle_index + 1
+
+    @property
+    def planned_work_seconds(self) -> float:
+        """Total packed node time across the plan."""
+        return sum(p.duration for p in self.partitions)
+
+    @property
+    def planned_flops(self) -> float:
+        """Total FLOPs packed into the plan."""
+        return sum(p.flops for p in self.partitions)
+
+    @property
+    def used_bubble_seconds(self) -> float:
+        """Bubble time the plan occupies (non-empty bubble visits count fully used portions)."""
+        return self.planned_work_seconds
+
+    @property
+    def wall_clock_seconds(self) -> float:
+        """Wall-clock time from the first bubble to the last partition's bubble."""
+        return self.num_cycles * self.cycle_period
+
+    @property
+    def packing_efficiency(self) -> float:
+        """Fraction of the spanned cycles' fillable bubble time actually packed."""
+        available = self.num_cycles * sum(b.duration for b in self.bubbles)
+        if available <= 0:
+            return 0.0
+        return self.planned_work_seconds / available
+
+    def partitions_in_cycle(self, cycle_index: int) -> List[GraphPartition]:
+        """Partitions executed during one bubble cycle."""
+        return [p for p in self.partitions if p.cycle_index == cycle_index]
+
+
+def _replication_count(
+    graph_duration: float, total_usable_bubble: float
+) -> int:
+    """Algorithm 1 lines 3-7: how many iterations to bundle into one plan.
+
+    The graph is replicated while the total duration plus one more replica
+    still fits under the cycle's total bubble time, i.e. the largest ``k``
+    with ``k * dur(F) < sum(B)`` (and at least one replica).
+    """
+    if graph_duration <= 0:
+        raise PlanError("fill-job graph has zero duration")
+    count = 1
+    while (count + 1) * graph_duration < total_usable_bubble:
+        count += 1
+    return count
+
+
+def plan_fill_job(
+    graph: ComputationalGraph,
+    cycle: BubbleCycle,
+    config: Optional[PipeFillConfig] = None,
+    *,
+    max_cycles: int = 10_000,
+) -> ExecutionPlan:
+    """Run Algorithm 1: pack ``graph`` onto the bubble cycle of a device.
+
+    Parameters
+    ----------
+    graph:
+        The fill job's linearised computational graph under a specific
+        execution configuration (from :func:`repro.models.profiles.profile_model`).
+    cycle:
+        The device's repeating bubble cycle.
+    config:
+        PipeFill tunables (fill fraction, memory safety margin, ...).
+    max_cycles:
+        Safety bound on the number of bubble cycles a single plan may span.
+
+    Raises
+    ------
+    PlanError
+        If some node can never be placed (too large for every bubble's
+        usable duration or memory), or the cycle has no fillable bubbles.
+    """
+    config = config or PipeFillConfig()
+    bubbles = tuple(
+        b
+        for b in cycle.fillable_bubbles
+        if config.usable_bubble_seconds(b.duration) > 0.0
+    )
+    if not bubbles:
+        raise PlanError(
+            f"bubble cycle of stage {cycle.stage_id} has no fillable bubbles "
+            f"longer than {config.min_fill_bubble_seconds}s"
+        )
+
+    usable_durations = [config.usable_bubble_seconds(b.duration) for b in bubbles]
+    usable_memory = [config.usable_bubble_memory(b.free_memory_bytes) for b in bubbles]
+    total_usable = sum(usable_durations)
+
+    # Feasibility: every node must fit in at least one bubble.
+    for node in graph.nodes:
+        fits = any(
+            node.duration <= usable_durations[i] and node.memory_bytes <= usable_memory[i]
+            for i in range(len(bubbles))
+        )
+        if not fits:
+            raise PlanError(
+                f"graph node {node.name!r} (duration {node.duration:.4f}s, "
+                f"memory {node.memory_bytes:.3e} B) does not fit in any bubble of "
+                f"stage {cycle.stage_id}'s cycle"
+            )
+
+    iterations = _replication_count(graph.total_duration, total_usable)
+    replicated = ComputationalGraph.concatenate([graph] * iterations)
+
+    partitions: List[GraphPartition] = []
+    remaining: List[GraphNode] = list(replicated.nodes)
+    bubble_idx = 0
+    empty_streak = 0
+    while remaining:
+        cycle_index = bubble_idx // len(bubbles)
+        if cycle_index >= max_cycles:
+            raise PlanError(
+                f"plan exceeded {max_cycles} bubble cycles; the fill job is too "
+                "large for this bubble cycle"
+            )
+        i = bubble_idx % len(bubbles)
+        capacity = usable_durations[i]
+        mem_cap = usable_memory[i]
+        packed: List[GraphNode] = []
+        packed_duration = 0.0
+        while (
+            remaining
+            and packed_duration + remaining[0].duration <= capacity
+            and remaining[0].memory_bytes <= mem_cap
+        ):
+            node = remaining.pop(0)
+            packed.append(node)
+            packed_duration += node.duration
+        partition = GraphPartition(
+            bubble_index=i, cycle_index=cycle_index, nodes=tuple(packed)
+        )
+        partitions.append(partition)
+        if partition.is_empty:
+            empty_streak += 1
+            if empty_streak >= len(bubbles):
+                # A full cycle went by without placing anything; the
+                # feasibility pre-check should make this unreachable, but
+                # guard against pathological inputs anyway.
+                raise PlanError(
+                    "no progress packing the fill job; a node does not fit any bubble"
+                )
+        else:
+            empty_streak = 0
+        bubble_idx += 1
+
+    return ExecutionPlan(
+        partitions=tuple(partitions),
+        bubbles=bubbles,
+        iterations=iterations,
+        graph_duration=graph.total_duration,
+        cycle_period=cycle.period,
+    )

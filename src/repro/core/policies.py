@@ -1,0 +1,126 @@
+"""Fill-job scheduling policies.
+
+The Fill Job Scheduler exposes its policy as a scoring function
+``f(job, state, executor_index) -> score`` (Section 4.4): whenever a device
+finishes a fill job, the scheduler submits the queued job with the highest
+score for that device.  This module provides the policies evaluated in the
+paper (Shortest-Job-First and Makespan-Minimizing), plus FIFO,
+Earliest-Deadline-First and weighted composition for hierarchical policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.utils.validation import check_non_negative
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class JobView:
+    """The job information a policy may inspect.
+
+    ``proc_times`` maps executor index to the job's predicted processing
+    time on that executor (infinite when the job does not fit there).
+    """
+
+    job_id: str
+    arrival_time: float
+    proc_times: Mapping[int, float]
+    deadline: Optional[float] = None
+
+    @property
+    def min_proc_time(self) -> float:
+        """Fastest predicted processing time across all executors."""
+        finite = [t for t in self.proc_times.values() if t != float("inf")]
+        return min(finite) if finite else float("inf")
+
+
+@dataclass(frozen=True)
+class SchedulerView:
+    """The scheduler state a policy may inspect."""
+
+    now: float
+    rem_times: Mapping[int, float] = field(default_factory=dict)
+
+    @property
+    def max_rem_time(self) -> float:
+        """Longest remaining busy time across all executors."""
+        return max(self.rem_times.values(), default=0.0)
+
+
+#: A scheduling policy: higher score wins.
+SchedulingPolicy = Callable[[JobView, SchedulerView, int], float]
+
+
+def fifo_policy(job: JobView, state: SchedulerView, executor_index: int) -> float:
+    """First-in-first-out: the job that has waited longest wins."""
+    return state.now - job.arrival_time
+
+
+def sjf_policy(job: JobView, state: SchedulerView, executor_index: int) -> float:
+    """Shortest-Job-First: ``1 / min(proc_times)`` (the paper's example)."""
+    return 1.0 / (job.min_proc_time + _EPS)
+
+
+def makespan_policy(job: JobView, state: SchedulerView, executor_index: int) -> float:
+    """Makespan-minimizing: ``1 / max(proc_times[i], rem_times)``.
+
+    Prefers the assignment that keeps the maximum busy time across all
+    executors as small as possible (the paper's second example policy).
+    """
+    proc_here = job.proc_times.get(executor_index, float("inf"))
+    return 1.0 / (max(proc_here, state.max_rem_time) + _EPS)
+
+
+def edf_policy(job: JobView, state: SchedulerView, executor_index: int) -> float:
+    """Earliest-Deadline-First: jobs closer to their deadline score higher.
+
+    Jobs without a deadline score 0, so EDF is typically composed with a
+    fallback policy (see :func:`compose_policies`).
+    """
+    if job.deadline is None:
+        return 0.0
+    slack = job.deadline - state.now
+    return 1.0 / (max(slack, 0.0) + _EPS)
+
+
+def compose_policies(
+    *weighted: Tuple[float, SchedulingPolicy],
+) -> SchedulingPolicy:
+    """Build a hierarchical policy as a weighted sum of sub-policies.
+
+    Example: prioritise proximity-to-deadline but fall back to SJF when no
+    job has a deadline::
+
+        policy = compose_policies((10.0, edf_policy), (1.0, sjf_policy))
+    """
+    if not weighted:
+        raise ValueError("compose_policies needs at least one (weight, policy) pair")
+    for weight, _ in weighted:
+        check_non_negative(weight, "policy weight")
+
+    def composed(job: JobView, state: SchedulerView, executor_index: int) -> float:
+        return sum(w * policy(job, state, executor_index) for w, policy in weighted)
+
+    return composed
+
+
+#: Registry of named policies usable from experiment configuration.
+POLICIES: Dict[str, SchedulingPolicy] = {
+    "fifo": fifo_policy,
+    "sjf": sjf_policy,
+    "makespan": makespan_policy,
+    "edf": edf_policy,
+    "edf+sjf": compose_policies((1_000.0, edf_policy), (1.0, sjf_policy)),
+}
+
+
+def get_policy(name: str) -> SchedulingPolicy:
+    """Look up a policy by name."""
+    try:
+        return POLICIES[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown policy {name!r}; known: {sorted(POLICIES)}") from None

@@ -1,0 +1,148 @@
+"""Bubble characterisation: the duration probe and the free-memory probe.
+
+Before any filling happens, PipeFill's pipeline engine must learn how long
+each bubble is and how much memory a fill job can use during it
+(Section 4.2).  The duration probe works without clocks inside the bubble:
+the engine waits an increasing amount of time at each bubble instruction
+(100 ms, then doubling every iteration) and watches the main job's
+throughput -- as soon as the throughput drops, the injected wait exceeded
+the bubble, so the bubble's duration lies between the last harmless wait
+and the first harmful one.  A short bisection refines the estimate.
+
+The free-memory probe releases the main job's cached allocator blocks
+(``empty_cache``) and reads the remaining free capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.hardware.memory import MemoryAllocator
+from repro.pipeline.engine import InstrumentedPipelineEngine
+from repro.pipeline.instructions import BubbleKind
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class BubbleProbeResult:
+    """Measured characteristics of one (stage, bubble-kind) pair."""
+
+    stage_id: int
+    bubble_kind: BubbleKind
+    measured_duration: float
+    probe_iterations: int
+    free_memory_bytes: float
+
+
+class BubbleProfiler:
+    """Measures bubble durations and free memory through the pipeline engine.
+
+    Parameters
+    ----------
+    engine:
+        The instrumented engine replaying the main job.
+    initial_wait:
+        First injected wait (the paper uses 100 ms).
+    slowdown_threshold:
+        Relative main-job slowdown above which the injected wait is deemed
+        to have exceeded the bubble.
+    refine_steps:
+        Bisection steps once the duration has been bracketed.
+    """
+
+    def __init__(
+        self,
+        engine: InstrumentedPipelineEngine,
+        *,
+        initial_wait: float = 0.1,
+        slowdown_threshold: float = 0.005,
+        refine_steps: int = 6,
+        max_doublings: int = 16,
+    ) -> None:
+        check_positive(initial_wait, "initial_wait")
+        check_positive(slowdown_threshold, "slowdown_threshold")
+        self.engine = engine
+        self.initial_wait = initial_wait
+        self.slowdown_threshold = slowdown_threshold
+        self.refine_steps = refine_steps
+        self.max_doublings = max_doublings
+
+    # -- duration probe --------------------------------------------------------
+
+    def _slowdown_with_wait(self, stage_id: int, kind: BubbleKind, wait: float) -> float:
+        return self.engine.measure_slowdown({(stage_id, kind): wait})
+
+    def probe_duration(
+        self, stage_id: int, kind: BubbleKind
+    ) -> Tuple[float, int]:
+        """Measure the duration of one bubble via the doubling probe.
+
+        Returns ``(duration, iterations_used)``; the duration is 0 when even
+        the initial wait already slows the main job (no bubble there).
+        """
+        iterations = 0
+        wait = self.initial_wait
+        last_good = 0.0
+        first_bad: Optional[float] = None
+        for _ in range(self.max_doublings):
+            iterations += 1
+            slowdown = self._slowdown_with_wait(stage_id, kind, wait)
+            if slowdown <= self.slowdown_threshold:
+                last_good = wait
+                wait *= 2.0
+            else:
+                first_bad = wait
+                break
+        if first_bad is None:
+            # The bubble swallowed every injected wait we tried.
+            return last_good, iterations
+        lo, hi = last_good, first_bad
+        for _ in range(self.refine_steps):
+            iterations += 1
+            mid = 0.5 * (lo + hi)
+            slowdown = self._slowdown_with_wait(stage_id, kind, mid)
+            if slowdown <= self.slowdown_threshold:
+                lo = mid
+            else:
+                hi = mid
+        return lo, iterations
+
+    # -- memory probe ----------------------------------------------------------
+
+    def probe_free_memory(
+        self,
+        stage_id: int,
+        *,
+        allocator: Optional[MemoryAllocator] = None,
+        main_job_pool: str = "main-job",
+    ) -> float:
+        """Free device memory available to fill jobs during the stage's bubbles.
+
+        With an allocator the probe reproduces the real mechanism: release
+        the main job's cached blocks, then read the remaining capacity.
+        Without one it falls back to the cost model's prediction.
+        """
+        if allocator is None:
+            return self.engine.costs.stages[stage_id].bubble_free_memory_bytes
+        allocator.empty_cache(main_job_pool)
+        return allocator.free_bytes
+
+    # -- full characterisation --------------------------------------------------
+
+    def characterize(
+        self, stage_id: int, *, allocator: Optional[MemoryAllocator] = None
+    ) -> Dict[BubbleKind, BubbleProbeResult]:
+        """Probe both large bubbles of a stage (fill-drain and fwd-bwd)."""
+        free_memory = self.probe_free_memory(stage_id, allocator=allocator)
+        results: Dict[BubbleKind, BubbleProbeResult] = {}
+        for kind in (BubbleKind.FILL_DRAIN, BubbleKind.FWD_BWD):
+            duration, iterations = self.probe_duration(stage_id, kind)
+            results[kind] = BubbleProbeResult(
+                stage_id=stage_id,
+                bubble_kind=kind,
+                measured_duration=duration,
+                probe_iterations=iterations,
+                free_memory_bytes=free_memory,
+            )
+        return results

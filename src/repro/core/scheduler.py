@@ -1,0 +1,305 @@
+"""The Fill Job Scheduler.
+
+The scheduler is the interface between the pipeline bubbles of the main job
+and the outside world (a higher-level cluster scheduler or a user submitting
+fill jobs).  It knows every device's bubble cycle (through that device's
+executor), can therefore predict any fill job's processing time on any
+device, and assigns queued jobs to devices according to a user-defined
+scoring policy whenever a device becomes free (Section 4.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.core.executor import FillExecutionEstimate, FillJobExecutor
+from repro.core.policies import JobView, SchedulerView, SchedulingPolicy, sjf_policy
+from repro.models.base import ModelSpec
+from repro.models.configs import JobType
+from repro.models.registry import build_model
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class FillJob:
+    """A fill job submitted to the scheduler.
+
+    Parameters
+    ----------
+    job_id:
+        Unique identifier.
+    model_name:
+        Registry name of the model (``"bert-base"``).
+    job_type:
+        Training or batch inference.
+    num_samples:
+        Samples the job must process to complete.
+    arrival_time:
+        Submission time in seconds (simulation clock).
+    deadline:
+        Optional absolute deadline.
+    """
+
+    job_id: str
+    model_name: str
+    job_type: JobType
+    num_samples: float
+    arrival_time: float = 0.0
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        check_positive(self.num_samples, "num_samples")
+        check_non_negative(self.arrival_time, "arrival_time")
+
+
+class FillJobState(str, enum.Enum):
+    """Lifecycle of a fill job inside the scheduler."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    REJECTED = "rejected"
+
+
+@dataclass
+class ExecutorState:
+    """The scheduler's view of one device's executor."""
+
+    executor_index: int
+    executor: FillJobExecutor
+    busy_until: float = 0.0
+    current_job_id: Optional[str] = None
+
+    def remaining_time(self, now: float) -> float:
+        """Seconds until this executor is free again."""
+        return max(0.0, self.busy_until - now)
+
+    @property
+    def is_busy(self) -> bool:
+        """True while a fill job is assigned."""
+        return self.current_job_id is not None
+
+
+@dataclass
+class JobRecord:
+    """Bookkeeping for a submitted job."""
+
+    job: FillJob
+    state: FillJobState = FillJobState.QUEUED
+    assigned_executor: Optional[int] = None
+    start_time: Optional[float] = None
+    completion_time: Optional[float] = None
+    flops_executed: float = 0.0
+
+    @property
+    def jct(self) -> Optional[float]:
+        """Job completion time (completion minus arrival), if finished."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.job.arrival_time
+
+
+class FillJobScheduler:
+    """Policy-driven assignment of fill jobs to devices' bubble cycles.
+
+    Parameters
+    ----------
+    executors:
+        One :class:`~repro.core.executor.FillJobExecutor` per device (or per
+        representative device group), keyed by executor index.
+    policy:
+        Scoring function; the queued job with the highest score is submitted
+        to a freed device.  Defaults to Shortest-Job-First.
+    model_resolver:
+        Maps a job's ``model_name`` to a :class:`ModelSpec`; defaults to the
+        package model registry.
+    """
+
+    def __init__(
+        self,
+        executors: Mapping[int, FillJobExecutor],
+        *,
+        policy: SchedulingPolicy = sjf_policy,
+        model_resolver: Callable[[str], ModelSpec] = build_model,
+    ) -> None:
+        if not executors:
+            raise ValueError("the scheduler needs at least one executor")
+        self.executors: Dict[int, ExecutorState] = {
+            idx: ExecutorState(executor_index=idx, executor=ex)
+            for idx, ex in executors.items()
+        }
+        self.policy = policy
+        self.model_resolver = model_resolver
+        self.records: Dict[str, JobRecord] = {}
+        self._queue: List[str] = []
+
+    # -- submission -------------------------------------------------------------
+
+    def submit(self, job: FillJob) -> JobRecord:
+        """Queue a fill job; rejects jobs that fit no executor."""
+        if job.job_id in self.records:
+            raise ValueError(f"job id {job.job_id!r} already submitted")
+        record = JobRecord(job=job)
+        self.records[job.job_id] = record
+        if not any(
+            t != float("inf") for t in self.processing_times(job).values()
+        ):
+            record.state = FillJobState.REJECTED
+            return record
+        self._queue.append(job.job_id)
+        return record
+
+    # -- predictions -------------------------------------------------------------
+
+    def estimate_for(self, job: FillJob, executor_index: int) -> Optional[FillExecutionEstimate]:
+        """The executor's estimate of running ``job`` (``None`` if it cannot)."""
+        model = self.model_resolver(job.model_name)
+        return self.executors[executor_index].executor.build_estimate(model, job.job_type)
+
+    def processing_times(self, job: FillJob) -> Dict[int, float]:
+        """Predicted processing time of ``job`` on every executor."""
+        times: Dict[int, float] = {}
+        for idx in self.executors:
+            estimate = self.estimate_for(job, idx)
+            times[idx] = (
+                float("inf") if estimate is None else estimate.processing_time(job.num_samples)
+            )
+        return times
+
+    def expected_completion(self, job_id: str, now: float) -> float:
+        """Expected completion time of a queued/running job.
+
+        Running jobs report their scheduled completion; queued jobs report an
+        optimistic estimate assuming they are next on the fastest executor.
+        """
+        record = self.records[job_id]
+        if record.state is FillJobState.COMPLETED:
+            assert record.completion_time is not None
+            return record.completion_time
+        if record.state is FillJobState.RUNNING:
+            assert record.assigned_executor is not None
+            return self.executors[record.assigned_executor].busy_until
+        times = self.processing_times(record.job)
+        best = float("inf")
+        for idx, proc in times.items():
+            if proc == float("inf"):
+                continue
+            start = now + self.executors[idx].remaining_time(now)
+            best = min(best, start + proc)
+        return best
+
+    def can_meet_deadline(self, job_id: str, now: float) -> bool:
+        """Whether the job's deadline can still be met under current load."""
+        record = self.records[job_id]
+        if record.job.deadline is None:
+            return True
+        return self.expected_completion(job_id, now) <= record.job.deadline
+
+    # -- assignment ---------------------------------------------------------------
+
+    def _job_view(self, job: FillJob) -> JobView:
+        return JobView(
+            job_id=job.job_id,
+            arrival_time=job.arrival_time,
+            proc_times=self.processing_times(job),
+            deadline=job.deadline,
+        )
+
+    def _scheduler_view(self, now: float) -> SchedulerView:
+        return SchedulerView(
+            now=now,
+            rem_times={idx: st.remaining_time(now) for idx, st in self.executors.items()},
+        )
+
+    def queued_jobs(self, now: Optional[float] = None) -> List[FillJob]:
+        """Jobs currently waiting for a device (arrived by ``now`` if given)."""
+        jobs = [self.records[jid].job for jid in self._queue]
+        if now is not None:
+            jobs = [j for j in jobs if j.arrival_time <= now]
+        return jobs
+
+    def select_job(self, executor_index: int, now: float) -> Optional[FillJob]:
+        """Pick the queued job with the highest policy score for this device."""
+        state_view = self._scheduler_view(now)
+        best_job: Optional[FillJob] = None
+        best_score = -float("inf")
+        for job in self.queued_jobs(now):
+            view = self._job_view(job)
+            if view.proc_times.get(executor_index, float("inf")) == float("inf"):
+                continue
+            score = self.policy(view, state_view, executor_index)
+            if score > best_score:
+                best_score = score
+                best_job = job
+        return best_job
+
+    def assign(self, executor_index: int, job: FillJob, now: float) -> float:
+        """Assign ``job`` to the executor; returns the scheduled completion time."""
+        ex_state = self.executors[executor_index]
+        if ex_state.is_busy:
+            raise RuntimeError(f"executor {executor_index} is busy")
+        record = self.records[job.job_id]
+        if record.state is not FillJobState.QUEUED:
+            raise RuntimeError(f"job {job.job_id!r} is not queued (state {record.state})")
+        estimate = self.estimate_for(job, executor_index)
+        if estimate is None:
+            raise RuntimeError(f"job {job.job_id!r} does not fit executor {executor_index}")
+        proc_time = estimate.processing_time(job.num_samples)
+        completion = now + proc_time
+        self._queue.remove(job.job_id)
+        record.state = FillJobState.RUNNING
+        record.assigned_executor = executor_index
+        record.start_time = now
+        record.flops_executed = estimate.flops_for_samples(job.num_samples)
+        ex_state.current_job_id = job.job_id
+        ex_state.busy_until = completion
+        return completion
+
+    def complete(self, executor_index: int, now: float) -> Optional[str]:
+        """Mark the executor's current job as finished; returns its id."""
+        ex_state = self.executors[executor_index]
+        job_id = ex_state.current_job_id
+        if job_id is None:
+            return None
+        record = self.records[job_id]
+        record.state = FillJobState.COMPLETED
+        record.completion_time = now
+        ex_state.current_job_id = None
+        ex_state.busy_until = now
+        return job_id
+
+    def dispatch(self, executor_index: int, now: float) -> Optional[float]:
+        """Fill a free executor with the best queued job, if any.
+
+        Returns the scheduled completion time of the newly-assigned job, or
+        ``None`` when the executor stays idle.
+        """
+        ex_state = self.executors[executor_index]
+        if ex_state.is_busy:
+            return None
+        job = self.select_job(executor_index, now)
+        if job is None:
+            return None
+        return self.assign(executor_index, job, now)
+
+    # -- aggregate metrics -----------------------------------------------------------
+
+    def completed_records(self) -> List[JobRecord]:
+        """Records of all completed jobs."""
+        return [r for r in self.records.values() if r.state is FillJobState.COMPLETED]
+
+    def average_jct(self) -> float:
+        """Mean job completion time over completed jobs (0 when none)."""
+        completed = self.completed_records()
+        if not completed:
+            return 0.0
+        return sum(r.jct for r in completed if r.jct is not None) / len(completed)
+
+    def makespan(self) -> float:
+        """Completion time of the last finished job (0 when none)."""
+        completed = self.completed_records()
+        if not completed:
+            return 0.0
+        return max(r.completion_time for r in completed if r.completion_time is not None)

@@ -1,0 +1,45 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every harness returns one or more :class:`repro.utils.tables.Table` objects
+carrying exactly the rows/series the corresponding figure plots; the
+benchmark suite under ``benchmarks/`` runs them and asserts the qualitative
+shape, and :mod:`repro.experiments.report` collects them into
+``EXPERIMENTS.md``.
+"""
+
+from repro.experiments.common import (
+    GPU_SCALE_SWEEP,
+    TOTAL_TRAINING_TOKENS,
+    make_40b_parallel,
+    make_5b_parallel,
+    build_workload,
+)
+from repro.experiments.table1_fill_jobs import run_table1
+from repro.experiments.fig2_bubble_fraction import run_fig2
+from repro.experiments.fig1_utilization import run_fig1
+from repro.experiments.fig4_scaling import run_fig4
+from repro.experiments.fig5_fill_fraction import run_fig5
+from repro.experiments.fig6_sim_validation import run_fig6
+from repro.experiments.fig7_fill_job_char import run_fig7
+from repro.experiments.fig8_schedules import run_fig8
+from repro.experiments.fig9_policies import run_fig9
+from repro.experiments.fig10_sensitivity import run_fig10a, run_fig10b
+
+__all__ = [
+    "GPU_SCALE_SWEEP",
+    "TOTAL_TRAINING_TOKENS",
+    "make_40b_parallel",
+    "make_5b_parallel",
+    "build_workload",
+    "run_table1",
+    "run_fig1",
+    "run_fig2",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10a",
+    "run_fig10b",
+]

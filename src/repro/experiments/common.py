@@ -1,0 +1,133 @@
+"""Shared experiment setup: main-job configurations and workloads.
+
+All experiments use the two main jobs of Section 5.2:
+
+* the **40B** LLM with 8-way tensor parallelism and 16 pipeline stages,
+  data-parallel-scaled from 1K to 16K GPUs (simulator experiments), and
+* the **5B** LLM with 16 pipeline stages and no tensor parallelism on 16
+  GPUs (physical-cluster experiments), run at 8 microbatches per replica,
+  which yields the 65% bubble ratio the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.scheduler import FillJob
+from repro.models.configs import JobType
+from repro.models.registry import build_model
+from repro.pipeline.parallelism import ParallelConfig, microbatches_for_cluster
+from repro.utils.rng import RngLike
+from repro.workloads.generator import build_fill_job_trace
+
+#: GPU counts swept in Figures 1 and 4.  (The paper also shows a 6K point;
+#: with the fixed 1024-sample global batch and microbatch size 2 that data-
+#: parallel degree does not divide evenly, so the sweep uses powers of two.)
+GPU_SCALE_SWEEP: tuple[int, ...] = (1024, 2048, 4096, 8192)
+
+#: GPU counts swept in the schedule comparison (Figure 8).
+GPU_SCALE_SWEEP_WIDE: tuple[int, ...] = (2048, 4096, 8192, 16384)
+
+#: Total training tokens of the 40B main job; chosen so the 1K-GPU run takes
+#: ~82 days, matching Figure 4a (a LLaMA-class 1.4T-token budget).
+TOTAL_TRAINING_TOKENS = 1.4e12
+
+#: Default simulated wall-clock horizon for utilization measurements.
+DEFAULT_HORIZON_SECONDS = 2.0 * 3600.0
+
+#: Default fill-job arrival rate; high enough to keep bubbles saturated, as
+#: the paper assumes a backlog of pending jobs.
+DEFAULT_ARRIVAL_RATE_PER_HOUR = 400.0
+
+#: The base (one-replica) 40B-parameter configuration: tp8 x pp16 = 128 GPUs.
+_BASE_40B = ParallelConfig(
+    tensor_parallel=8,
+    pipeline_stages=16,
+    data_parallel=8,
+    microbatch_size=2,
+    global_batch_size=1024,
+)
+
+
+def make_40b_parallel(num_gpus: int) -> ParallelConfig:
+    """The 40B main job scaled to ``num_gpus`` accelerators."""
+    return microbatches_for_cluster(_BASE_40B, num_gpus)
+
+
+def make_5b_parallel() -> ParallelConfig:
+    """The 5B physical-cluster main job (16 GPUs per replica, m=8, 65% bubbles)."""
+    return ParallelConfig(
+        tensor_parallel=1,
+        pipeline_stages=16,
+        data_parallel=64,
+        microbatch_size=2,
+        global_batch_size=1024,
+    )
+
+
+def main_job_model(name: str = "gpt-40b"):
+    """Build (cached) one of the main-job LLMs."""
+    return build_model(name)
+
+
+def build_workload(
+    horizon_seconds: float = DEFAULT_HORIZON_SECONDS,
+    *,
+    workload: str = "trace-mix",
+    arrival_rate_per_hour: float = DEFAULT_ARRIVAL_RATE_PER_HOUR,
+    deadline_fraction: float = 0.0,
+    seed: RngLike = 0,
+) -> List[FillJob]:
+    """Build one of the paper's fill-job workloads.
+
+    ``workload`` is either ``"trace-mix"`` (the full Table 1 mix driven by
+    the synthetic cluster trace) or ``"bert-inference"`` (the
+    bubble-friendly BERT-base batch-inference-only workload of Figure 4c).
+    """
+    if workload == "trace-mix":
+        return build_fill_job_trace(
+            horizon_seconds,
+            arrival_rate_per_hour=arrival_rate_per_hour,
+            deadline_fraction=deadline_fraction,
+            seed=seed,
+        )
+    if workload == "bert-inference":
+        return build_fill_job_trace(
+            horizon_seconds,
+            arrival_rate_per_hour=arrival_rate_per_hour,
+            models=["bert-base"],
+            job_type=JobType.BATCH_INFERENCE,
+            deadline_fraction=deadline_fraction,
+            seed=seed,
+        )
+    raise ValueError(f"unknown workload {workload!r}")
+
+
+def mixed_model_workload(
+    horizon_seconds: float,
+    fraction_second_model: float,
+    *,
+    first_model: str = "xlm-roberta-xl",
+    second_model: str = "efficientnet",
+    arrival_rate_per_hour: float = DEFAULT_ARRIVAL_RATE_PER_HOUR,
+    seed: RngLike = 0,
+) -> List[FillJob]:
+    """A two-model mix sweeping from all-``first_model`` to all-``second_model``.
+
+    Used by the Figure 6 validation experiment (all-XLM-inference at one end,
+    all-EfficientNet-training at the other).
+    """
+    from repro.workloads.generator import FillJobTraceBuilder
+    from repro.workloads.model_hub import ModelHubDistribution
+    from repro.workloads.trace import TraceGenerator
+
+    if not 0.0 <= fraction_second_model <= 1.0:
+        raise ValueError("fraction_second_model must be in [0, 1]")
+    probs = {
+        first_model: 1.0 - fraction_second_model,
+        second_model: fraction_second_model,
+    }
+    probs = {k: v for k, v in probs.items() if v > 0.0}
+    builder = FillJobTraceBuilder(distribution=ModelHubDistribution(probs), seed=seed)
+    generator = TraceGenerator(arrival_rate_per_hour=arrival_rate_per_hour, seed=seed)
+    return builder.generate(horizon_seconds, trace_generator=generator, rng=seed)

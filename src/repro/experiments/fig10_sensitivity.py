@@ -1,0 +1,132 @@
+"""Figure 10: sensitivity of recovered TFLOPS to bubble size and free memory.
+
+* **10a** -- the main-job model is scaled from 50% to 200% of its original
+  size (which scales the bubble durations proportionally) with the bubble
+  free memory fixed at 4.5 GB; recovered TFLOPS changes little.
+* **10b** -- the main-job size (and hence bubble durations) is fixed and the
+  free memory during bubbles is swept from 2 GB to 8 GB; recovered TFLOPS
+  improves with memory but with diminishing returns.
+
+Both sweeps use the paper's Section 6.2 metric directly: the *recovered
+TFLOPS* of each fill-job type (FLOPs executed divided by the bubble time
+used), averaged over the Table 1 fill-job mix.  Measuring through the full
+scheduler instead would confound the sweep with queueing effects (e.g. a
+smaller memory budget rejects the least efficient jobs and can *raise*
+aggregate throughput), which is not what the figure studies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.executor import FillJobExecutor
+from repro.experiments.common import main_job_model, make_40b_parallel
+from repro.models.configs import JobType
+from repro.models.registry import build_model
+from repro.models.transformer import GPT_40B_CONFIG, scale_transformer
+from repro.pipeline.bubbles import BubbleCycle
+from repro.sim.mainjob import AnalyticMainJob, PAPER_BUBBLE_FREE_MEMORY_BYTES
+from repro.utils.tables import Table
+from repro.utils.units import GIB
+from repro.workloads.fill_jobs import category_for_model
+from repro.workloads.model_hub import default_distribution
+
+DEFAULT_MODEL_SCALES: tuple[float, ...] = (0.5, 1.0, 1.5, 2.0)
+DEFAULT_FREE_MEMORY_GB: tuple[float, ...] = (2.0, 4.0, 6.0, 8.0)
+
+#: Stage whose bubble cycle the sweep uses (a middle stage).
+_STAGE = 8
+
+
+def _mix_weights() -> Dict[Tuple[str, JobType], float]:
+    """Sampling weight of every (model, job type) pair in the trace mix."""
+    distribution = default_distribution()
+    weights: Dict[Tuple[str, JobType], float] = {}
+    for name, prob in distribution.probabilities.items():
+        job_types = category_for_model(name).job_types()
+        for job_type in job_types:
+            weights[(name, job_type)] = prob / len(job_types)
+    return weights
+
+
+def _mix_recovered_tflops(cycle: BubbleCycle) -> float:
+    """Trace-mix-weighted recovered TFLOPS on one bubble cycle."""
+    executor = FillJobExecutor(cycle)
+    weights = _mix_weights()
+    total = 0.0
+    for (name, job_type), weight in weights.items():
+        estimate = executor.build_estimate(build_model(name), job_type)
+        if estimate is None:
+            # A job type that does not fit the bubbles recovers nothing but
+            # still occupies its share of the workload mix; dropping it from
+            # the average would make *less* memory look better.
+            continue
+        total += weight * estimate.recovered_tflops
+    return total
+
+
+def run_fig10a(
+    model_scales: Sequence[float] = DEFAULT_MODEL_SCALES,
+    *,
+    num_gpus: int = 8192,
+    free_memory_bytes: float = PAPER_BUBBLE_FREE_MEMORY_BYTES,
+    horizon_seconds: Optional[float] = None,
+) -> Table:
+    """Sweep the main-job model size (and therefore bubble durations).
+
+    ``horizon_seconds`` is accepted for interface symmetry with the other
+    harnesses but unused (the metric is horizon-free).
+    """
+    del horizon_seconds
+    parallel = make_40b_parallel(num_gpus)
+    table = Table(
+        columns=["model scale", "bubble duration scale", "recovered TFLOPS/GPU"],
+        title="Figure 10a: recovered TFLOPS vs bubble size",
+        formats={
+            "model scale": ".2f",
+            "bubble duration scale": ".2f",
+            "recovered TFLOPS/GPU": ".2f",
+        },
+    )
+    reference_bubble: Optional[float] = None
+    rows = []
+    for scale in model_scales:
+        model = scale_transformer(GPT_40B_CONFIG, scale)
+        main_job = AnalyticMainJob(
+            model=model,
+            parallel=parallel,
+            bubble_free_memory_bytes=free_memory_bytes,
+        )
+        cycle = main_job.bubble_cycle(_STAGE)
+        if scale == 1.0:
+            reference_bubble = cycle.fillable_time
+        rows.append((scale, cycle.fillable_time, _mix_recovered_tflops(cycle)))
+    if reference_bubble is None:
+        reference_bubble = rows[0][1]
+    for scale, fillable, tflops in rows:
+        table.add_row(scale, fillable / reference_bubble, tflops)
+    return table
+
+
+def run_fig10b(
+    free_memory_gb: Sequence[float] = DEFAULT_FREE_MEMORY_GB,
+    *,
+    num_gpus: int = 8192,
+    horizon_seconds: Optional[float] = None,
+) -> Table:
+    """Sweep the free memory exposed to fill jobs during bubbles."""
+    del horizon_seconds
+    model = main_job_model("gpt-40b")
+    parallel = make_40b_parallel(num_gpus)
+    table = Table(
+        columns=["free memory (GB)", "recovered TFLOPS/GPU"],
+        title="Figure 10b: recovered TFLOPS vs bubble free memory",
+        formats={"free memory (GB)": ".1f", "recovered TFLOPS/GPU": ".2f"},
+    )
+    for free_gb in free_memory_gb:
+        main_job = AnalyticMainJob(
+            model=model, parallel=parallel, bubble_free_memory_bytes=free_gb * GIB
+        )
+        cycle = main_job.bubble_cycle(_STAGE)
+        table.add_row(free_gb, _mix_recovered_tflops(cycle))
+    return table

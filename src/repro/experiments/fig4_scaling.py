@@ -1,0 +1,116 @@
+"""Figure 4 (and Figure 1): scaling the 40B main job from 1K to 8K GPUs.
+
+* **4a** -- days to train versus GPU count (traditional PP and PipeFill,
+  whose main-job slowdown at the default fill fraction is <2%).
+* **4b** -- pipeline bubble ratio versus GPU count.
+* **4c / Figure 1** -- per-GPU TFLOP/s versus GPU count for traditional PP,
+  PipeFill with the trace mix, and PipeFill with BERT-inference-only fill
+  jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.core.config import PipeFillConfig
+from repro.core.system import PipeFillSystem
+from repro.experiments.common import (
+    DEFAULT_HORIZON_SECONDS,
+    GPU_SCALE_SWEEP,
+    TOTAL_TRAINING_TOKENS,
+    build_workload,
+    main_job_model,
+    make_40b_parallel,
+)
+from repro.sim.mainjob import AnalyticMainJob
+from repro.utils.tables import Table
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """One GPU-count point of the Figure 1/4 sweep."""
+
+    num_gpus: int
+    days_to_train: float
+    bubble_ratio: float
+    traditional_tflops: float
+    pipefill_trace_mix_tflops: float
+    pipefill_bert_inference_tflops: float
+    main_job_slowdown: float
+
+
+def evaluate_scale_point(
+    num_gpus: int,
+    *,
+    horizon_seconds: float = DEFAULT_HORIZON_SECONDS,
+    schedule: str = "gpipe",
+    config: Optional[PipeFillConfig] = None,
+    seed: int = 0,
+) -> ScalePoint:
+    """Evaluate traditional PP and both PipeFill workloads at one scale."""
+    model = main_job_model("gpt-40b")
+    parallel = make_40b_parallel(num_gpus)
+    main_job = AnalyticMainJob(model=model, parallel=parallel, schedule=schedule)
+
+    totals: Dict[str, float] = {}
+    slowdown = 0.0
+    for workload in ("trace-mix", "bert-inference"):
+        system = PipeFillSystem(
+            model, parallel, schedule=schedule, config=config or PipeFillConfig()
+        )
+        jobs = build_workload(horizon_seconds, workload=workload, seed=seed)
+        report = system.run(jobs, horizon_seconds=horizon_seconds)
+        totals[workload] = report.utilization.total_tflops_per_device
+        slowdown = report.utilization.main_job_slowdown
+
+    return ScalePoint(
+        num_gpus=num_gpus,
+        days_to_train=main_job.days_to_train(TOTAL_TRAINING_TOKENS),
+        bubble_ratio=main_job.bubble_ratio,
+        traditional_tflops=main_job.tflops_per_device,
+        pipefill_trace_mix_tflops=totals["trace-mix"],
+        pipefill_bert_inference_tflops=totals["bert-inference"],
+        main_job_slowdown=slowdown,
+    )
+
+
+def run_fig4(
+    gpu_counts: Sequence[int] = GPU_SCALE_SWEEP,
+    *,
+    horizon_seconds: float = DEFAULT_HORIZON_SECONDS,
+    seed: int = 0,
+) -> Table:
+    """Run the Figure 1 / Figure 4 GPU-count sweep."""
+    table = Table(
+        columns=[
+            "gpus",
+            "days to train",
+            "bubble ratio",
+            "traditional TFLOPS/GPU",
+            "PipeFill trace-mix TFLOPS/GPU",
+            "PipeFill BERT-inf TFLOPS/GPU",
+            "main-job slowdown",
+        ],
+        title="Figure 4: scaling the 40B LLM from 1K to 8K GPUs",
+        formats={
+            "days to train": ".1f",
+            "bubble ratio": ".3f",
+            "traditional TFLOPS/GPU": ".1f",
+            "PipeFill trace-mix TFLOPS/GPU": ".1f",
+            "PipeFill BERT-inf TFLOPS/GPU": ".1f",
+            "main-job slowdown": ".3f",
+        },
+    )
+    for num_gpus in gpu_counts:
+        point = evaluate_scale_point(num_gpus, horizon_seconds=horizon_seconds, seed=seed)
+        table.add_row(
+            point.num_gpus,
+            point.days_to_train,
+            point.bubble_ratio,
+            point.traditional_tflops,
+            point.pipefill_trace_mix_tflops,
+            point.pipefill_bert_inference_tflops,
+            point.main_job_slowdown,
+        )
+    return table

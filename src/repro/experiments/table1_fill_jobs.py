@@ -1,0 +1,33 @@
+"""Table 1: the fill-job category table.
+
+Regenerates the paper's Table 1 from the model registry: size class,
+parameter count of the built analytical model, domain, and which job types
+the model may appear as.
+"""
+
+from __future__ import annotations
+
+from repro.models.registry import build_model
+from repro.utils.tables import Table
+from repro.workloads.fill_jobs import FILL_JOB_CATEGORIES
+
+
+def run_table1() -> Table:
+    """Build Table 1 (fill-job categories)."""
+    table = Table(
+        columns=["size", "model", "parameters (M)", "job type", "training allowed"],
+        title="Table 1: Fill job categories",
+        formats={"parameters (M)": ".1f"},
+    )
+    order = ["efficientnet", "bert-base", "bert-large", "swin-large", "xlm-roberta-xl"]
+    for name in order:
+        category = FILL_JOB_CATEGORIES[name]
+        model = build_model(name)
+        table.add_row(
+            category.size_class,
+            name,
+            model.param_count / 1e6,
+            category.domain,
+            "yes" if category.allows_training else "no (inference only)",
+        )
+    return table

@@ -1,0 +1,74 @@
+"""Simulated accelerator hardware: devices, memory, interconnects, clusters.
+
+This package is the substitute for the paper's physical testbed (AWS
+p3.16xlarge nodes with 8x NVIDIA V100-16GB each).  It models
+
+* accelerator compute/memory specs (:mod:`repro.hardware.device`),
+* the CUDA-caching-allocator-like device memory accounting that PipeFill's
+  engine and executor rely on (:mod:`repro.hardware.memory`),
+* intra-node and inter-node interconnects (:mod:`repro.hardware.interconnect`),
+* multi-accelerator nodes with host memory for offloading
+  (:mod:`repro.hardware.node`), and
+* whole clusters (:mod:`repro.hardware.cluster`).
+"""
+
+from repro.hardware.device import (
+    DeviceSpec,
+    Device,
+    V100_16GB,
+    A100_40GB,
+    A100_80GB,
+    TRAINIUM1,
+    device_spec,
+    DEVICE_SPECS,
+)
+from repro.hardware.memory import (
+    DeviceOOMError,
+    MemoryAllocator,
+    MemoryPool,
+    MemorySnapshot,
+)
+from repro.hardware.interconnect import (
+    Link,
+    LinkSpec,
+    NVLINK2,
+    NVLINK3,
+    PCIE3_X16,
+    PCIE4_X16,
+    ETHERNET_25G,
+    ETHERNET_100G,
+    EFA_400G,
+)
+from repro.hardware.node import NodeSpec, Node, P3_16XLARGE, P4D_24XLARGE, node_spec
+from repro.hardware.cluster import Cluster, ClusterSpec
+
+__all__ = [
+    "DeviceSpec",
+    "Device",
+    "V100_16GB",
+    "A100_40GB",
+    "A100_80GB",
+    "TRAINIUM1",
+    "device_spec",
+    "DEVICE_SPECS",
+    "DeviceOOMError",
+    "MemoryAllocator",
+    "MemoryPool",
+    "MemorySnapshot",
+    "Link",
+    "LinkSpec",
+    "NVLINK2",
+    "NVLINK3",
+    "PCIE3_X16",
+    "PCIE4_X16",
+    "ETHERNET_25G",
+    "ETHERNET_100G",
+    "EFA_400G",
+    "NodeSpec",
+    "Node",
+    "P3_16XLARGE",
+    "P4D_24XLARGE",
+    "node_spec",
+    "Cluster",
+    "ClusterSpec",
+]

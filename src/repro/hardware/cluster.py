@@ -1,0 +1,120 @@
+"""Cluster model: a homogeneous collection of nodes.
+
+The paper's small cluster is 16 p3.16xlarge nodes (128 V100s); the simulated
+large-scale clusters go up to 16K GPUs.  :class:`Cluster` materialises nodes
+and devices lazily-cheaply (plain Python objects) and exposes the topology
+queries the pipeline cost model and the fill-job scheduler need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+from repro.hardware.device import Device
+from repro.hardware.interconnect import LinkSpec
+from repro.hardware.node import Node, NodeSpec, P3_16XLARGE
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of a cluster: node type and node count."""
+
+    node_spec: NodeSpec
+    num_nodes: int
+
+    def __post_init__(self) -> None:
+        check_positive(self.num_nodes, "num_nodes")
+
+    @property
+    def num_devices(self) -> int:
+        """Total accelerator count in the cluster."""
+        return self.num_nodes * self.node_spec.devices_per_node
+
+    @classmethod
+    def with_devices(cls, num_devices: int, node_spec: NodeSpec = P3_16XLARGE) -> "ClusterSpec":
+        """Build a spec with at least ``num_devices`` accelerators."""
+        check_positive(num_devices, "num_devices")
+        per_node = node_spec.devices_per_node
+        num_nodes = -(-num_devices // per_node)  # ceil division
+        return cls(node_spec=node_spec, num_nodes=num_nodes)
+
+
+@dataclass
+class Cluster:
+    """A runtime cluster of :class:`~repro.hardware.node.Node` objects."""
+
+    spec: ClusterSpec
+    nodes: List[Node] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            self.nodes = [
+                Node(spec=self.spec.node_spec, node_id=i)
+                for i in range(self.spec.num_nodes)
+            ]
+
+    @classmethod
+    def build(cls, num_devices: int, node_spec: NodeSpec = P3_16XLARGE) -> "Cluster":
+        """Construct a cluster with at least ``num_devices`` accelerators."""
+        return cls(spec=ClusterSpec.with_devices(num_devices, node_spec))
+
+    # -- topology queries -------------------------------------------------
+
+    @property
+    def num_devices(self) -> int:
+        """Total accelerator count."""
+        return self.spec.num_devices
+
+    @property
+    def num_nodes(self) -> int:
+        """Node count."""
+        return self.spec.num_nodes
+
+    def devices(self) -> Iterator[Device]:
+        """Iterate over every device in the cluster in rank order."""
+        for node in self.nodes:
+            yield from node.devices
+
+    def device(self, device_id: int) -> Device:
+        """Return the device with global index ``device_id``."""
+        per_node = self.spec.node_spec.devices_per_node
+        if not 0 <= device_id < self.num_devices:
+            raise IndexError(
+                f"device_id {device_id} out of range [0, {self.num_devices})"
+            )
+        return self.nodes[device_id // per_node].devices[device_id % per_node]
+
+    def node_of(self, device_id: int) -> Node:
+        """Return the node hosting ``device_id``."""
+        per_node = self.spec.node_spec.devices_per_node
+        return self.nodes[device_id // per_node]
+
+    def same_node(self, device_a: int, device_b: int) -> bool:
+        """True if both device ids live on the same node."""
+        per_node = self.spec.node_spec.devices_per_node
+        return device_a // per_node == device_b // per_node
+
+    def link_between(self, device_a: int, device_b: int) -> LinkSpec:
+        """Return the link connecting two devices (NVLink or the network)."""
+        if device_a == device_b:
+            raise ValueError("device_a and device_b must differ")
+        if self.same_node(device_a, device_b):
+            return self.spec.node_spec.intra_node_link
+        return self.spec.node_spec.network_link
+
+    @property
+    def intra_node_link(self) -> LinkSpec:
+        """The intra-node (tensor-parallel) link."""
+        return self.spec.node_spec.intra_node_link
+
+    @property
+    def network_link(self) -> LinkSpec:
+        """The inter-node (pipeline / data-parallel) link."""
+        return self.spec.node_spec.network_link
+
+    @property
+    def host_link(self) -> LinkSpec:
+        """The device-host (offloading) link."""
+        return self.spec.node_spec.host_link

@@ -1,0 +1,110 @@
+"""Interconnect link models.
+
+The pipeline-parallel cost model needs point-to-point activation/gradient
+transfer times between adjacent stages (inter-node network), tensor-parallel
+all-reduce times within a node (NVLink), and the device<->host link used by
+CPU offloading (PCIe).  :class:`LinkSpec` captures bandwidth and latency and
+provides transfer- and collective-time estimates using the standard
+alpha-beta model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import GB, GIGA
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A communication link described with the alpha-beta model.
+
+    Parameters
+    ----------
+    name:
+        Identifier, e.g. ``"NVLink2"``.
+    bandwidth:
+        Achievable bandwidth in bytes/s (unidirectional, per endpoint pair).
+    latency:
+        Per-message fixed latency (alpha term) in seconds.
+    efficiency:
+        Fraction of the nominal bandwidth achievable for large transfers;
+        the effective bandwidth is ``bandwidth * efficiency``.
+    """
+
+    name: str
+    bandwidth: float
+    latency: float = 5e-6
+    efficiency: float = 0.85
+
+    def __post_init__(self) -> None:
+        check_positive(self.bandwidth, "bandwidth")
+        check_non_negative(self.latency, "latency")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError(f"efficiency must be in (0, 1], got {self.efficiency}")
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Bandwidth achievable for large messages, in bytes/s."""
+        return self.bandwidth * self.efficiency
+
+    def transfer_time(self, num_bytes: float) -> float:
+        """Point-to-point time to move ``num_bytes`` over this link."""
+        check_non_negative(num_bytes, "num_bytes")
+        if num_bytes == 0:
+            return 0.0
+        return self.latency + num_bytes / self.effective_bandwidth
+
+    def allreduce_time(self, num_bytes: float, group_size: int) -> float:
+        """Ring all-reduce time for ``num_bytes`` across ``group_size`` peers.
+
+        Uses the standard ``2 * (n-1)/n * bytes / bandwidth`` volume plus one
+        latency term per ring step.
+        """
+        check_non_negative(num_bytes, "num_bytes")
+        if group_size < 1:
+            raise ValueError(f"group_size must be >= 1, got {group_size}")
+        if group_size == 1 or num_bytes == 0:
+            return 0.0
+        steps = 2 * (group_size - 1)
+        volume = 2.0 * (group_size - 1) / group_size * num_bytes
+        return steps * self.latency + volume / self.effective_bandwidth
+
+    def allgather_time(self, num_bytes: float, group_size: int) -> float:
+        """Ring all-gather time: each peer ends with ``num_bytes * group_size``."""
+        check_non_negative(num_bytes, "num_bytes")
+        if group_size < 1:
+            raise ValueError(f"group_size must be >= 1, got {group_size}")
+        if group_size == 1 or num_bytes == 0:
+            return 0.0
+        steps = group_size - 1
+        volume = (group_size - 1) / group_size * num_bytes * group_size
+        return steps * self.latency + volume / self.effective_bandwidth
+
+
+# A ``Link`` is currently an alias for its spec; kept separate so stateful
+# contention modelling can be layered in without changing call sites.
+Link = LinkSpec
+
+
+#: NVLink 2.0 as on the V100 hybrid cube-mesh (300 GB/s aggregate per GPU).
+NVLINK2 = LinkSpec(name="NVLink2", bandwidth=300 * GB, latency=3e-6)
+
+#: NVLink 3.0 (A100 generation).
+NVLINK3 = LinkSpec(name="NVLink3", bandwidth=600 * GB, latency=3e-6)
+
+#: PCIe gen3 x16 effective host link.
+PCIE3_X16 = LinkSpec(name="PCIe3-x16", bandwidth=16 * GB, latency=5e-6, efficiency=0.75)
+
+#: PCIe gen4 x16 effective host link.
+PCIE4_X16 = LinkSpec(name="PCIe4-x16", bandwidth=32 * GB, latency=5e-6, efficiency=0.75)
+
+#: 25 Gbps Ethernet (p3.16xlarge inter-node network from the paper).
+ETHERNET_25G = LinkSpec(name="Ethernet-25G", bandwidth=25 * GIGA / 8, latency=20e-6, efficiency=0.9)
+
+#: 100 Gbps Ethernet.
+ETHERNET_100G = LinkSpec(name="Ethernet-100G", bandwidth=100 * GIGA / 8, latency=15e-6, efficiency=0.9)
+
+#: 4x100 Gbps EFA (p4d-class instances).
+EFA_400G = LinkSpec(name="EFA-400G", bandwidth=400 * GIGA / 8, latency=15e-6, efficiency=0.9)

@@ -1,0 +1,253 @@
+"""Simulated device-memory accounting.
+
+PipeFill's engine and executor depend on three behaviours of the PyTorch
+CUDA caching allocator:
+
+* ``torch.cuda.memory_allocated()`` -- bytes actually held by live tensors
+  of a process (the *allocated* pool);
+* ``torch.cuda.empty_cache()`` -- release cached-but-unused blocks back to
+  the device so another process can claim them;
+* ``torch.cuda.set_per_process_memory_fraction()`` -- cap a process's
+  allocations, turning overshoot into an OOM error that is *isolated to that
+  process*.
+
+:class:`MemoryAllocator` reproduces this accounting for a single device.
+Memory is tracked per *pool* (one pool per process, e.g. the main training
+job and one fill-job executor), each pool tracks *allocated* versus *cached*
+bytes, and a per-pool cap can be set.  All quantities are floats in bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.utils.units import format_bytes
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class DeviceOOMError(RuntimeError):
+    """Raised when an allocation does not fit on the device or under a cap.
+
+    Mirrors ``torch.cuda.OutOfMemoryError``: the error carries the pool it
+    occurred in so callers can verify that fill-job OOMs never touch the
+    main job.
+    """
+
+    def __init__(self, message: str, *, pool: str) -> None:
+        super().__init__(message)
+        self.pool = pool
+
+
+@dataclass(frozen=True)
+class MemorySnapshot:
+    """A point-in-time view of one pool's memory accounting."""
+
+    pool: str
+    allocated_bytes: float
+    cached_bytes: float
+    cap_bytes: Optional[float]
+
+    @property
+    def reserved_bytes(self) -> float:
+        """Total bytes held by the pool (allocated + cached)."""
+        return self.allocated_bytes + self.cached_bytes
+
+
+@dataclass
+class MemoryPool:
+    """Per-process memory accounting within a device allocator."""
+
+    name: str
+    allocated_bytes: float = 0.0
+    cached_bytes: float = 0.0
+    cap_bytes: Optional[float] = None
+    allocations: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def reserved_bytes(self) -> float:
+        """Bytes held by this pool: live allocations plus cached blocks."""
+        return self.allocated_bytes + self.cached_bytes
+
+    def snapshot(self) -> MemorySnapshot:
+        """Return an immutable view of the pool state."""
+        return MemorySnapshot(
+            pool=self.name,
+            allocated_bytes=self.allocated_bytes,
+            cached_bytes=self.cached_bytes,
+            cap_bytes=self.cap_bytes,
+        )
+
+
+class MemoryAllocator:
+    """Device-level memory allocator with per-pool (per-process) accounting.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Usable device memory (HBM capacity minus runtime-reserved bytes).
+    """
+
+    def __init__(self, capacity_bytes: float) -> None:
+        check_positive(capacity_bytes, "capacity_bytes")
+        self.capacity_bytes = float(capacity_bytes)
+        self._pools: Dict[str, MemoryPool] = {}
+
+    # -- pool management -------------------------------------------------
+
+    def pool(self, name: str) -> MemoryPool:
+        """Return (creating if needed) the pool for process ``name``."""
+        if name not in self._pools:
+            self._pools[name] = MemoryPool(name=name)
+        return self._pools[name]
+
+    def pools(self) -> Dict[str, MemoryPool]:
+        """Return a copy of the pool mapping."""
+        return dict(self._pools)
+
+    def remove_pool(self, name: str) -> float:
+        """Destroy a pool (process exit), returning the bytes it released."""
+        pool = self._pools.pop(name, None)
+        if pool is None:
+            return 0.0
+        return pool.reserved_bytes
+
+    # -- global accounting -----------------------------------------------
+
+    @property
+    def total_reserved_bytes(self) -> float:
+        """Bytes held by all pools (allocated + cached)."""
+        return sum(p.reserved_bytes for p in self._pools.values())
+
+    @property
+    def total_allocated_bytes(self) -> float:
+        """Bytes held by live allocations across all pools."""
+        return sum(p.allocated_bytes for p in self._pools.values())
+
+    @property
+    def free_bytes(self) -> float:
+        """Device bytes not held by any pool."""
+        return self.capacity_bytes - self.total_reserved_bytes
+
+    def memory_allocated(self, pool: str) -> float:
+        """``torch.cuda.memory_allocated()`` equivalent for a pool."""
+        return self.pool(pool).allocated_bytes
+
+    def memory_reserved(self, pool: str) -> float:
+        """``torch.cuda.memory_reserved()`` equivalent for a pool."""
+        return self.pool(pool).reserved_bytes
+
+    # -- allocation API ----------------------------------------------------
+
+    def allocate(self, pool: str, tag: str, num_bytes: float) -> None:
+        """Allocate ``num_bytes`` in ``pool`` under identifier ``tag``.
+
+        Raises
+        ------
+        DeviceOOMError
+            If the allocation exceeds the pool's cap or the device capacity.
+            The exception is attributed to ``pool`` only.
+        """
+        check_non_negative(num_bytes, "num_bytes")
+        p = self.pool(pool)
+        if tag in p.allocations:
+            raise ValueError(f"tag {tag!r} already allocated in pool {pool!r}")
+
+        # Cached blocks within the pool are reused before new device memory
+        # is claimed, mirroring the caching allocator.
+        reuse = min(p.cached_bytes, num_bytes)
+        new_device_bytes = num_bytes - reuse
+
+        if p.cap_bytes is not None and p.allocated_bytes + num_bytes > p.cap_bytes:
+            raise DeviceOOMError(
+                f"pool {pool!r} cap exceeded: requested {format_bytes(num_bytes)}, "
+                f"allocated {format_bytes(p.allocated_bytes)}, "
+                f"cap {format_bytes(p.cap_bytes)}",
+                pool=pool,
+            )
+        if new_device_bytes > self.free_bytes + 1e-6:
+            raise DeviceOOMError(
+                f"device OOM in pool {pool!r}: requested {format_bytes(num_bytes)} "
+                f"({format_bytes(new_device_bytes)} new), free {format_bytes(self.free_bytes)}",
+                pool=pool,
+            )
+
+        p.cached_bytes -= reuse
+        p.allocated_bytes += num_bytes
+        p.allocations[tag] = num_bytes
+
+    def free(self, pool: str, tag: str, *, release: bool = False) -> float:
+        """Free the allocation ``tag`` in ``pool``.
+
+        By default freed bytes move to the pool's cache (as the caching
+        allocator does); with ``release=True`` they are returned directly to
+        the device.
+
+        Returns the number of bytes freed.
+        """
+        p = self.pool(pool)
+        if tag not in p.allocations:
+            raise KeyError(f"tag {tag!r} not allocated in pool {pool!r}")
+        num_bytes = p.allocations.pop(tag)
+        p.allocated_bytes -= num_bytes
+        if not p.allocations:
+            # Remove floating-point residue once every allocation is gone so
+            # repeated allocate/free cycles cannot drift the accounting.
+            p.allocated_bytes = 0.0
+        elif p.allocated_bytes < 0.0:
+            p.allocated_bytes = 0.0
+        if not release:
+            p.cached_bytes += num_bytes
+        return num_bytes
+
+    def free_all(self, pool: str, *, release: bool = False) -> float:
+        """Free every allocation in ``pool``; returns total bytes freed."""
+        p = self.pool(pool)
+        total = 0.0
+        for tag in list(p.allocations):
+            total += self.free(pool, tag, release=release)
+        return total
+
+    def empty_cache(self, pool: str) -> float:
+        """``torch.cuda.empty_cache()`` equivalent: release cached blocks.
+
+        Returns the number of bytes returned to the device.
+        """
+        p = self.pool(pool)
+        released = p.cached_bytes
+        p.cached_bytes = 0.0
+        return released
+
+    def empty_all_caches(self) -> float:
+        """Release cached blocks of every pool; returns total bytes released."""
+        return sum(self.empty_cache(name) for name in list(self._pools))
+
+    # -- caps ---------------------------------------------------------------
+
+    def set_memory_cap(self, pool: str, cap_bytes: Optional[float]) -> None:
+        """Set (or clear with ``None``) an absolute allocation cap for a pool."""
+        if cap_bytes is not None:
+            check_non_negative(cap_bytes, "cap_bytes")
+        self.pool(pool).cap_bytes = cap_bytes
+
+    def set_per_process_memory_fraction(self, pool: str, fraction: float) -> None:
+        """``torch.cuda.set_per_process_memory_fraction()`` equivalent."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        self.set_memory_cap(pool, fraction * self.capacity_bytes)
+
+    # -- introspection ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, MemorySnapshot]:
+        """Return a snapshot of every pool."""
+        return {name: p.snapshot() for name, p in self._pools.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pools = ", ".join(
+            f"{name}: alloc={format_bytes(p.allocated_bytes)} cache={format_bytes(p.cached_bytes)}"
+            for name, p in self._pools.items()
+        )
+        return (
+            f"MemoryAllocator(capacity={format_bytes(self.capacity_bytes)}, "
+            f"free={format_bytes(self.free_bytes)}, pools={{{pools}}})"
+        )

@@ -1,0 +1,98 @@
+"""Analytical DNN model zoo.
+
+The paper's main jobs (5B / 40B parameter GPT-style LLMs) and fill jobs
+(EfficientNet, BERT-base, BERT-large, Swin-large, XLM-Roberta-XL) are
+reproduced as *analytical* models: per-layer parameter counts, FLOPs and
+activation footprints derived from the published architectures.  Everything
+downstream (the pipeline cost model, Algorithm 1, the scheduler) consumes
+only these per-layer profiles, exactly as the real system consumes profiles
+collected with the PyTorch profiler.
+"""
+
+from repro.models.base import (
+    LayerKind,
+    LayerSpec,
+    ModelSpec,
+    GraphNode,
+    ComputationalGraph,
+)
+from repro.models.configs import (
+    JobType,
+    ExecutionConfig,
+    candidate_configs,
+    DEFAULT_INFERENCE_BATCH_SIZES,
+    DEFAULT_TRAINING_BATCH_SIZES,
+)
+from repro.models.memory import (
+    MemoryFootprint,
+    optimizer_bytes_per_param,
+    model_state_bytes,
+    activation_bytes,
+    footprint,
+)
+from repro.models.efficiency import EfficiencyModel, DEFAULT_EFFICIENCY
+from repro.models.profiles import (
+    NodeProfile,
+    ModelProfile,
+    profile_model,
+    best_profile,
+    isolated_throughput,
+    isolated_tflops,
+)
+from repro.models.transformer import (
+    TransformerConfig,
+    build_decoder_lm,
+    build_encoder_lm,
+    gpt_5b,
+    gpt_40b,
+    scale_transformer,
+)
+from repro.models.nlp import bert_base, bert_large, xlm_roberta_xl
+from repro.models.vision import efficientnet, swin_large
+from repro.models.registry import (
+    FILL_JOB_MODELS,
+    MAIN_JOB_MODELS,
+    build_model,
+    model_names,
+)
+
+__all__ = [
+    "LayerKind",
+    "LayerSpec",
+    "ModelSpec",
+    "GraphNode",
+    "ComputationalGraph",
+    "JobType",
+    "ExecutionConfig",
+    "candidate_configs",
+    "DEFAULT_INFERENCE_BATCH_SIZES",
+    "DEFAULT_TRAINING_BATCH_SIZES",
+    "MemoryFootprint",
+    "optimizer_bytes_per_param",
+    "model_state_bytes",
+    "activation_bytes",
+    "footprint",
+    "EfficiencyModel",
+    "DEFAULT_EFFICIENCY",
+    "NodeProfile",
+    "ModelProfile",
+    "profile_model",
+    "best_profile",
+    "isolated_throughput",
+    "isolated_tflops",
+    "TransformerConfig",
+    "build_decoder_lm",
+    "build_encoder_lm",
+    "gpt_5b",
+    "gpt_40b",
+    "scale_transformer",
+    "bert_base",
+    "bert_large",
+    "xlm_roberta_xl",
+    "efficientnet",
+    "swin_large",
+    "FILL_JOB_MODELS",
+    "MAIN_JOB_MODELS",
+    "build_model",
+    "model_names",
+]

@@ -1,0 +1,128 @@
+"""Analytical FLOPs / activation formulas for common layer types.
+
+Formulas follow the standard accounting used by Megatron-LM and the LLM
+scaling literature:
+
+* a dense matmul of ``(m, k) x (k, n)`` costs ``2 m k n`` FLOPs;
+* a transformer block with hidden size ``h``, sequence length ``s`` costs
+  ``24 s h^2 + 4 s^2 h`` forward FLOPs per sample (QKV/output projections,
+  the two attention batched matmuls, and the 4x MLP);
+* stored activations of a transformer block are roughly
+  ``s h (34 + 5 a s / h)`` bytes per sample in fp16 (Korthikanti et al.);
+* a convolution of ``C_in -> C_out`` with kernel ``k`` over an output map of
+  ``H x W`` costs ``2 k^2 C_in C_out H W`` FLOPs per sample.
+
+These are *per-sample* quantities at a reference input size; batching and
+execution configuration are applied later in :mod:`repro.models.profiles`.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_positive
+
+
+def dense_flops(m: float, k: float, n: float) -> float:
+    """FLOPs of a dense matmul ``(m, k) @ (k, n)``."""
+    return 2.0 * m * k * n
+
+
+def attention_flops(seq_len: int, hidden: int, *, causal: bool = False) -> float:
+    """Forward FLOPs of one multi-head self-attention sublayer per sample.
+
+    Includes the Q/K/V and output projections (``8 s h^2``) and the two
+    ``s x s`` batched matmuls (``4 s^2 h``).  A causal mask halves the
+    useful score computation but implementations rarely skip the masked
+    half, so ``causal`` only applies a 10% discount to model kernels that
+    exploit causality (e.g. FlashAttention-style).
+    """
+    check_positive(seq_len, "seq_len")
+    check_positive(hidden, "hidden")
+    proj = 8.0 * seq_len * hidden * hidden
+    scores = 4.0 * seq_len * seq_len * hidden
+    if causal:
+        scores *= 0.9
+    return proj + scores
+
+
+def mlp_flops(seq_len: int, hidden: int, *, expansion: float = 4.0) -> float:
+    """Forward FLOPs of the position-wise MLP per sample."""
+    check_positive(seq_len, "seq_len")
+    check_positive(hidden, "hidden")
+    check_positive(expansion, "expansion")
+    return 2.0 * 2.0 * seq_len * hidden * (expansion * hidden)
+
+
+def transformer_block_flops(
+    seq_len: int, hidden: int, *, expansion: float = 4.0, causal: bool = False
+) -> float:
+    """Forward FLOPs of one full transformer block per sample."""
+    return attention_flops(seq_len, hidden, causal=causal) + mlp_flops(
+        seq_len, hidden, expansion=expansion
+    )
+
+
+def transformer_block_params(hidden: int, *, expansion: float = 4.0) -> float:
+    """Learnable parameters of one transformer block.
+
+    ``4 h^2`` for attention projections, ``2 * expansion * h^2`` for the MLP,
+    plus biases and the two layer norms (``~9 h``), which are negligible but
+    included for exactness.
+    """
+    check_positive(hidden, "hidden")
+    return (4.0 + 2.0 * expansion) * hidden * hidden + 9.0 * hidden
+
+
+def transformer_block_activation_bytes(
+    seq_len: int, hidden: int, num_heads: int, *, dtype_bytes: int = 2
+) -> float:
+    """Stored-activation bytes of one transformer block per sample.
+
+    Uses the Megatron activation-memory estimate
+    ``s h (34 + 5 a s / h)`` scaled from fp16 to ``dtype_bytes``.
+    """
+    check_positive(seq_len, "seq_len")
+    check_positive(hidden, "hidden")
+    check_positive(num_heads, "num_heads")
+    fp16_bytes = seq_len * hidden * (34.0 + 5.0 * num_heads * seq_len / hidden)
+    return fp16_bytes * (dtype_bytes / 2.0)
+
+
+def embedding_params(vocab_size: int, hidden: int, *, max_positions: int = 0) -> float:
+    """Parameters of the token (+ optional positional) embedding."""
+    check_positive(vocab_size, "vocab_size")
+    check_positive(hidden, "hidden")
+    return float(vocab_size) * hidden + float(max_positions) * hidden
+
+
+def lm_head_flops(seq_len: int, hidden: int, vocab_size: int) -> float:
+    """Forward FLOPs of the output projection onto the vocabulary per sample."""
+    return dense_flops(seq_len, hidden, vocab_size)
+
+
+def conv_flops(
+    out_h: int, out_w: int, in_channels: int, out_channels: int, kernel: int
+) -> float:
+    """Forward FLOPs of a 2D convolution per sample."""
+    check_positive(out_h, "out_h")
+    check_positive(out_w, "out_w")
+    check_positive(in_channels, "in_channels")
+    check_positive(out_channels, "out_channels")
+    check_positive(kernel, "kernel")
+    return 2.0 * kernel * kernel * in_channels * out_channels * out_h * out_w
+
+
+def conv_params(in_channels: int, out_channels: int, kernel: int) -> float:
+    """Parameters of a 2D convolution (weights + bias)."""
+    return float(kernel * kernel * in_channels * out_channels + out_channels)
+
+
+def feature_map_bytes(
+    out_h: int, out_w: int, channels: int, *, dtype_bytes: int = 2
+) -> float:
+    """Bytes of a feature map per sample."""
+    return float(out_h) * out_w * channels * dtype_bytes
+
+
+def token_activation_bytes(seq_len: int, hidden: int, *, dtype_bytes: int = 2) -> float:
+    """Bytes of a ``(s, h)`` token activation tensor per sample."""
+    return float(seq_len) * hidden * dtype_bytes

@@ -1,0 +1,170 @@
+"""Memory-footprint accounting for models under an execution configuration.
+
+The footprint model follows the mixed-precision Adam accounting used by
+ZeRO (Rajbhandari et al., 2020):
+
+* fp16 parameters: 2 bytes / param
+* fp16 gradients:  2 bytes / param            (training only)
+* optimizer states (fp32 master weights + two Adam moments): 12 bytes / param
+  (training only)
+* stored activations: per-layer per-sample bytes x batch size
+  (training only; inference keeps only the live inter-layer tensor)
+
+CPU offloading moves the corresponding component off the device;
+activation checkpointing replaces the stored-activation term with only the
+per-layer boundary tensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.base import LayerSpec, ModelSpec
+from repro.models.configs import ExecutionConfig, JobType
+
+#: Bytes per parameter of fp32 master weights plus Adam moment estimates.
+ADAM_OPTIMIZER_BYTES_PER_PARAM = 12.0
+
+#: Bytes per parameter of fp16 gradients.
+GRAD_BYTES_PER_PARAM = 2.0
+
+
+def optimizer_bytes_per_param(job_type: JobType) -> float:
+    """Optimizer-state bytes per parameter for a job type (0 for inference)."""
+    return ADAM_OPTIMIZER_BYTES_PER_PARAM if job_type.is_training else 0.0
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Breakdown of a job's device and host memory footprint, in bytes."""
+
+    param_bytes: float
+    grad_bytes: float
+    optimizer_bytes: float
+    activation_bytes: float
+    device_bytes: float
+    host_bytes: float
+
+    @property
+    def model_state_bytes(self) -> float:
+        """Parameters + gradients + optimizer states (ZeRO's 'model states')."""
+        return self.param_bytes + self.grad_bytes + self.optimizer_bytes
+
+    @property
+    def total_bytes(self) -> float:
+        """Device plus host bytes."""
+        return self.device_bytes + self.host_bytes
+
+
+def model_state_bytes(model: ModelSpec, job_type: JobType) -> float:
+    """Device bytes of parameters (+ gradients + optimizer states) with no offloading."""
+    params = model.param_bytes
+    if not job_type.is_training:
+        return params
+    grads = model.param_count * GRAD_BYTES_PER_PARAM
+    opt = model.param_count * ADAM_OPTIMIZER_BYTES_PER_PARAM
+    return params + grads + opt
+
+
+def activation_bytes(
+    model: ModelSpec,
+    batch_size: int,
+    job_type: JobType,
+    *,
+    activation_checkpointing: bool = False,
+) -> float:
+    """Stored-activation bytes for one iteration at ``batch_size``.
+
+    Training without checkpointing stores every layer's activations;
+    training with checkpointing stores only each layer's boundary (output)
+    tensor; inference only ever keeps the largest live inter-layer tensor.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be > 0, got {batch_size}")
+    if not job_type.is_training:
+        largest = max(layer.output_bytes_per_sample for layer in model.layers)
+        workspace = max(layer.activation_bytes_per_sample for layer in model.layers)
+        # Inference holds the live tensor plus the working set of the layer
+        # currently executing (a fraction of the training stored set).
+        return batch_size * (largest + 0.25 * workspace)
+    if activation_checkpointing:
+        boundary = sum(layer.output_bytes_per_sample for layer in model.layers)
+        # Recomputation needs one block's full activation set live at a time.
+        largest_block = max(layer.activation_bytes_per_sample for layer in model.layers)
+        return batch_size * (boundary + largest_block)
+    return batch_size * model.activation_bytes_per_sample
+
+
+def layer_state_bytes(layer: LayerSpec, job_type: JobType, config: ExecutionConfig) -> float:
+    """Device-resident model-state bytes of a single layer under a config."""
+    dtype_bytes = 2.0
+    params = layer.param_count * dtype_bytes
+    if config.offload_params:
+        params = 0.0
+    if not job_type.is_training:
+        return params
+    grads = layer.param_count * GRAD_BYTES_PER_PARAM
+    opt = 0.0 if config.offload_optimizer else layer.param_count * ADAM_OPTIMIZER_BYTES_PER_PARAM
+    return params + grads + opt
+
+
+def footprint(
+    model: ModelSpec,
+    config: ExecutionConfig,
+    job_type: JobType,
+) -> MemoryFootprint:
+    """Full device/host memory breakdown of a job under ``config``."""
+    params = model.param_bytes
+    grads = model.param_count * GRAD_BYTES_PER_PARAM if job_type.is_training else 0.0
+    opt = (
+        model.param_count * ADAM_OPTIMIZER_BYTES_PER_PARAM
+        if job_type.is_training
+        else 0.0
+    )
+    acts = activation_bytes(
+        model,
+        config.batch_size,
+        job_type,
+        activation_checkpointing=config.activation_checkpointing,
+    )
+
+    device = 0.0
+    host = 0.0
+
+    if config.offload_params:
+        # Parameters are streamed layer-by-layer; the device only holds the
+        # two largest consecutive layers' worth at any time (prefetch + use).
+        resident = 2.0 * max(layer.param_count for layer in model.layers) * model.dtype_bytes
+        device += min(params, resident)
+        host += params
+    else:
+        device += params
+
+    if job_type.is_training:
+        if config.offload_optimizer:
+            host += opt
+            # Gradients travel to the host for the optimizer step but a
+            # device-side fp16 copy still exists during the backward pass.
+            device += grads
+        else:
+            device += opt + grads
+
+        if config.offload_activations:
+            host += acts
+            # One layer's activations must be on-device while it executes.
+            device += config.batch_size * max(
+                layer.activation_bytes_per_sample for layer in model.layers
+            )
+        else:
+            device += acts
+    else:
+        device += acts
+
+    return MemoryFootprint(
+        param_bytes=params,
+        grad_bytes=grads,
+        optimizer_bytes=opt,
+        activation_bytes=acts,
+        device_bytes=device,
+        host_bytes=host,
+    )

@@ -1,0 +1,61 @@
+"""NLP fill-job models: BERT-base, BERT-large and XLM-RoBERTa-XL.
+
+Parameter counts target the values reported in Table 1 of the paper
+(109M, 334M and 2.8B respectively).  The fill jobs run at sequence length
+512 (the pre-training length of these models), much shorter than the main
+job's 2048, which is part of why they fit in bubble free-memory.
+"""
+
+from __future__ import annotations
+
+from repro.models.base import ModelSpec
+from repro.models.transformer import TransformerConfig, build_encoder_lm
+
+#: BERT-base-uncased: 12 layers, hidden 768, 12 heads, 30k vocab (~109M).
+BERT_BASE_CONFIG = TransformerConfig(
+    name="bert-base",
+    hidden_size=768,
+    num_layers=12,
+    num_heads=12,
+    vocab_size=30_522,
+    seq_len=512,
+    causal=False,
+)
+
+#: BERT-large-uncased: 24 layers, hidden 1024, 16 heads (~334M).
+BERT_LARGE_CONFIG = TransformerConfig(
+    name="bert-large",
+    hidden_size=1024,
+    num_layers=24,
+    num_heads=16,
+    vocab_size=30_522,
+    seq_len=512,
+    causal=False,
+)
+
+#: XLM-RoBERTa-XL at the 2.8B-parameter scale reported in Table 1:
+#: 28 layers, hidden 2560, 250k multilingual vocabulary.
+XLM_ROBERTA_XL_CONFIG = TransformerConfig(
+    name="xlm-roberta-xl",
+    hidden_size=2560,
+    num_layers=28,
+    num_heads=32,
+    vocab_size=250_002,
+    seq_len=512,
+    causal=False,
+)
+
+
+def bert_base() -> ModelSpec:
+    """BERT-base (Table 1: small NLP fill job, ~109M parameters)."""
+    return build_encoder_lm(BERT_BASE_CONFIG)
+
+
+def bert_large() -> ModelSpec:
+    """BERT-large (Table 1: medium NLP fill job, ~334M parameters)."""
+    return build_encoder_lm(BERT_LARGE_CONFIG)
+
+
+def xlm_roberta_xl() -> ModelSpec:
+    """XLM-RoBERTa-XL (Table 1: large NLP fill job, ~2.8B parameters)."""
+    return build_encoder_lm(XLM_ROBERTA_XL_CONFIG)

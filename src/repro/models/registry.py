@@ -1,0 +1,59 @@
+"""Model registry: lookup of fill-job and main-job model builders by name.
+
+This is the single place that maps Table 1's model names (and the main-job
+LLMs) onto builder functions, so workload generation, experiments and tests
+all agree on naming.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.models.base import ModelSpec
+from repro.models.nlp import bert_base, bert_large, xlm_roberta_xl
+from repro.models.transformer import gpt_5b, gpt_40b
+from repro.models.vision import efficientnet, swin_large
+
+ModelBuilder = Callable[[], ModelSpec]
+
+#: Fill-job models from Table 1 of the paper, keyed by registry name.
+FILL_JOB_MODELS: Dict[str, ModelBuilder] = {
+    "efficientnet": efficientnet,
+    "bert-base": bert_base,
+    "bert-large": bert_large,
+    "swin-large": swin_large,
+    "xlm-roberta-xl": xlm_roberta_xl,
+}
+
+#: Main-job (pipeline-parallel LLM) models from Section 5.2.
+MAIN_JOB_MODELS: Dict[str, ModelBuilder] = {
+    "gpt-5b": gpt_5b,
+    "gpt-40b": gpt_40b,
+}
+
+_ALL_MODELS: Dict[str, ModelBuilder] = {**FILL_JOB_MODELS, **MAIN_JOB_MODELS}
+
+_CACHE: Dict[str, ModelSpec] = {}
+
+
+def model_names(*, fill_jobs_only: bool = False) -> List[str]:
+    """Return the registered model names, sorted."""
+    source = FILL_JOB_MODELS if fill_jobs_only else _ALL_MODELS
+    return sorted(source)
+
+
+def build_model(name: str, *, use_cache: bool = True) -> ModelSpec:
+    """Build (or fetch from cache) the model registered under ``name``.
+
+    Model specs are immutable, so caching is safe and keeps workload
+    generation cheap when thousands of trace jobs reference the same model.
+    """
+    try:
+        builder = _ALL_MODELS[name]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(_ALL_MODELS)}") from None
+    if not use_cache:
+        return builder()
+    if name not in _CACHE:
+        _CACHE[name] = builder()
+    return _CACHE[name]

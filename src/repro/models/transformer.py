@@ -1,0 +1,235 @@
+"""Transformer language-model builders (decoder LLM main jobs, encoder fill jobs).
+
+The paper's main jobs are GPT-style auto-regressive transformers with 5B and
+40B parameters trained at sequence length 2048.  :func:`gpt_5b` and
+:func:`gpt_40b` build those; :func:`scale_transformer` produces the
+width/depth-scaled variants used in the Figure 10a bubble-size sensitivity
+study.  Encoder models (BERT / XLM-RoBERTa) share the same block structure
+and are built through :func:`build_encoder_lm`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import List
+
+from repro.models.base import LayerKind, LayerSpec, ModelSpec
+from repro.models.flops import (
+    embedding_params,
+    lm_head_flops,
+    token_activation_bytes,
+    transformer_block_activation_bytes,
+    transformer_block_flops,
+    transformer_block_params,
+)
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Architecture hyper-parameters of a (decoder or encoder) transformer."""
+
+    name: str
+    hidden_size: int
+    num_layers: int
+    num_heads: int
+    vocab_size: int
+    seq_len: int
+    mlp_expansion: float = 4.0
+    causal: bool = True
+    tie_embeddings: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive(self.hidden_size, "hidden_size")
+        check_positive(self.num_layers, "num_layers")
+        check_positive(self.num_heads, "num_heads")
+        check_positive(self.vocab_size, "vocab_size")
+        check_positive(self.seq_len, "seq_len")
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError(
+                f"hidden_size {self.hidden_size} must be divisible by num_heads {self.num_heads}"
+            )
+
+    @property
+    def approx_param_count(self) -> float:
+        """Closed-form parameter estimate (blocks + embeddings)."""
+        block = transformer_block_params(self.hidden_size, expansion=self.mlp_expansion)
+        emb = embedding_params(self.vocab_size, self.hidden_size, max_positions=self.seq_len)
+        head = 0.0 if self.tie_embeddings else self.vocab_size * self.hidden_size
+        return self.num_layers * block + emb + head
+
+    def scaled(self, *, width_scale: float = 1.0, depth_scale: float = 1.0) -> "TransformerConfig":
+        """Return a config with scaled hidden size and layer count.
+
+        Hidden size is rounded to a multiple of the head dimension so the
+        head count stays valid.
+        """
+        check_positive(width_scale, "width_scale")
+        check_positive(depth_scale, "depth_scale")
+        head_dim = self.hidden_size // self.num_heads
+        new_hidden = max(head_dim, int(round(self.hidden_size * width_scale / head_dim)) * head_dim)
+        new_layers = max(1, int(round(self.num_layers * depth_scale)))
+        return replace(
+            self,
+            name=f"{self.name}-w{width_scale:g}-d{depth_scale:g}",
+            hidden_size=new_hidden,
+            num_layers=new_layers,
+            num_heads=new_hidden // head_dim,
+        )
+
+
+def _blocks(config: TransformerConfig, dtype_bytes: int) -> List[LayerSpec]:
+    block_flops = transformer_block_flops(
+        config.seq_len, config.hidden_size, expansion=config.mlp_expansion, causal=config.causal
+    )
+    block_params = transformer_block_params(config.hidden_size, expansion=config.mlp_expansion)
+    block_acts = transformer_block_activation_bytes(
+        config.seq_len, config.hidden_size, config.num_heads, dtype_bytes=dtype_bytes
+    )
+    output_bytes = token_activation_bytes(
+        config.seq_len, config.hidden_size, dtype_bytes=dtype_bytes
+    )
+    return [
+        LayerSpec(
+            name=f"block_{i}",
+            kind=LayerKind.TRANSFORMER_BLOCK,
+            param_count=block_params,
+            fwd_flops_per_sample=block_flops,
+            activation_bytes_per_sample=block_acts,
+            output_bytes_per_sample=output_bytes,
+        )
+        for i in range(config.num_layers)
+    ]
+
+
+def build_decoder_lm(config: TransformerConfig, *, dtype_bytes: int = 2) -> ModelSpec:
+    """Build a GPT-style decoder-only language model."""
+    layers: List[LayerSpec] = []
+    emb_params = embedding_params(
+        config.vocab_size, config.hidden_size, max_positions=config.seq_len
+    )
+    output_bytes = token_activation_bytes(
+        config.seq_len, config.hidden_size, dtype_bytes=dtype_bytes
+    )
+    layers.append(
+        LayerSpec(
+            name="embedding",
+            kind=LayerKind.EMBEDDING,
+            param_count=emb_params,
+            fwd_flops_per_sample=2.0 * config.seq_len * config.hidden_size,
+            activation_bytes_per_sample=output_bytes,
+            output_bytes_per_sample=output_bytes,
+        )
+    )
+    layers.extend(_blocks(config, dtype_bytes))
+    head_params = 0.0 if config.tie_embeddings else config.vocab_size * config.hidden_size
+    layers.append(
+        LayerSpec(
+            name="lm_head",
+            kind=LayerKind.LM_HEAD,
+            param_count=head_params,
+            fwd_flops_per_sample=lm_head_flops(
+                config.seq_len, config.hidden_size, config.vocab_size
+            ),
+            activation_bytes_per_sample=2.0 * output_bytes,
+            output_bytes_per_sample=config.seq_len * config.vocab_size * dtype_bytes * 0.0
+            + output_bytes,
+        )
+    )
+    return ModelSpec(
+        name=config.name,
+        layers=tuple(layers),
+        dtype_bytes=dtype_bytes,
+        family="transformer-decoder",
+        reference_seq_len=config.seq_len,
+    )
+
+
+def build_encoder_lm(config: TransformerConfig, *, dtype_bytes: int = 2) -> ModelSpec:
+    """Build a BERT/RoBERTa-style encoder-only masked language model."""
+    cfg = replace(config, causal=False)
+    layers: List[LayerSpec] = []
+    emb_params = embedding_params(cfg.vocab_size, cfg.hidden_size, max_positions=cfg.seq_len)
+    output_bytes = token_activation_bytes(cfg.seq_len, cfg.hidden_size, dtype_bytes=dtype_bytes)
+    layers.append(
+        LayerSpec(
+            name="embedding",
+            kind=LayerKind.EMBEDDING,
+            param_count=emb_params,
+            fwd_flops_per_sample=2.0 * cfg.seq_len * cfg.hidden_size,
+            activation_bytes_per_sample=output_bytes,
+            output_bytes_per_sample=output_bytes,
+        )
+    )
+    layers.extend(_blocks(cfg, dtype_bytes))
+    # Pooler / MLM head: a dense (h, h) plus the vocabulary projection.
+    layers.append(
+        LayerSpec(
+            name="mlm_head",
+            kind=LayerKind.CLASSIFIER,
+            param_count=cfg.hidden_size * cfg.hidden_size + cfg.hidden_size,
+            fwd_flops_per_sample=2.0 * cfg.seq_len * cfg.hidden_size * cfg.hidden_size,
+            activation_bytes_per_sample=output_bytes,
+            output_bytes_per_sample=output_bytes,
+        )
+    )
+    return ModelSpec(
+        name=cfg.name,
+        layers=tuple(layers),
+        dtype_bytes=dtype_bytes,
+        family="transformer-encoder",
+        reference_seq_len=cfg.seq_len,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Main-job presets (Section 5.2 of the paper)
+# ---------------------------------------------------------------------------
+
+#: Architecture of the paper's 5B-parameter physical-cluster main job.
+GPT_5B_CONFIG = TransformerConfig(
+    name="gpt-5b",
+    hidden_size=4096,
+    num_layers=24,
+    num_heads=32,
+    vocab_size=50_304,
+    seq_len=2048,
+)
+
+#: Architecture of the paper's 40B-parameter simulated main job.
+GPT_40B_CONFIG = TransformerConfig(
+    name="gpt-40b",
+    hidden_size=8192,
+    num_layers=48,
+    num_heads=64,
+    vocab_size=50_304,
+    seq_len=2048,
+)
+
+
+def gpt_5b() -> ModelSpec:
+    """The 5B-parameter LLM used as the physical-cluster main job."""
+    return build_decoder_lm(GPT_5B_CONFIG)
+
+
+def gpt_40b() -> ModelSpec:
+    """The 40B-parameter LLM used as the simulated main job."""
+    return build_decoder_lm(GPT_40B_CONFIG)
+
+
+def scale_transformer(
+    base: TransformerConfig, scale: float, *, dtype_bytes: int = 2
+) -> ModelSpec:
+    """Scale a transformer's *total size* by ``scale`` (Figure 10a sweep).
+
+    The paper scales the main-job model "width and depth equally"; since
+    parameters grow quadratically in width and linearly in depth, a total
+    scale of ``s`` is achieved with width and depth factors of ``s**(1/3)``
+    and ``s**(1/3)`` respectively (so ``width^2 * depth ~ s``).
+    """
+    check_positive(scale, "scale")
+    factor = scale ** (1.0 / 3.0)
+    cfg = base.scaled(width_scale=factor, depth_scale=factor)
+    cfg = replace(cfg, name=f"{base.name}-x{scale:g}")
+    return build_decoder_lm(cfg, dtype_bytes=dtype_bytes)

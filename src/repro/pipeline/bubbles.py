@@ -1,0 +1,170 @@
+"""Bubble descriptions shared between the pipeline engine and PipeFill core.
+
+A :class:`Bubble` is one contiguous idle window on one stage's devices
+during one training iteration of the main job; a :class:`BubbleCycle` is the
+per-iteration repeating sequence of bubbles on a device, which is exactly
+what the pipeline engine hands to the Fill Job Executor (Section 4.3: "this
+sequence of bubbles is a cycle of bubbles that repeats every minibatch
+iteration of the main job").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Sequence, Tuple
+
+from repro.pipeline.instructions import BubbleKind
+from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class Bubble:
+    """One idle window on a pipeline stage within an iteration.
+
+    Parameters
+    ----------
+    kind:
+        Fill-drain, fwd-bwd, or non-contiguous (the latter are not filled).
+    stage_id:
+        Pipeline stage the bubble occurs on.
+    index:
+        Position of the bubble within the iteration's bubble sequence.
+    duration:
+        Idle time in seconds.
+    free_memory_bytes:
+        Device memory available to a fill job during this bubble (after the
+        main job's caches are emptied and any offloading has completed).
+    start_offset:
+        Time from the start of the iteration to the start of the bubble.
+    """
+
+    kind: BubbleKind
+    stage_id: int
+    index: int
+    duration: float
+    free_memory_bytes: float
+    start_offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.duration, "duration")
+        check_non_negative(self.free_memory_bytes, "free_memory_bytes")
+        check_non_negative(self.start_offset, "start_offset")
+
+    @property
+    def fillable(self) -> bool:
+        """Whether PipeFill fills this bubble (non-contiguous ones are skipped)."""
+        return self.kind is not BubbleKind.NON_CONTIGUOUS
+
+    def scaled(self, *, duration_scale: float = 1.0, memory_scale: float = 1.0) -> "Bubble":
+        """Return a copy with scaled duration / free memory (sensitivity studies)."""
+        return replace(
+            self,
+            duration=self.duration * duration_scale,
+            free_memory_bytes=self.free_memory_bytes * memory_scale,
+        )
+
+
+@dataclass(frozen=True)
+class BubbleCycle:
+    """The repeating per-iteration sequence of bubbles on one device.
+
+    ``period`` is the main job's iteration time: the cycle repeats with that
+    period for the lifetime of the main job.
+    """
+
+    stage_id: int
+    bubbles: Tuple[Bubble, ...]
+    period: float
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.period, "period")
+        if self.period > 0 and self.total_bubble_time > self.period + 1e-9:
+            raise ValueError(
+                f"total bubble time {self.total_bubble_time:.4f}s exceeds the "
+                f"iteration period {self.period:.4f}s"
+            )
+
+    # -- aggregate properties ---------------------------------------------
+
+    @property
+    def total_bubble_time(self) -> float:
+        """Idle seconds per iteration (all bubbles, fillable or not)."""
+        return sum(b.duration for b in self.bubbles)
+
+    @property
+    def fillable_bubbles(self) -> Tuple[Bubble, ...]:
+        """The bubbles PipeFill will fill."""
+        return tuple(b for b in self.bubbles if b.fillable)
+
+    @property
+    def fillable_time(self) -> float:
+        """Idle seconds per iteration in fillable bubbles."""
+        return sum(b.duration for b in self.fillable_bubbles)
+
+    @property
+    def bubble_ratio(self) -> float:
+        """Fraction of the iteration spent in bubbles."""
+        if self.period == 0:
+            return 0.0
+        return self.total_bubble_time / self.period
+
+    @property
+    def min_free_memory_bytes(self) -> float:
+        """Smallest free-memory capacity across fillable bubbles (0 if none)."""
+        fillable = self.fillable_bubbles
+        if not fillable:
+            return 0.0
+        return min(b.free_memory_bytes for b in fillable)
+
+    def __iter__(self) -> Iterator[Bubble]:
+        return iter(self.bubbles)
+
+    def __len__(self) -> int:
+        return len(self.bubbles)
+
+    # -- transformations -----------------------------------------------------
+
+    def scaled(self, *, duration_scale: float = 1.0, memory_scale: float = 1.0) -> "BubbleCycle":
+        """Scale every bubble's duration/memory (and the period accordingly).
+
+        Scaling durations stretches the idle part of the period while the
+        busy part stays fixed, which matches the Figure 10a experiment where
+        the main-job model (and hence its compute *and* bubbles) grows.
+        """
+        busy = self.period - self.total_bubble_time
+        new_bubbles = tuple(
+            b.scaled(duration_scale=duration_scale, memory_scale=memory_scale)
+            for b in self.bubbles
+        )
+        new_period = busy + sum(b.duration for b in new_bubbles)
+        return BubbleCycle(stage_id=self.stage_id, bubbles=new_bubbles, period=new_period)
+
+    def with_free_memory(self, free_memory_bytes: float) -> "BubbleCycle":
+        """Return a cycle whose every bubble exposes exactly this much memory."""
+        check_non_negative(free_memory_bytes, "free_memory_bytes")
+        new_bubbles = tuple(
+            replace(b, free_memory_bytes=free_memory_bytes) for b in self.bubbles
+        )
+        return BubbleCycle(stage_id=self.stage_id, bubbles=new_bubbles, period=self.period)
+
+    @staticmethod
+    def from_durations(
+        durations: Sequence[float],
+        free_memory_bytes: float,
+        period: float,
+        *,
+        stage_id: int = 0,
+        kind: BubbleKind = BubbleKind.FWD_BWD,
+    ) -> "BubbleCycle":
+        """Convenience constructor for tests and synthetic studies."""
+        bubbles = tuple(
+            Bubble(
+                kind=kind,
+                stage_id=stage_id,
+                index=i,
+                duration=float(d),
+                free_memory_bytes=free_memory_bytes,
+            )
+            for i, d in enumerate(durations)
+        )
+        return BubbleCycle(stage_id=stage_id, bubbles=bubbles, period=period)

@@ -1,0 +1,216 @@
+"""Analytical per-stage cost model for the pipeline-parallel main job.
+
+Resolves a (model, parallel configuration, hardware) triple into the
+per-microbatch forward/backward times of each stage, the communication
+times, the main job's device-memory footprint, and the free memory a fill
+job would see during a bubble.  These are the quantities the paper obtains
+by profiling the real DeepSpeed engine and that seed both the instrumented
+engine and the large-scale simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.hardware.device import DeviceSpec
+from repro.hardware.node import NodeSpec, P3_16XLARGE
+from repro.models.base import ModelSpec
+from repro.models.efficiency import DEFAULT_EFFICIENCY, EfficiencyModel
+from repro.models.memory import ADAM_OPTIMIZER_BYTES_PER_PARAM, GRAD_BYTES_PER_PARAM
+from repro.pipeline.parallelism import ParallelConfig
+from repro.pipeline.partition import StagePartition, partition_layers
+from repro.utils.units import GIB
+from repro.utils.validation import check_non_negative, check_positive
+
+#: Bytes of framework runtime buffers held per device by the main job
+#: (NCCL rings, DeepSpeed communication/fusion buffers, dataloader staging,
+#: allocator fragmentation reserve).  Calibrated so the 5B physical-cluster
+#: main job exposes ~4.5 GB of free memory during bubbles, the value the
+#: paper measures on its testbed (Section 6.1).
+DEFAULT_RUNTIME_BUFFER_BYTES = 4.5 * GIB
+
+
+@dataclass(frozen=True)
+class StageCostModel:
+    """Resolved per-microbatch costs of one pipeline stage on its devices."""
+
+    stage: StagePartition
+    t_forward: float
+    t_backward: float
+    t_send_activation: float
+    t_recv_activation: float
+    t_grad_reduce: float
+    t_optimizer_step: float
+    main_job_memory_bytes: float
+    bubble_free_memory_bytes: float
+    params_per_device: float
+
+    @property
+    def t_microbatch(self) -> float:
+        """Forward plus backward time of one microbatch on this stage."""
+        return self.t_forward + self.t_backward
+
+
+@dataclass(frozen=True)
+class MainJobCosts:
+    """Cost model of every stage of the main job plus job-level aggregates."""
+
+    model: ModelSpec
+    parallel: ParallelConfig
+    device: DeviceSpec
+    stages: tuple[StageCostModel, ...]
+
+    @property
+    def num_stages(self) -> int:
+        """Pipeline depth ``p``."""
+        return self.parallel.pipeline_stages
+
+    @property
+    def max_t_forward(self) -> float:
+        """Slowest stage's forward time (sets the pipeline clock)."""
+        return max(s.t_forward for s in self.stages)
+
+    @property
+    def max_t_backward(self) -> float:
+        """Slowest stage's backward time."""
+        return max(s.t_backward for s in self.stages)
+
+    @property
+    def iteration_time(self) -> float:
+        """Time of one optimizer step (one minibatch) for a GPipe-like schedule.
+
+        ``(m + p - 1) * (t_f + t_b)`` on the slowest stage, plus the
+        gradient all-reduce and optimizer step at the iteration boundary.
+        """
+        m = self.parallel.num_microbatches
+        p = self.parallel.pipeline_stages
+        pipeline = (m + p - 1) * (self.max_t_forward + self.max_t_backward)
+        tail = max(s.t_grad_reduce + s.t_optimizer_step for s in self.stages)
+        return pipeline + tail
+
+    @property
+    def compute_time_per_iteration(self) -> float:
+        """Busy time of one iteration on the slowest stage."""
+        m = self.parallel.num_microbatches
+        return m * (self.max_t_forward + self.max_t_backward) + max(
+            s.t_grad_reduce + s.t_optimizer_step for s in self.stages
+        )
+
+    @property
+    def model_flops_per_iteration(self) -> float:
+        """Total model FLOPs (fwd + bwd) of one optimizer step across the job."""
+        return self.model.train_flops_per_sample * self.parallel.global_batch_size
+
+    @property
+    def tflops_per_device(self) -> float:
+        """Sustained model TFLOP/s per device over a full iteration."""
+        total_time = self.iteration_time
+        devices = self.parallel.num_devices
+        return self.model_flops_per_iteration / total_time / devices / 1e12
+
+
+def _stage_costs(
+    stage: StagePartition,
+    parallel: ParallelConfig,
+    node: NodeSpec,
+    efficiency: EfficiencyModel,
+    runtime_buffer_bytes: float,
+) -> StageCostModel:
+    device = node.device_spec
+    tp = parallel.tensor_parallel
+    mb = parallel.microbatch_size
+    model = stage.model
+
+    # -- compute ------------------------------------------------------------
+    eff = efficiency.main_job_efficiency
+    fwd_flops = mb * model.fwd_flops_per_sample / tp
+    bwd_flops = mb * model.bwd_flops_per_sample / tp
+    t_forward = fwd_flops / (device.peak_flops * eff)
+    t_backward = bwd_flops / (device.peak_flops * eff)
+
+    # Tensor-parallel all-reduces: two per transformer block in the forward
+    # pass and two in the backward pass, of one activation tensor each.
+    boundary_bytes = mb * max(l.output_bytes_per_sample for l in model.layers)
+    if tp > 1:
+        per_block = node.intra_node_link.allreduce_time(boundary_bytes, tp)
+        t_forward += 2.0 * model.num_layers * per_block
+        t_backward += 2.0 * model.num_layers * per_block
+
+    # -- pipeline p2p communication ------------------------------------------
+    t_send = node.network_link.transfer_time(boundary_bytes / tp)
+    t_recv = t_send
+
+    # -- iteration-boundary work ----------------------------------------------
+    params_per_device = model.param_count / tp
+    grad_bytes = params_per_device * GRAD_BYTES_PER_PARAM
+    t_grad_reduce = (
+        node.network_link.allreduce_time(grad_bytes, parallel.data_parallel)
+        if parallel.data_parallel > 1
+        else 0.0
+    )
+    opt_flops = 10.0 * params_per_device
+    t_optimizer = opt_flops / (device.peak_flops * 0.04)
+
+    # -- memory ---------------------------------------------------------------
+    # The main job trains with activation checkpointing (standard for GPipe
+    # at this scale): per in-flight microbatch it stores only the stage's
+    # boundary activations, and the recomputation working set of one layer
+    # is transient (released by empty_cache() before a bubble is filled).
+    param_bytes = params_per_device * model.dtype_bytes
+    opt_bytes = params_per_device * ADAM_OPTIMIZER_BYTES_PER_PARAM
+    boundary_per_microbatch = boundary_bytes / tp
+    in_flight = parallel.num_microbatches
+    stored_activations = in_flight * boundary_per_microbatch
+    recompute_workspace = mb * max(l.activation_bytes_per_sample for l in model.layers) / tp
+
+    main_job_memory = (
+        param_bytes
+        + grad_bytes
+        + opt_bytes
+        + stored_activations
+        + recompute_workspace
+        + runtime_buffer_bytes
+    )
+    # During a bubble the recompute workspace and cached transient buffers
+    # have been released (the engine calls empty_cache() before signalling
+    # the executor), so the fill job sees the difference to device capacity.
+    resident_during_bubble = main_job_memory - recompute_workspace
+    bubble_free = max(0.0, device.usable_memory_bytes - resident_during_bubble)
+
+    return StageCostModel(
+        stage=stage,
+        t_forward=t_forward,
+        t_backward=t_backward,
+        t_send_activation=t_send,
+        t_recv_activation=t_recv,
+        t_grad_reduce=t_grad_reduce,
+        t_optimizer_step=t_optimizer,
+        main_job_memory_bytes=main_job_memory,
+        bubble_free_memory_bytes=bubble_free,
+        params_per_device=params_per_device,
+    )
+
+
+def main_job_costs(
+    model: ModelSpec,
+    parallel: ParallelConfig,
+    *,
+    node: NodeSpec = P3_16XLARGE,
+    efficiency: EfficiencyModel = DEFAULT_EFFICIENCY,
+    runtime_buffer_bytes: float = DEFAULT_RUNTIME_BUFFER_BYTES,
+) -> MainJobCosts:
+    """Resolve the full main-job cost model for a parallel configuration."""
+    check_non_negative(runtime_buffer_bytes, "runtime_buffer_bytes")
+    check_positive(parallel.num_microbatches, "num_microbatches")
+    stages = partition_layers(model, parallel.pipeline_stages)
+    stage_costs: List[StageCostModel] = [
+        _stage_costs(stage, parallel, node, efficiency, runtime_buffer_bytes)
+        for stage in stages
+    ]
+    return MainJobCosts(
+        model=model,
+        parallel=parallel,
+        device=node.device_spec,
+        stages=tuple(stage_costs),
+    )

@@ -1,0 +1,363 @@
+"""Instrumented pipeline engine.
+
+The engine replays the per-stage instruction streams of a pipeline schedule
+against the analytical stage cost model, resolving cross-stage
+send/receive dependencies, and records every idle window on every stage.
+Idle windows that follow a :class:`~repro.pipeline.instructions.PipelineBubble`
+instruction are attributed to that bubble (fill-drain or fwd-bwd); all other
+waits are the small non-contiguous gaps that PipeFill does not fill.
+
+This is the "physical" fidelity level of the reproduction: the large-scale
+experiments seed the event-driven simulator with bubble cycles produced
+here, mirroring how the paper seeds its simulator with profiles collected
+from the real DeepSpeed engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.models.base import ModelSpec
+from repro.pipeline.bubbles import Bubble, BubbleCycle
+from repro.pipeline.costs import MainJobCosts, StageCostModel
+from repro.pipeline.instructions import (
+    BubbleKind,
+    Instruction,
+    InstructionKind,
+    PipelineBubble,
+)
+from repro.pipeline.schedules import PipelineSchedule, build_schedule
+from repro.utils.units import SECONDS_PER_DAY
+from repro.utils.validation import check_positive
+
+#: Idle windows shorter than this are measurement noise, not bubbles.
+_IDLE_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class IdleWindow:
+    """One recorded idle period on a stage."""
+
+    iteration: int
+    kind: BubbleKind
+    start: float
+    duration: float
+
+
+@dataclass
+class StageTimeline:
+    """Execution record of one stage across the simulated iterations."""
+
+    stage_id: int
+    iteration_starts: List[float] = field(default_factory=list)
+    iteration_ends: List[float] = field(default_factory=list)
+    idle_windows: List[IdleWindow] = field(default_factory=list)
+    busy_time: float = 0.0
+
+    def idle_in_iteration(self, iteration: int) -> List[IdleWindow]:
+        """Idle windows recorded during ``iteration``."""
+        return [w for w in self.idle_windows if w.iteration == iteration]
+
+    def iteration_duration(self, iteration: int) -> float:
+        """Wall-clock duration of ``iteration`` on this stage."""
+        return self.iteration_ends[iteration] - self.iteration_starts[iteration]
+
+
+@dataclass(frozen=True)
+class MainJobStats:
+    """Aggregate statistics of the replayed main job."""
+
+    model: ModelSpec
+    costs: MainJobCosts
+    schedule_name: str
+    iteration_time: float
+    stage_bubble_times: Tuple[float, ...]
+    stage_fillable_times: Tuple[float, ...]
+
+    @property
+    def num_stages(self) -> int:
+        """Pipeline depth."""
+        return len(self.stage_bubble_times)
+
+    @property
+    def bubble_ratio(self) -> float:
+        """Mean fraction of the iteration each stage spends idle."""
+        return float(sum(self.stage_bubble_times)) / (self.num_stages * self.iteration_time)
+
+    @property
+    def samples_per_second(self) -> float:
+        """Training throughput in samples/s across the whole job."""
+        return self.costs.parallel.global_batch_size / self.iteration_time
+
+    @property
+    def tflops_per_device(self) -> float:
+        """Sustained model TFLOP/s per device, averaged over the iteration."""
+        return (
+            self.costs.model_flops_per_iteration
+            / self.iteration_time
+            / self.costs.parallel.num_devices
+            / 1e12
+        )
+
+    def days_to_train(self, total_tokens: float) -> float:
+        """Wall-clock days to consume ``total_tokens`` of training data."""
+        check_positive(total_tokens, "total_tokens")
+        seq_len = self.model.reference_seq_len or 2048
+        total_samples = total_tokens / seq_len
+        seconds = total_samples / self.samples_per_second
+        return seconds / SECONDS_PER_DAY
+
+
+class InstrumentedPipelineEngine:
+    """Replays a pipeline schedule and characterises its bubbles.
+
+    Parameters
+    ----------
+    costs:
+        Resolved main-job cost model (stages, comm times, memory).
+    schedule:
+        ``"gpipe"`` or ``"1f1b"`` (or an already-built schedule object).
+    num_iterations:
+        Iterations to replay; bubbles are extracted from the second-to-last
+        (steady-state) iteration.
+    """
+
+    def __init__(
+        self,
+        costs: MainJobCosts,
+        schedule: str | PipelineSchedule = "gpipe",
+        *,
+        num_iterations: int = 4,
+    ) -> None:
+        if num_iterations < 3:
+            raise ValueError("need at least 3 iterations to reach steady state")
+        self.costs = costs
+        if isinstance(schedule, str):
+            schedule = build_schedule(
+                schedule,
+                costs.parallel.pipeline_stages,
+                costs.parallel.num_microbatches,
+            )
+        if schedule.num_stages != costs.parallel.pipeline_stages:
+            raise ValueError("schedule stage count does not match the parallel config")
+        self.schedule = schedule
+        self.num_iterations = num_iterations
+
+    # -- instruction timing ---------------------------------------------------
+
+    def _instruction_duration(
+        self,
+        instr: Instruction,
+        stage_costs: StageCostModel,
+        extra_bubble_busy: Mapping[Tuple[int, BubbleKind], float],
+        stage_id: int,
+    ) -> float:
+        kind = instr.kind
+        if kind is InstructionKind.FORWARD:
+            return stage_costs.t_forward
+        if kind is InstructionKind.BACKWARD:
+            return stage_costs.t_backward
+        if kind in (InstructionKind.SEND_ACTIVATION, InstructionKind.SEND_GRAD):
+            return stage_costs.t_send_activation
+        if kind in (InstructionKind.RECV_ACTIVATION, InstructionKind.RECV_GRAD):
+            return 0.0
+        if kind is InstructionKind.REDUCE_GRADS:
+            return stage_costs.t_grad_reduce
+        if kind is InstructionKind.OPTIMIZER_STEP:
+            return stage_costs.t_optimizer_step
+        if kind is InstructionKind.BUBBLE:
+            assert isinstance(instr, PipelineBubble)
+            return extra_bubble_busy.get((stage_id, instr.bubble_kind), 0.0)
+        raise ValueError(f"unknown instruction kind {kind!r}")  # pragma: no cover
+
+    # -- replay ---------------------------------------------------------------
+
+    def run(
+        self,
+        *,
+        extra_bubble_busy: Optional[Mapping[Tuple[int, BubbleKind], float]] = None,
+    ) -> List[StageTimeline]:
+        """Replay the schedule and return every stage's timeline.
+
+        ``extra_bubble_busy`` forces a stage to stay busy for the given
+        number of seconds at each occurrence of the given bubble instruction;
+        this is how the bubble-duration probe and fill-overrun experiments
+        inject work into bubbles.
+        """
+        extra_bubble_busy = dict(extra_bubble_busy or {})
+        p = self.schedule.num_stages
+        stage_instrs: List[List[Tuple[int, Instruction]]] = []
+        for s in range(p):
+            per_iter = self.schedule.stage_instructions(s)
+            stage_instrs.append(
+                [(it, instr) for it in range(self.num_iterations) for instr in per_iter]
+            )
+
+        timelines = [StageTimeline(stage_id=s) for s in range(p)]
+        clocks = [0.0] * p
+        pcs = [0] * p
+        pending_bubble: List[Optional[BubbleKind]] = [None] * p
+        current_iter = [-1] * p
+        send_act_done: Dict[Tuple[int, int, int], float] = {}
+        send_grad_done: Dict[Tuple[int, int, int], float] = {}
+
+        def dependency_time(stage: int, iteration: int, instr: Instruction) -> Optional[float]:
+            """Completion time of the event this instruction waits on.
+
+            Returns ``None`` when the event has not happened yet (the
+            instruction is not ready to execute).
+            """
+            kind = instr.kind
+            if kind is InstructionKind.RECV_ACTIVATION:
+                return send_act_done.get((iteration, getattr(instr, "microbatch"), stage - 1))
+            if kind is InstructionKind.RECV_GRAD:
+                return send_grad_done.get((iteration, getattr(instr, "microbatch"), stage + 1))
+            return clocks[stage]
+
+        total = sum(len(instrs) for instrs in stage_instrs)
+        executed = 0
+        while executed < total:
+            progressed = False
+            for s in range(p):
+                stage_costs = self.costs.stages[s]
+                while pcs[s] < len(stage_instrs[s]):
+                    iteration, instr = stage_instrs[s][pcs[s]]
+                    dep = dependency_time(s, iteration, instr)
+                    if dep is None:
+                        break
+                    timeline = timelines[s]
+                    if iteration != current_iter[s]:
+                        # First instruction of a new iteration on this stage.
+                        while len(timeline.iteration_starts) <= iteration:
+                            timeline.iteration_starts.append(clocks[s])
+                        current_iter[s] = iteration
+                    start = max(clocks[s], dep)
+                    idle = start - clocks[s]
+                    if idle > _IDLE_EPSILON:
+                        kind = pending_bubble[s] or BubbleKind.NON_CONTIGUOUS
+                        timeline.idle_windows.append(
+                            IdleWindow(iteration=iteration, kind=kind, start=clocks[s], duration=idle)
+                        )
+                    duration = self._instruction_duration(instr, stage_costs, extra_bubble_busy, s)
+                    end = start + duration
+                    timeline.busy_time += duration
+                    clocks[s] = end
+                    while len(timeline.iteration_ends) <= iteration:
+                        timeline.iteration_ends.append(end)
+                    timeline.iteration_ends[iteration] = end
+
+                    if instr.kind is InstructionKind.SEND_ACTIVATION:
+                        send_act_done[(iteration, getattr(instr, "microbatch"), s)] = end
+                    elif instr.kind is InstructionKind.SEND_GRAD:
+                        send_grad_done[(iteration, getattr(instr, "microbatch"), s)] = end
+
+                    if instr.kind is InstructionKind.BUBBLE:
+                        assert isinstance(instr, PipelineBubble)
+                        pending_bubble[s] = instr.bubble_kind
+                    else:
+                        pending_bubble[s] = None
+
+                    pcs[s] += 1
+                    executed += 1
+                    progressed = True
+            if not progressed:
+                raise RuntimeError(
+                    "pipeline replay deadlocked; the schedule's send/recv pairs are inconsistent"
+                )
+        return timelines
+
+    # -- analysis -------------------------------------------------------------
+
+    @property
+    def steady_iteration(self) -> int:
+        """Index of the iteration used for steady-state measurements."""
+        return self.num_iterations - 2
+
+    def _steady_period(self, timelines: Sequence[StageTimeline]) -> float:
+        it = self.steady_iteration
+        periods = [
+            t.iteration_starts[it + 1] - t.iteration_starts[it]
+            for t in timelines
+            if len(t.iteration_starts) > it + 1
+        ]
+        return max(periods)
+
+    def measure(
+        self,
+        *,
+        extra_bubble_busy: Optional[Mapping[Tuple[int, BubbleKind], float]] = None,
+    ) -> MainJobStats:
+        """Replay and summarise the main job (iteration time, bubble ratio, ...)."""
+        timelines = self.run(extra_bubble_busy=extra_bubble_busy)
+        period = self._steady_period(timelines)
+        it = self.steady_iteration
+        bubble_times = []
+        fillable_times = []
+        for t in timelines:
+            windows = t.idle_in_iteration(it) + [
+                w for w in t.idle_in_iteration(it + 1) if w.kind is BubbleKind.FILL_DRAIN
+            ]
+            # The fill-drain window of an iteration is recorded at the start
+            # of the *next* one; count it toward this stage's cycle once.
+            own = t.idle_in_iteration(it)
+            total_idle = sum(w.duration for w in own)
+            fillable = sum(
+                w.duration for w in own if w.kind is not BubbleKind.NON_CONTIGUOUS
+            )
+            bubble_times.append(total_idle)
+            fillable_times.append(fillable)
+            del windows
+        return MainJobStats(
+            model=self.costs.model,
+            costs=self.costs,
+            schedule_name=self.schedule.name,
+            iteration_time=period,
+            stage_bubble_times=tuple(bubble_times),
+            stage_fillable_times=tuple(fillable_times),
+        )
+
+    def bubble_cycle(self, stage_id: int, timelines: Optional[Sequence[StageTimeline]] = None) -> BubbleCycle:
+        """Extract the steady-state bubble cycle of ``stage_id``.
+
+        The cycle contains one :class:`Bubble` per idle window of the
+        steady-state iteration, annotated with the free memory the cost
+        model predicts for the stage's devices during bubbles.
+        """
+        if timelines is None:
+            timelines = self.run()
+        timeline = timelines[stage_id]
+        it = self.steady_iteration
+        period = self._steady_period(timelines)
+        free_mem = self.costs.stages[stage_id].bubble_free_memory_bytes
+        iteration_start = timeline.iteration_starts[it]
+        bubbles = []
+        for index, window in enumerate(timeline.idle_in_iteration(it)):
+            bubbles.append(
+                Bubble(
+                    kind=window.kind,
+                    stage_id=stage_id,
+                    index=index,
+                    duration=window.duration,
+                    free_memory_bytes=free_mem,
+                    start_offset=max(0.0, window.start - iteration_start),
+                )
+            )
+        return BubbleCycle(stage_id=stage_id, bubbles=tuple(bubbles), period=period)
+
+    def bubble_cycles(self) -> List[BubbleCycle]:
+        """Bubble cycles of every stage, from a single replay."""
+        timelines = self.run()
+        return [self.bubble_cycle(s, timelines) for s in range(self.schedule.num_stages)]
+
+    def measure_slowdown(
+        self, extra_bubble_busy: Mapping[Tuple[int, BubbleKind], float]
+    ) -> float:
+        """Relative main-job iteration-time increase caused by injected bubble work.
+
+        Used by the bubble-duration probe: as long as the injected busy time
+        stays within the natural bubble, the returned slowdown is ~0.
+        """
+        baseline = self.measure().iteration_time
+        loaded = self.measure(extra_bubble_busy=extra_bubble_busy).iteration_time
+        return (loaded - baseline) / baseline

@@ -1,0 +1,128 @@
+"""3D-parallelism configuration and pipeline-bubble arithmetic.
+
+The paper scales a fixed-size training job (fixed global minibatch, fixed
+model) across ever larger clusters by increasing the data-parallel degree,
+which shrinks the number of microbatches per pipeline replica and therefore
+inflates the pipeline-bubble fraction ``(p - 1) / (m + p - 1)``.  This
+module owns that arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import check_positive
+
+
+def bubble_fraction(num_stages: int, num_microbatches: int) -> float:
+    """Idle-time fraction of a synchronous unidirectional pipeline schedule.
+
+    ``(p - 1) / (m + p - 1)`` for ``p`` stages and ``m`` microbatches
+    (Narayanan et al., 2021); valid for both GPipe and 1F1B.
+    """
+    check_positive(num_stages, "num_stages")
+    check_positive(num_microbatches, "num_microbatches")
+    return (num_stages - 1) / (num_microbatches + num_stages - 1)
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """A (tensor, pipeline, data)-parallel training configuration.
+
+    Parameters
+    ----------
+    tensor_parallel:
+        Tensor-parallel degree (GPUs a layer is sharded over; intra-node).
+    pipeline_stages:
+        Number of pipeline stages ``p``.
+    data_parallel:
+        Number of pipeline replicas.
+    microbatch_size:
+        Samples per microbatch per replica.
+    global_batch_size:
+        Samples per optimizer step across all replicas (fixed by the ML
+        practitioner; 1024 sequences = ~2M-4M tokens in the paper).
+    """
+
+    tensor_parallel: int
+    pipeline_stages: int
+    data_parallel: int
+    microbatch_size: int
+    global_batch_size: int
+
+    def __post_init__(self) -> None:
+        check_positive(self.tensor_parallel, "tensor_parallel")
+        check_positive(self.pipeline_stages, "pipeline_stages")
+        check_positive(self.data_parallel, "data_parallel")
+        check_positive(self.microbatch_size, "microbatch_size")
+        check_positive(self.global_batch_size, "global_batch_size")
+        per_replica = self.global_batch_size / self.data_parallel
+        if per_replica < self.microbatch_size:
+            raise ValueError(
+                f"global_batch_size {self.global_batch_size} split over "
+                f"data_parallel {self.data_parallel} leaves {per_replica} samples "
+                f"per replica, fewer than the microbatch size {self.microbatch_size}"
+            )
+        if per_replica % self.microbatch_size != 0:
+            raise ValueError(
+                "per-replica batch must be a multiple of the microbatch size; "
+                f"got {per_replica} samples per replica with microbatch {self.microbatch_size}"
+            )
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def num_devices(self) -> int:
+        """Total accelerators used by the job."""
+        return self.tensor_parallel * self.pipeline_stages * self.data_parallel
+
+    @property
+    def devices_per_replica(self) -> int:
+        """Accelerators per pipeline replica."""
+        return self.tensor_parallel * self.pipeline_stages
+
+    @property
+    def samples_per_replica(self) -> int:
+        """Samples each replica processes per optimizer step."""
+        return self.global_batch_size // self.data_parallel
+
+    @property
+    def num_microbatches(self) -> int:
+        """Microbatches per replica per optimizer step (``m``)."""
+        return self.samples_per_replica // self.microbatch_size
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Pipeline-bubble fraction ``(p-1)/(m+p-1)`` of this configuration."""
+        return bubble_fraction(self.pipeline_stages, self.num_microbatches)
+
+    def with_data_parallel(self, data_parallel: int) -> "ParallelConfig":
+        """Return the same job scaled to a different data-parallel degree."""
+        return replace(self, data_parallel=data_parallel)
+
+    def describe(self) -> str:
+        """Short human-readable tag, e.g. ``"tp8-pp16-dp64 (m=8)"``."""
+        return (
+            f"tp{self.tensor_parallel}-pp{self.pipeline_stages}-dp{self.data_parallel}"
+            f" (m={self.num_microbatches})"
+        )
+
+
+def microbatches_for_cluster(
+    base: ParallelConfig, num_devices: int
+) -> ParallelConfig:
+    """Scale ``base`` onto ``num_devices`` accelerators by raising data parallelism.
+
+    The tensor/pipeline degrees and the global batch size stay fixed (the
+    paper's scaling methodology); the data-parallel degree becomes
+    ``num_devices / devices_per_replica``, which must divide evenly and keep
+    at least one microbatch per replica.
+    """
+    check_positive(num_devices, "num_devices")
+    per_replica = base.devices_per_replica
+    if num_devices % per_replica != 0:
+        raise ValueError(
+            f"num_devices {num_devices} is not a multiple of the replica size {per_replica}"
+        )
+    dp = num_devices // per_replica
+    return base.with_data_parallel(dp)

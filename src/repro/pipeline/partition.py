@@ -1,0 +1,97 @@
+"""Layer-to-stage partitioning for pipeline parallelism.
+
+The main job's model is split into ``p`` contiguous stages.  Following
+Megatron/DeepSpeed practice the split balances per-stage *compute* (forward
+FLOPs), which also keeps bubble arithmetic honest: the analytical bubble
+fraction assumes roughly equal stage times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.models.base import ModelSpec
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class StagePartition:
+    """One pipeline stage: a contiguous slice of the model's layers."""
+
+    stage_id: int
+    num_stages: int
+    model: ModelSpec
+    layer_start: int
+    layer_stop: int
+
+    @property
+    def is_first(self) -> bool:
+        """True for stage 0 (owns the embedding / input)."""
+        return self.stage_id == 0
+
+    @property
+    def is_last(self) -> bool:
+        """True for the final stage (owns the head / loss)."""
+        return self.stage_id == self.num_stages - 1
+
+    @property
+    def param_count(self) -> float:
+        """Learnable parameters held by this stage."""
+        return self.model.param_count
+
+    @property
+    def fwd_flops_per_sample(self) -> float:
+        """Forward FLOPs per sample executed by this stage."""
+        return self.model.fwd_flops_per_sample
+
+
+def _balanced_boundaries(weights: Sequence[float], num_stages: int) -> List[int]:
+    """Split ``weights`` into ``num_stages`` contiguous chunks of similar sum.
+
+    A greedy cumulative-target split: boundary ``i`` is placed where the
+    running sum first reaches ``i/num_stages`` of the total.  This is the
+    same heuristic DeepSpeed's ``partition_balanced`` uses and is exact when
+    the weights are uniform (the transformer-block case).
+    """
+    total = float(np.sum(weights))
+    if total <= 0:
+        # Degenerate (e.g. all-zero weights): fall back to equal layer counts.
+        edges = np.linspace(0, len(weights), num_stages + 1)
+        return [int(round(e)) for e in edges]
+    cumulative = np.cumsum(weights)
+    boundaries = [0]
+    for stage in range(1, num_stages):
+        target = total * stage / num_stages
+        idx = int(np.searchsorted(cumulative, target, side="left")) + 1
+        idx = max(idx, boundaries[-1] + 1)
+        idx = min(idx, len(weights) - (num_stages - stage))
+        boundaries.append(idx)
+    boundaries.append(len(weights))
+    return boundaries
+
+
+def partition_layers(model: ModelSpec, num_stages: int) -> List[StagePartition]:
+    """Partition ``model`` into ``num_stages`` contiguous, compute-balanced stages."""
+    check_positive(num_stages, "num_stages")
+    if num_stages > model.num_layers:
+        raise ValueError(
+            f"cannot split {model.num_layers} layers into {num_stages} stages"
+        )
+    weights = [layer.fwd_flops_per_sample for layer in model.layers]
+    boundaries = _balanced_boundaries(weights, num_stages)
+    partitions: List[StagePartition] = []
+    for stage_id in range(num_stages):
+        start, stop = boundaries[stage_id], boundaries[stage_id + 1]
+        partitions.append(
+            StagePartition(
+                stage_id=stage_id,
+                num_stages=num_stages,
+                model=model.sublayers(start, stop),
+                layer_start=start,
+                layer_stop=stop,
+            )
+        )
+    return partitions

@@ -1,0 +1,215 @@
+"""Pipeline schedule generators (GPipe and 1F1B) with bubble instructions.
+
+A schedule turns (number of stages ``p``, number of microbatches ``m``) into
+a per-stage ordered list of :mod:`repro.pipeline.instructions`.  PipeFill's
+pipeline-bubble instructions are inserted where each schedule's two large
+bubbles are expected:
+
+* the *fwd-bwd* bubble, while a stage waits for the first backward gradient
+  after finishing its forward work, and
+* the *fill-drain* bubble, spanning the drain of one minibatch and the fill
+  of the next (observed at the first activation receive of an iteration).
+
+Both schedules also expose the analytic per-stage bubble durations from
+Section 4.5 of the paper, which the engine's measured timelines are checked
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Type
+
+from repro.pipeline.instructions import (
+    BackwardPass,
+    BubbleKind,
+    ForwardPass,
+    Instruction,
+    OptimizerStep,
+    PipelineBubble,
+    RecvActivation,
+    RecvGrad,
+    ReduceGrads,
+    SendActivation,
+    SendGrad,
+)
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class PipelineSchedule:
+    """Base class: a unidirectional synchronous pipeline schedule."""
+
+    num_stages: int
+    num_microbatches: int
+
+    def __post_init__(self) -> None:
+        check_positive(self.num_stages, "num_stages")
+        check_positive(self.num_microbatches, "num_microbatches")
+
+    # -- to be provided by concrete schedules --------------------------------
+
+    name: str = "base"
+
+    def stage_instructions(self, stage_id: int) -> List[Instruction]:
+        """Return the ordered instruction list of ``stage_id`` for one iteration."""
+        raise NotImplementedError
+
+    def fwd_bwd_bubble_duration(self, stage_id: int, t_fwd: float, t_bwd: float) -> float:
+        """Analytic duration of the stage's fwd-bwd bubble."""
+        raise NotImplementedError
+
+    def fill_drain_bubble_duration(self, stage_id: int, t_fwd: float, t_bwd: float) -> float:
+        """Analytic duration of the stage's fill-drain bubble.
+
+        Identical for GPipe and 1F1B (the paper, Section 4.5): the stage
+        idles ``stage_id * (t_fwd + t_bwd)`` across the iteration boundary.
+        """
+        self._check_stage(stage_id)
+        return stage_id * (t_fwd + t_bwd)
+
+    def total_bubble_duration(self, stage_id: int, t_fwd: float, t_bwd: float) -> float:
+        """Total idle time of the stage per iteration.
+
+        For unidirectional synchronous schedules this is
+        ``(p - 1) * (t_fwd + t_bwd)`` regardless of the schedule (the paper
+        notes the *total* bubble time of GPipe and 1F1B is the same; 1F1B
+        merely fragments part of it into non-contiguous pieces).
+        """
+        self._check_stage(stage_id)
+        return (self.num_stages - 1) * (t_fwd + t_bwd)
+
+    def non_contiguous_bubble_duration(
+        self, stage_id: int, t_fwd: float, t_bwd: float
+    ) -> float:
+        """Idle time in small, unfillable gaps (zero for GPipe)."""
+        return self.total_bubble_duration(stage_id, t_fwd, t_bwd) - (
+            self.fwd_bwd_bubble_duration(stage_id, t_fwd, t_bwd)
+            + self.fill_drain_bubble_duration(stage_id, t_fwd, t_bwd)
+        )
+
+    # -- helpers --------------------------------------------------------------
+
+    def _check_stage(self, stage_id: int) -> None:
+        if not 0 <= stage_id < self.num_stages:
+            raise ValueError(
+                f"stage_id {stage_id} out of range [0, {self.num_stages})"
+            )
+
+    @property
+    def is_first_last(self) -> bool:  # pragma: no cover - trivial
+        return self.num_stages == 1
+
+    def _boundary_tail(self, stage_id: int) -> List[Instruction]:
+        return [ReduceGrads(), OptimizerStep()]
+
+
+@dataclass(frozen=True)
+class GPipeSchedule(PipelineSchedule):
+    """GPipe (all-forwards-then-all-backwards) schedule."""
+
+    name: str = "gpipe"
+
+    def stage_instructions(self, stage_id: int) -> List[Instruction]:
+        self._check_stage(stage_id)
+        p, m = self.num_stages, self.num_microbatches
+        instrs: List[Instruction] = []
+        if stage_id > 0:
+            instrs.append(PipelineBubble(bubble_kind=BubbleKind.FILL_DRAIN, index=0))
+        for mb in range(m):
+            if stage_id > 0:
+                instrs.append(RecvActivation(microbatch=mb))
+            instrs.append(ForwardPass(microbatch=mb))
+            if stage_id < p - 1:
+                instrs.append(SendActivation(microbatch=mb))
+        if stage_id < p - 1:
+            instrs.append(PipelineBubble(bubble_kind=BubbleKind.FWD_BWD, index=1))
+        for mb in reversed(range(m)):
+            if stage_id < p - 1:
+                instrs.append(RecvGrad(microbatch=mb))
+            instrs.append(BackwardPass(microbatch=mb))
+            if stage_id > 0:
+                instrs.append(SendGrad(microbatch=mb))
+        instrs.extend(self._boundary_tail(stage_id))
+        return instrs
+
+    def fwd_bwd_bubble_duration(self, stage_id: int, t_fwd: float, t_bwd: float) -> float:
+        """``(p - stage - 1) * (t_fwd + t_bwd)`` (Section 4.5)."""
+        self._check_stage(stage_id)
+        return (self.num_stages - stage_id - 1) * (t_fwd + t_bwd)
+
+
+@dataclass(frozen=True)
+class OneFOneBSchedule(PipelineSchedule):
+    """1F1B (PipeDream-Flush) schedule."""
+
+    name: str = "1f1b"
+
+    def _num_warmup(self, stage_id: int) -> int:
+        return min(self.num_microbatches, self.num_stages - stage_id - 1)
+
+    def stage_instructions(self, stage_id: int) -> List[Instruction]:
+        self._check_stage(stage_id)
+        p, m = self.num_stages, self.num_microbatches
+        warmup = self._num_warmup(stage_id)
+        steady = m - warmup
+        instrs: List[Instruction] = []
+        if stage_id > 0:
+            instrs.append(PipelineBubble(bubble_kind=BubbleKind.FILL_DRAIN, index=0))
+        # Warm-up forwards.
+        for mb in range(warmup):
+            if stage_id > 0:
+                instrs.append(RecvActivation(microbatch=mb))
+            instrs.append(ForwardPass(microbatch=mb))
+            if stage_id < p - 1:
+                instrs.append(SendActivation(microbatch=mb))
+        # Steady 1F1B phase: one forward then one backward per step.
+        first_backward = True
+        for k in range(steady):
+            fwd_mb = warmup + k
+            if stage_id > 0:
+                instrs.append(RecvActivation(microbatch=fwd_mb))
+            instrs.append(ForwardPass(microbatch=fwd_mb))
+            if stage_id < p - 1:
+                instrs.append(SendActivation(microbatch=fwd_mb))
+            if stage_id < p - 1:
+                if first_backward:
+                    instrs.append(PipelineBubble(bubble_kind=BubbleKind.FWD_BWD, index=1))
+                    first_backward = False
+                instrs.append(RecvGrad(microbatch=k))
+            instrs.append(BackwardPass(microbatch=k))
+            if stage_id > 0:
+                instrs.append(SendGrad(microbatch=k))
+        # Cool-down backwards.
+        for k in range(steady, m):
+            if stage_id < p - 1:
+                if first_backward:
+                    instrs.append(PipelineBubble(bubble_kind=BubbleKind.FWD_BWD, index=1))
+                    first_backward = False
+                instrs.append(RecvGrad(microbatch=k))
+            instrs.append(BackwardPass(microbatch=k))
+            if stage_id > 0:
+                instrs.append(SendGrad(microbatch=k))
+        instrs.extend(self._boundary_tail(stage_id))
+        return instrs
+
+    def fwd_bwd_bubble_duration(self, stage_id: int, t_fwd: float, t_bwd: float) -> float:
+        """``(p - s - 1) * t_bwd + max(0, p - s - m) * t_fwd`` (Section 4.5)."""
+        self._check_stage(stage_id)
+        p, m = self.num_stages, self.num_microbatches
+        return (p - stage_id - 1) * t_bwd + max(0, p - stage_id - m) * t_fwd
+
+
+SCHEDULES: Dict[str, Type[PipelineSchedule]] = {
+    "gpipe": GPipeSchedule,
+    "1f1b": OneFOneBSchedule,
+}
+
+
+def build_schedule(name: str, num_stages: int, num_microbatches: int) -> PipelineSchedule:
+    """Build the named schedule (``"gpipe"`` or ``"1f1b"``)."""
+    try:
+        cls = SCHEDULES[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown schedule {name!r}; known: {sorted(SCHEDULES)}") from None
+    return cls(num_stages=num_stages, num_microbatches=num_microbatches)

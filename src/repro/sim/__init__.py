@@ -1,0 +1,26 @@
+"""Event-driven cluster simulator for large-scale PipeFill experiments.
+
+The paper evaluates scales of 1K-16K GPUs in an event-driven simulator
+seeded with profiles of the real main job; this package is that simulator.
+:mod:`repro.sim.mainjob` provides the uniform-stage analytic main-job model
+used to seed it, :mod:`repro.sim.simulator` runs fill-job arrivals and
+completions over the devices' bubble cycles, and :mod:`repro.sim.metrics`
+aggregates the utilization / JCT / makespan numbers the figures report.
+"""
+
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.mainjob import AnalyticMainJob
+from repro.sim.metrics import FillJobMetrics, UtilizationReport, gpus_saved
+from repro.sim.simulator import ClusterSimulator, SimulationResult
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "AnalyticMainJob",
+    "FillJobMetrics",
+    "UtilizationReport",
+    "gpus_saved",
+    "ClusterSimulator",
+    "SimulationResult",
+]

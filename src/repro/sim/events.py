@@ -1,0 +1,85 @@
+"""Discrete-event machinery for the cluster simulator.
+
+The simulator's only state changes happen at fill-job arrivals and
+completions (Section 5.1), so the event queue carries exactly those two
+event kinds, ordered by time with a monotonic sequence number as the
+tie-breaker for determinism.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class EventKind(str, enum.Enum):
+    """Kinds of simulator events."""
+
+    JOB_ARRIVAL = "job_arrival"
+    JOB_COMPLETION = "job_completion"
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One simulator event.
+
+    Events order by ``(time, sequence)``; payload fields are excluded from
+    ordering so identical timestamps resolve deterministically by insertion
+    order.
+    """
+
+    time: float
+    sequence: int
+    kind: EventKind = field(compare=False)
+    job_id: Optional[str] = field(compare=False, default=None)
+    executor_index: Optional[int] = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(
+        self,
+        time: float,
+        kind: EventKind,
+        *,
+        job_id: Optional[str] = None,
+        executor_index: Optional[int] = None,
+    ) -> Event:
+        """Schedule an event and return it."""
+        if time < 0:
+            raise ValueError(f"event time must be >= 0, got {time}")
+        event = Event(
+            time=time,
+            sequence=next(self._counter),
+            kind=kind,
+            job_id=job_id,
+            executor_index=executor_index,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from an empty EventQueue")
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Event:
+        """Return (without removing) the earliest event."""
+        if not self._heap:
+            raise IndexError("peek into an empty EventQueue")
+        return self._heap[0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,261 @@
+"""Uniform-stage analytic main-job model.
+
+The paper's large-scale simulator is seeded with profiles of the 40B
+main job's pipeline instructions; the stages of that job are balanced, so
+the simulator sees (to first order) identical forward/backward times on
+every stage and bubble durations given by the schedule formulas of
+Section 4.5.  :class:`AnalyticMainJob` reproduces that seeding: it computes
+uniform per-stage times from the model's aggregate FLOPs and the device's
+achievable main-job efficiency, derives each stage's bubble cycle from the
+schedule's analytic bubble formulas, and reports the iteration time,
+per-GPU TFLOP/s and training duration that Figures 1 and 4 plot.
+
+(The instrumented engine in :mod:`repro.pipeline.engine` is the higher
+fidelity path used for the physical-cluster experiments; its measured
+bubbles include the real stage imbalance of a concrete layer partition.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.hardware.node import NodeSpec, P3_16XLARGE
+from repro.models.base import ModelSpec
+from repro.models.efficiency import DEFAULT_EFFICIENCY, EfficiencyModel
+from repro.models.memory import ADAM_OPTIMIZER_BYTES_PER_PARAM, GRAD_BYTES_PER_PARAM
+from repro.pipeline.bubbles import Bubble, BubbleCycle
+from repro.pipeline.costs import DEFAULT_RUNTIME_BUFFER_BYTES
+from repro.pipeline.instructions import BubbleKind
+from repro.pipeline.parallelism import ParallelConfig
+from repro.pipeline.schedules import PipelineSchedule, build_schedule
+from repro.utils.units import GIB, SECONDS_PER_DAY
+from repro.utils.validation import check_positive
+
+#: Free memory the paper measures in the bubbles of both main jobs (4.5 GB),
+#: used as the default when no explicit override is given.
+PAPER_BUBBLE_FREE_MEMORY_BYTES = 4.5 * GIB
+
+
+@dataclass
+class AnalyticMainJob:
+    """Uniform-stage analytic model of a pipeline-parallel LLM training job.
+
+    Parameters
+    ----------
+    model:
+        The main-job LLM.
+    parallel:
+        Tensor/pipeline/data parallel configuration.
+    schedule:
+        ``"gpipe"`` or ``"1f1b"``.
+    node:
+        Node type providing the device and link specs.
+    efficiency:
+        Efficiency model (main-job MFU).
+    bubble_free_memory_bytes:
+        Free memory exposed to fill jobs during bubbles.  Defaults to the
+        value derived from the memory model, clamped to the paper's measured
+        4.5 GB when that derivation is larger (the paper uses 4.5 GB for all
+        simulator experiments).
+    """
+
+    model: ModelSpec
+    parallel: ParallelConfig
+    schedule: str = "gpipe"
+    node: NodeSpec = P3_16XLARGE
+    efficiency: EfficiencyModel = DEFAULT_EFFICIENCY
+    bubble_free_memory_bytes: Optional[float] = None
+    runtime_buffer_bytes: float = DEFAULT_RUNTIME_BUFFER_BYTES
+    overlap_grad_reduce: bool = True
+    _schedule: PipelineSchedule = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._schedule = build_schedule(
+            self.schedule, self.parallel.pipeline_stages, self.parallel.num_microbatches
+        )
+        if self.bubble_free_memory_bytes is None:
+            derived = self._derived_bubble_free_memory()
+            self.bubble_free_memory_bytes = min(derived, PAPER_BUBBLE_FREE_MEMORY_BYTES)
+        check_positive(self.bubble_free_memory_bytes, "bubble_free_memory_bytes")
+
+    # -- per-stage timing -------------------------------------------------------
+
+    @property
+    def t_forward(self) -> float:
+        """Uniform per-stage forward time of one microbatch."""
+        device = self.node.device_spec
+        per_stage_flops = (
+            self.parallel.microbatch_size
+            * self.model.fwd_flops_per_sample
+            / self.parallel.pipeline_stages
+            / self.parallel.tensor_parallel
+        )
+        compute = per_stage_flops / (device.peak_flops * self.efficiency.main_job_efficiency)
+        comm = self._tp_comm_per_stage()
+        return compute + comm
+
+    @property
+    def t_backward(self) -> float:
+        """Uniform per-stage backward time of one microbatch (2x forward compute)."""
+        device = self.node.device_spec
+        per_stage_flops = (
+            self.parallel.microbatch_size
+            * self.model.bwd_flops_per_sample
+            / self.parallel.pipeline_stages
+            / self.parallel.tensor_parallel
+        )
+        compute = per_stage_flops / (device.peak_flops * self.efficiency.main_job_efficiency)
+        comm = self._tp_comm_per_stage()
+        return compute + comm
+
+    def _tp_comm_per_stage(self) -> float:
+        tp = self.parallel.tensor_parallel
+        if tp <= 1:
+            return 0.0
+        boundary_bytes = self.parallel.microbatch_size * max(
+            layer.output_bytes_per_sample for layer in self.model.layers
+        )
+        layers_per_stage = max(1, self.model.num_layers // self.parallel.pipeline_stages)
+        return 2.0 * layers_per_stage * self.node.intra_node_link.allreduce_time(
+            boundary_bytes, tp
+        )
+
+    @property
+    def iteration_tail(self) -> float:
+        """Work at the iteration boundary that is not hidden by the pipeline.
+
+        The data-parallel gradient all-reduce is overlapped with the backward
+        passes by default (standard Megatron/DeepSpeed behaviour), leaving
+        only the optimizer step (plus the all-reduce when overlap is
+        disabled) on the critical path.
+        """
+        params_per_device = (
+            self.model.param_count
+            / self.parallel.pipeline_stages
+            / self.parallel.tensor_parallel
+        )
+        grad_bytes = params_per_device * GRAD_BYTES_PER_PARAM
+        reduce = (
+            self.node.network_link.allreduce_time(grad_bytes, self.parallel.data_parallel)
+            if self.parallel.data_parallel > 1 and not self.overlap_grad_reduce
+            else 0.0
+        )
+        device = self.node.device_spec
+        optimizer = 10.0 * params_per_device / (device.peak_flops * 0.04)
+        return reduce + optimizer
+
+    @property
+    def iteration_time(self) -> float:
+        """Time of one optimizer step: ``(m + p - 1) * (t_f + t_b)`` plus the tail."""
+        m = self.parallel.num_microbatches
+        p = self.parallel.pipeline_stages
+        return (m + p - 1) * (self.t_forward + self.t_backward) + self.iteration_tail
+
+    # -- aggregate main-job metrics ----------------------------------------------
+
+    @property
+    def bubble_ratio(self) -> float:
+        """Mean idle fraction across stages (matches ``(p-1)/(m+p-1)`` up to the tail)."""
+        p = self.parallel.pipeline_stages
+        per_stage = (p - 1) * (self.t_forward + self.t_backward)
+        return per_stage / self.iteration_time
+
+    @property
+    def samples_per_second(self) -> float:
+        """Main-job training throughput in samples/s."""
+        return self.parallel.global_batch_size / self.iteration_time
+
+    @property
+    def tflops_per_device(self) -> float:
+        """Sustained main-job model TFLOP/s per device."""
+        flops = self.model.train_flops_per_sample * self.parallel.global_batch_size
+        return flops / self.iteration_time / self.parallel.num_devices / 1e12
+
+    def days_to_train(self, total_tokens: float) -> float:
+        """Days to consume ``total_tokens`` of training data."""
+        check_positive(total_tokens, "total_tokens")
+        seq_len = self.model.reference_seq_len or 2048
+        samples = total_tokens / seq_len
+        return samples / self.samples_per_second / SECONDS_PER_DAY
+
+
+    # -- memory -------------------------------------------------------------------
+
+    def _derived_bubble_free_memory(self) -> float:
+        """Free memory during bubbles predicted by the memory model."""
+        device = self.node.device_spec
+        params_per_device = (
+            self.model.param_count
+            / self.parallel.pipeline_stages
+            / self.parallel.tensor_parallel
+        )
+        states = params_per_device * (
+            self.model.dtype_bytes + GRAD_BYTES_PER_PARAM + ADAM_OPTIMIZER_BYTES_PER_PARAM
+        )
+        boundary = (
+            self.parallel.microbatch_size
+            * max(layer.output_bytes_per_sample for layer in self.model.layers)
+            / self.parallel.tensor_parallel
+        )
+        stored = self.parallel.num_microbatches * boundary
+        resident = states + stored + self.runtime_buffer_bytes
+        return max(0.0, device.usable_memory_bytes - resident)
+
+    # -- bubble cycles ---------------------------------------------------------------
+
+    def bubble_cycle(self, stage_id: int) -> BubbleCycle:
+        """The analytic bubble cycle of one stage (fill-drain, fwd-bwd, non-contiguous)."""
+        sched = self._schedule
+        t_f, t_b = self.t_forward, self.t_backward
+        free = float(self.bubble_free_memory_bytes)
+        bubbles: List[Bubble] = []
+        index = 0
+        fill_drain = sched.fill_drain_bubble_duration(stage_id, t_f, t_b)
+        if fill_drain > 0:
+            bubbles.append(
+                Bubble(
+                    kind=BubbleKind.FILL_DRAIN,
+                    stage_id=stage_id,
+                    index=index,
+                    duration=fill_drain,
+                    free_memory_bytes=free,
+                )
+            )
+            index += 1
+        fwd_bwd = sched.fwd_bwd_bubble_duration(stage_id, t_f, t_b)
+        if fwd_bwd > 0:
+            bubbles.append(
+                Bubble(
+                    kind=BubbleKind.FWD_BWD,
+                    stage_id=stage_id,
+                    index=index,
+                    duration=fwd_bwd,
+                    free_memory_bytes=free,
+                    start_offset=fill_drain,
+                )
+            )
+            index += 1
+        non_contig = sched.non_contiguous_bubble_duration(stage_id, t_f, t_b)
+        if non_contig > 1e-12:
+            # 1F1B fragments this idle time into roughly t_fwd-sized gaps.
+            num_gaps = max(1, int(round(non_contig / max(t_f, 1e-12))))
+            gap = non_contig / num_gaps
+            for _ in range(num_gaps):
+                bubbles.append(
+                    Bubble(
+                        kind=BubbleKind.NON_CONTIGUOUS,
+                        stage_id=stage_id,
+                        index=index,
+                        duration=gap,
+                        free_memory_bytes=free,
+                    )
+                )
+                index += 1
+        return BubbleCycle(
+            stage_id=stage_id, bubbles=tuple(bubbles), period=self.iteration_time
+        )
+
+    def bubble_cycles(self) -> List[BubbleCycle]:
+        """Bubble cycles of every stage."""
+        return [self.bubble_cycle(s) for s in range(self.parallel.pipeline_stages)]

@@ -1,0 +1,83 @@
+"""Utilization and scheduling metrics reported by the simulator.
+
+These are the quantities the paper's figures plot: main-job TFLOP/s per
+GPU, fill-job (recovered) TFLOP/s per GPU, their sum, the bubble ratio,
+average job completion time, makespan and the derived "GPUs worth of work
+saved" estimate ``C * B * P`` from Section 6.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.utils.validation import check_fraction, check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class FillJobMetrics:
+    """Aggregate fill-job accounting over a simulation run."""
+
+    jobs_submitted: int
+    jobs_completed: int
+    jobs_rejected: int
+    total_flops: float
+    total_samples: float
+    average_jct: float
+    makespan: float
+    busy_device_seconds: float
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of submitted jobs that completed within the horizon."""
+        if self.jobs_submitted == 0:
+            return 0.0
+        return self.jobs_completed / self.jobs_submitted
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Per-GPU utilization breakdown of a PipeFill run."""
+
+    num_devices: int
+    horizon_seconds: float
+    main_tflops_per_device: float
+    fill_tflops_per_device: float
+    bubble_ratio: float
+    main_job_slowdown: float
+    fill_metrics: Optional[FillJobMetrics] = None
+
+    def __post_init__(self) -> None:
+        check_positive(self.num_devices, "num_devices")
+        check_positive(self.horizon_seconds, "horizon_seconds")
+        check_non_negative(self.main_tflops_per_device, "main_tflops_per_device")
+        check_non_negative(self.fill_tflops_per_device, "fill_tflops_per_device")
+        check_fraction(self.bubble_ratio, "bubble_ratio")
+        check_non_negative(self.main_job_slowdown, "main_job_slowdown")
+
+    @property
+    def total_tflops_per_device(self) -> float:
+        """Aggregate (main + fill) TFLOP/s per GPU -- the paper's headline metric."""
+        return self.main_tflops_per_device + self.fill_tflops_per_device
+
+    @property
+    def utilization_gain(self) -> float:
+        """Relative increase in per-GPU TFLOP/s over the main job alone."""
+        if self.main_tflops_per_device == 0:
+            return 0.0
+        return self.fill_tflops_per_device / self.main_tflops_per_device
+
+
+def gpus_saved(
+    num_devices: int, bubble_ratio: float, relative_performance: float
+) -> float:
+    """The paper's GPUs-saved estimate ``C * B * P`` (Section 6.2).
+
+    ``C`` GPUs running a main job with bubble ratio ``B``, filled by jobs
+    that achieve fraction ``P`` of their exclusive-GPU throughput while
+    filling, complete ``C * B * P`` exclusive GPUs' worth of extra work.
+    """
+    check_positive(num_devices, "num_devices")
+    check_fraction(bubble_ratio, "bubble_ratio")
+    check_non_negative(relative_performance, "relative_performance")
+    return num_devices * bubble_ratio * relative_performance

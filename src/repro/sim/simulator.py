@@ -1,0 +1,205 @@
+"""Event-driven cluster simulator.
+
+Simulates PipeFill over a cluster running one pipeline-parallel main job:
+every simulated device exposes its repeating bubble cycle through a
+:class:`~repro.core.executor.FillJobExecutor`, the
+:class:`~repro.core.scheduler.FillJobScheduler` assigns arriving fill jobs
+to free devices, and the simulator advances time between job arrivals and
+completions (the only points where system state changes, Section 5.1).
+
+Simulating every one of 8K+ GPUs individually would be wasteful because all
+data-parallel replicas are statistically identical; the simulator therefore
+works on a *representative* set of devices (by default one device per
+pipeline stage) and reports per-GPU averages, which extrapolate directly to
+the full cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.executor import FillJobExecutor
+from repro.core.policies import SchedulingPolicy, sjf_policy
+from repro.core.scheduler import FillJob, FillJobScheduler, FillJobState
+from repro.sim.events import EventKind, EventQueue
+from repro.sim.metrics import FillJobMetrics
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulator run."""
+
+    horizon_seconds: float
+    num_devices: int
+    fill_metrics: FillJobMetrics
+    scheduler: FillJobScheduler = field(repr=False, hash=False, compare=False)
+
+    @property
+    def fill_tflops_per_device(self) -> float:
+        """Recovered fill-job TFLOP/s per simulated device over the horizon."""
+        return (
+            self.fill_metrics.total_flops
+            / self.horizon_seconds
+            / self.num_devices
+            / 1e12
+        )
+
+    @property
+    def bubble_busy_fraction(self) -> float:
+        """Fraction of device-time spent with a fill job assigned."""
+        return self.fill_metrics.busy_device_seconds / (
+            self.horizon_seconds * self.num_devices
+        )
+
+
+class ClusterSimulator:
+    """Drives fill-job arrivals/completions over a set of device executors.
+
+    Parameters
+    ----------
+    executors:
+        Executors of the representative devices, keyed by executor index.
+    policy:
+        Fill-job scheduling policy.
+    """
+
+    def __init__(
+        self,
+        executors: Mapping[int, FillJobExecutor],
+        *,
+        policy: SchedulingPolicy = sjf_policy,
+    ) -> None:
+        if not executors:
+            raise ValueError("the simulator needs at least one executor")
+        self.executors = dict(executors)
+        self.policy = policy
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _dispatch_all_idle(
+        self, scheduler: FillJobScheduler, queue: EventQueue, now: float
+    ) -> None:
+        """Assign queued jobs to every idle executor until none can be filled."""
+        progress = True
+        while progress:
+            progress = False
+            for idx, state in scheduler.executors.items():
+                if state.is_busy:
+                    continue
+                completion = scheduler.dispatch(idx, now)
+                if completion is not None:
+                    queue.push(
+                        completion,
+                        EventKind.JOB_COMPLETION,
+                        job_id=state.current_job_id,
+                        executor_index=idx,
+                    )
+                    progress = True
+
+    # -- main entry point -----------------------------------------------------------
+
+    def run(
+        self,
+        jobs: Iterable[FillJob],
+        *,
+        horizon_seconds: Optional[float] = None,
+    ) -> SimulationResult:
+        """Simulate the given fill-job trace.
+
+        Parameters
+        ----------
+        jobs:
+            Fill jobs with arrival times (need not be sorted).
+        horizon_seconds:
+            Stop the clock here; jobs still running contribute their
+            pro-rated FLOPs.  Defaults to the time the last job completes.
+        """
+        job_list: List[FillJob] = sorted(jobs, key=lambda j: j.arrival_time)
+        scheduler = FillJobScheduler(self.executors, policy=self.policy)
+        queue = EventQueue()
+        for job in job_list:
+            queue.push(job.arrival_time, EventKind.JOB_ARRIVAL, job_id=job.job_id)
+        jobs_by_id = {job.job_id: job for job in job_list}
+
+        now = 0.0
+        last_completion = 0.0
+        while queue:
+            event = queue.pop()
+            if horizon_seconds is not None and event.time > horizon_seconds:
+                now = horizon_seconds
+                break
+            now = event.time
+            if event.kind is EventKind.JOB_ARRIVAL:
+                assert event.job_id is not None
+                scheduler.submit(jobs_by_id[event.job_id])
+                self._dispatch_all_idle(scheduler, queue, now)
+            elif event.kind is EventKind.JOB_COMPLETION:
+                assert event.executor_index is not None
+                state = scheduler.executors[event.executor_index]
+                # The executor may have been re-targeted by an earlier event
+                # (should not happen with serial execution, but stay safe).
+                if state.current_job_id != event.job_id:
+                    continue
+                scheduler.complete(event.executor_index, now)
+                last_completion = now
+                self._dispatch_all_idle(scheduler, queue, now)
+
+        horizon = horizon_seconds if horizon_seconds is not None else max(now, last_completion)
+        if horizon <= 0:
+            horizon = max(last_completion, 1e-9)
+
+        metrics = self._collect_metrics(scheduler, jobs_by_id, horizon)
+        return SimulationResult(
+            horizon_seconds=horizon,
+            num_devices=len(self.executors),
+            fill_metrics=metrics,
+            scheduler=scheduler,
+        )
+
+    # -- metrics -----------------------------------------------------------------------
+
+    def _collect_metrics(
+        self,
+        scheduler: FillJobScheduler,
+        jobs_by_id: Mapping[str, FillJob],
+        horizon: float,
+    ) -> FillJobMetrics:
+        check_positive(horizon, "horizon")
+        total_flops = 0.0
+        total_samples = 0.0
+        busy_seconds = 0.0
+        completed = 0
+        rejected = 0
+        for record in scheduler.records.values():
+            job = jobs_by_id[record.job.job_id]
+            if record.state is FillJobState.REJECTED:
+                rejected += 1
+                continue
+            if record.state is FillJobState.COMPLETED:
+                completed += 1
+                total_flops += record.flops_executed
+                total_samples += job.num_samples
+                assert record.start_time is not None and record.completion_time is not None
+                busy_seconds += min(record.completion_time, horizon) - record.start_time
+            elif record.state is FillJobState.RUNNING and record.start_time is not None:
+                # Pro-rate the progress of jobs cut off by the horizon.
+                assert record.assigned_executor is not None
+                scheduled_end = scheduler.executors[record.assigned_executor].busy_until
+                total_duration = scheduled_end - record.start_time
+                if total_duration > 0:
+                    fraction = max(0.0, min(1.0, (horizon - record.start_time) / total_duration))
+                    total_flops += record.flops_executed * fraction
+                    total_samples += job.num_samples * fraction
+                    busy_seconds += max(0.0, min(horizon, scheduled_end) - record.start_time)
+        return FillJobMetrics(
+            jobs_submitted=len(scheduler.records),
+            jobs_completed=completed,
+            jobs_rejected=rejected,
+            total_flops=total_flops,
+            total_samples=total_samples,
+            average_jct=scheduler.average_jct(),
+            makespan=scheduler.makespan(),
+            busy_device_seconds=busy_seconds,
+        )

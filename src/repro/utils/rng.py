@@ -1,0 +1,45 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library accepts either an integer seed or a
+:class:`numpy.random.Generator`.  :func:`ensure_rng` normalises both into a
+``Generator`` so experiments are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[int, np.random.Generator, None]
+
+_DEFAULT_SEED = 0
+
+
+def ensure_rng(seed: RngLike = None, *, default_seed: Optional[int] = _DEFAULT_SEED) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed or generator.
+
+    Parameters
+    ----------
+    seed:
+        Either ``None`` (use ``default_seed``), an integer seed, or an
+        existing ``Generator`` (returned unchanged).
+    default_seed:
+        Seed used when ``seed is None``.  Pass ``None`` to get
+        non-deterministic entropy from the OS in that case.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng(default_seed)
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"seed must be None, int or numpy Generator, got {type(seed)!r}")
+
+
+def spawn_rng(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``n`` independent child generators."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,115 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harnesses have no plotting dependency: every figure in the
+paper is regenerated as a table of rows/series and rendered with
+:class:`Table` for the console, ``EXPERIMENTS.md`` and the benchmark output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+def _render_cell(value: Any, fmt: str | None) -> str:
+    if value is None:
+        return "-"
+    if fmt is not None and isinstance(value, (int, float)):
+        return format(value, fmt)
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple column-oriented table with markdown and ASCII rendering.
+
+    Parameters
+    ----------
+    columns:
+        Column headers, in display order.
+    title:
+        Optional title rendered above the table.
+    formats:
+        Optional per-column format specs (e.g. ``".2f"``) applied to numeric
+        cells; keyed by column name.
+    """
+
+    columns: Sequence[str]
+    title: str | None = None
+    formats: dict[str, str] = field(default_factory=dict)
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add_row(self, *values: Any, **named: Any) -> None:
+        """Append a row, either positionally or by column name."""
+        if values and named:
+            raise ValueError("pass either positional values or named values, not both")
+        if named:
+            unknown = set(named) - set(self.columns)
+            if unknown:
+                raise ValueError(f"unknown columns: {sorted(unknown)}")
+            row = [named.get(col) for col in self.columns]
+        else:
+            if len(values) != len(self.columns):
+                raise ValueError(
+                    f"expected {len(self.columns)} values, got {len(values)}"
+                )
+            row = list(values)
+        self.rows.append(row)
+
+    def extend(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Append multiple positional rows."""
+        for row in rows:
+            self.add_row(*row)
+
+    def column(self, name: str) -> list[Any]:
+        """Return all values of the named column."""
+        idx = list(self.columns).index(name)
+        return [row[idx] for row in self.rows]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Return the rows as a list of ``{column: value}`` dictionaries."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def _rendered_rows(self) -> list[list[str]]:
+        fmts = [self.formats.get(col) for col in self.columns]
+        return [
+            [_render_cell(value, fmt) for value, fmt in zip(row, fmts)]
+            for row in self.rows
+        ]
+
+    def to_markdown(self) -> str:
+        """Render the table as GitHub-flavoured markdown."""
+        header = "| " + " | ".join(self.columns) + " |"
+        sep = "| " + " | ".join("---" for _ in self.columns) + " |"
+        body = [
+            "| " + " | ".join(cells) + " |" for cells in self._rendered_rows()
+        ]
+        lines = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.extend([header, sep, *body])
+        return "\n".join(lines)
+
+    def to_ascii(self) -> str:
+        """Render the table with aligned, space-padded columns."""
+        rendered = self._rendered_rows()
+        widths = [len(col) for col in self.columns]
+        for cells in rendered:
+            for i, cell in enumerate(cells):
+                widths[i] = max(widths[i], len(cell))
+        def fmt_line(cells: Sequence[str]) -> str:
+            return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_line(list(self.columns)))
+        lines.append(fmt_line(["-" * w for w in widths]))
+        lines.extend(fmt_line(cells) for cells in rendered)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_ascii()

@@ -1,0 +1,95 @@
+"""Unit constants and human-readable formatting helpers.
+
+All internal quantities in the library use SI base units:
+
+* memory and data sizes in **bytes**
+* time in **seconds**
+* compute in **FLOPs** (floating point operations) and **FLOP/s**
+
+This module provides the conversion constants used when constructing
+hardware specs or rendering reports, so magic numbers never appear at call
+sites.
+"""
+
+from __future__ import annotations
+
+# Decimal (SI) multipliers -- used for FLOPs and network bandwidth.
+KILO = 1_000
+MEGA = 1_000_000
+GIGA = 1_000_000_000
+TERA = 1_000_000_000_000
+
+# Decimal byte units (as used by storage / network vendors).
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+# Binary byte units (as used for device HBM capacities).
+KIB = 1 << 10
+MIB = 1 << 20
+GIB = 1 << 30
+TIB = 1 << 40
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3_600.0
+SECONDS_PER_DAY = 86_400.0
+
+
+def bytes_to_gib(num_bytes: float) -> float:
+    """Convert bytes to binary gibibytes."""
+    return num_bytes / GIB
+
+
+def bytes_to_gb(num_bytes: float) -> float:
+    """Convert bytes to decimal gigabytes."""
+    return num_bytes / GB
+
+
+def gib(value: float) -> float:
+    """Convert a GiB quantity to bytes."""
+    return value * GIB
+
+
+def flops_to_tflops(flops: float) -> float:
+    """Convert FLOPs (or FLOP/s) to TFLOPs (or TFLOP/s)."""
+    return flops / TERA
+
+
+def tflops(value: float) -> float:
+    """Convert a TFLOP/s quantity to FLOP/s."""
+    return value * TERA
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``"4.50 GiB"``."""
+    value = float(num_bytes)
+    for suffix, factor in (("TiB", TIB), ("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(value) >= factor:
+            return f"{value / factor:.2f} {suffix}"
+    return f"{value:.0f} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration with an adaptive unit, e.g. ``"1.20 ms"``."""
+    value = float(seconds)
+    if abs(value) >= SECONDS_PER_DAY:
+        return f"{value / SECONDS_PER_DAY:.2f} d"
+    if abs(value) >= SECONDS_PER_HOUR:
+        return f"{value / SECONDS_PER_HOUR:.2f} h"
+    if abs(value) >= SECONDS_PER_MINUTE:
+        return f"{value / SECONDS_PER_MINUTE:.2f} min"
+    if abs(value) >= 1.0:
+        return f"{value:.2f} s"
+    if abs(value) >= 1e-3:
+        return f"{value * 1e3:.2f} ms"
+    return f"{value * 1e6:.2f} us"
+
+
+def format_flops(flops: float) -> str:
+    """Render a FLOPs quantity with an adaptive SI suffix."""
+    value = float(flops)
+    for suffix, factor in (("PFLOP", 1e15), ("TFLOP", TERA), ("GFLOP", GIGA), ("MFLOP", MEGA)):
+        if abs(value) >= factor:
+            return f"{value / factor:.2f} {suffix}"
+    return f"{value:.0f} FLOP"

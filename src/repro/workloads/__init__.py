@@ -1,0 +1,35 @@
+"""Fill-job workload construction.
+
+Reproduces Section 5.3's two-step trace construction: a fill-job *model
+distribution* derived from HuggingFace Model Hub statistics (Table 1), and
+job arrivals / sizes derived from an Alibaba-style GPU-cluster trace, joined
+into a stream of :class:`~repro.core.scheduler.FillJob` objects.
+"""
+
+from repro.workloads.fill_jobs import (
+    FillJobCategory,
+    FILL_JOB_CATEGORIES,
+    category_for_model,
+)
+from repro.workloads.model_hub import ModelHubDistribution, SyntheticModelHub
+from repro.workloads.trace import (
+    QosClass,
+    TraceJob,
+    TraceGenerator,
+    TraceFilter,
+)
+from repro.workloads.generator import FillJobTraceBuilder, build_fill_job_trace
+
+__all__ = [
+    "FillJobCategory",
+    "FILL_JOB_CATEGORIES",
+    "category_for_model",
+    "ModelHubDistribution",
+    "SyntheticModelHub",
+    "QosClass",
+    "TraceJob",
+    "TraceGenerator",
+    "TraceFilter",
+    "FillJobTraceBuilder",
+    "build_fill_job_trace",
+]

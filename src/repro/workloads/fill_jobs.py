@@ -1,0 +1,66 @@
+"""Fill-job categories (Table 1 of the paper).
+
+The paper selects five representative fill-job models -- EfficientNet,
+BERT-base, BERT-large, Swin-large and XLM-RoBERTa-XL -- spanning the small /
+medium / large size buckets and the CV / NLP domains observed on the
+HuggingFace Model Hub.  Jobs on models smaller than 700M parameters are
+training or batch inference with equal probability; larger models are
+always batch inference (their training does not fit bubble memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.models.configs import JobType
+from repro.models.registry import build_model
+
+#: Parameter-count threshold above which fill jobs are inference-only.
+TRAINING_PARAM_LIMIT = 700e6
+
+
+@dataclass(frozen=True)
+class FillJobCategory:
+    """One row of Table 1."""
+
+    model_name: str
+    size_class: str  # "S", "M" or "L"
+    domain: str  # "CV" or "NLP"
+    reference_param_count: float
+
+    @property
+    def allows_training(self) -> bool:
+        """Whether this model may appear as a training fill job."""
+        return self.reference_param_count < TRAINING_PARAM_LIMIT
+
+    def job_types(self) -> Tuple[JobType, ...]:
+        """Job types this category can produce."""
+        if self.allows_training:
+            return (JobType.TRAINING, JobType.BATCH_INFERENCE)
+        return (JobType.BATCH_INFERENCE,)
+
+
+#: Table 1: model -> (size class, domain, parameter count).
+FILL_JOB_CATEGORIES: Dict[str, FillJobCategory] = {
+    "efficientnet": FillJobCategory("efficientnet", "S", "CV", 117e6),
+    "bert-base": FillJobCategory("bert-base", "S", "NLP", 109e6),
+    "bert-large": FillJobCategory("bert-large", "M", "NLP", 334e6),
+    "swin-large": FillJobCategory("swin-large", "M", "CV", 779e6),
+    "xlm-roberta-xl": FillJobCategory("xlm-roberta-xl", "L", "NLP", 2.8e9),
+}
+
+
+def category_for_model(model_name: str) -> FillJobCategory:
+    """Look up the Table 1 category of a fill-job model."""
+    try:
+        return FILL_JOB_CATEGORIES[model_name]
+    except KeyError:
+        raise KeyError(
+            f"{model_name!r} is not a fill-job model; known: {sorted(FILL_JOB_CATEGORIES)}"
+        ) from None
+
+
+def actual_param_count(model_name: str) -> float:
+    """Parameter count of the built analytical model (for consistency checks)."""
+    return build_model(model_name).param_count

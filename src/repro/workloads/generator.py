@@ -1,0 +1,173 @@
+"""Join the model distribution and the cluster trace into a fill-job stream.
+
+This is step 3 of Section 5.3: every surviving trace job is mapped to one of
+the Table 1 models (sampled from the model-hub distribution), assigned a job
+type (training or batch inference with equal probability for models under
+700M parameters; inference otherwise), and converted from GPU-hours to a
+sample count by dividing by the model's maximum isolated single-GPU
+throughput.  The result is a list of
+:class:`~repro.core.scheduler.FillJob` objects ready for the scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.scheduler import FillJob
+from repro.hardware.device import DeviceSpec, V100_16GB
+from repro.models.configs import JobType
+from repro.models.efficiency import DEFAULT_EFFICIENCY, EfficiencyModel
+from repro.models.profiles import isolated_throughput
+from repro.models.registry import build_model
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_fraction, check_positive
+from repro.workloads.fill_jobs import FILL_JOB_CATEGORIES, category_for_model
+from repro.workloads.model_hub import ModelHubDistribution, default_distribution
+from repro.workloads.trace import TraceFilter, TraceGenerator, TraceJob
+
+
+@dataclass
+class FillJobTraceBuilder:
+    """Builds fill-job traces from (synthetic) cluster-trace jobs.
+
+    Parameters
+    ----------
+    distribution:
+        Sampling distribution over the Table 1 fill-job models.
+    device:
+        Device used to compute each model's isolated throughput (the
+        GPU-hours -> samples conversion factor).
+    trace_filter:
+        GPU-time cap and QoS filtering applied to the raw trace.
+    deadline_fraction:
+        Fraction of jobs given a deadline (arrival + slack_factor x ideal
+        processing time); the paper's deadline-aware policies need some.
+    """
+
+    distribution: Optional[ModelHubDistribution] = None
+    device: DeviceSpec = V100_16GB
+    efficiency: EfficiencyModel = DEFAULT_EFFICIENCY
+    trace_filter: TraceFilter = field(default_factory=TraceFilter)
+    deadline_fraction: float = 0.0
+    deadline_slack_factor: float = 4.0
+    seed: RngLike = 0
+
+    def __post_init__(self) -> None:
+        check_fraction(self.deadline_fraction, "deadline_fraction")
+        check_positive(self.deadline_slack_factor, "deadline_slack_factor")
+        if self.distribution is None:
+            self.distribution = default_distribution(self.seed)
+        self._throughput_cache: Dict[Tuple[str, JobType], float] = {}
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _isolated_throughput(self, model_name: str, job_type: JobType) -> float:
+        key = (model_name, job_type)
+        if key not in self._throughput_cache:
+            model = build_model(model_name)
+            self._throughput_cache[key] = isolated_throughput(
+                model, job_type, self.device, self.efficiency
+            )
+        return self._throughput_cache[key]
+
+    def _job_type_for(self, model_name: str, rng) -> JobType:
+        category = category_for_model(model_name)
+        types = category.job_types()
+        if len(types) == 1:
+            return types[0]
+        return JobType.TRAINING if rng.random() < 0.5 else JobType.BATCH_INFERENCE
+
+    # -- conversion --------------------------------------------------------------
+
+    def from_trace_jobs(
+        self, trace_jobs: Sequence[TraceJob], *, rng: RngLike = None
+    ) -> List[FillJob]:
+        """Convert filtered trace jobs into fill jobs."""
+        gen = ensure_rng(rng if rng is not None else self.seed)
+        surviving = self.trace_filter.apply(trace_jobs)
+        fill_jobs: List[FillJob] = []
+        assert self.distribution is not None
+        for trace_job in surviving:
+            model_name = self.distribution.sample(gen)
+            job_type = self._job_type_for(model_name, gen)
+            throughput = self._isolated_throughput(model_name, job_type)
+            num_samples = max(1.0, trace_job.gpu_seconds * throughput)
+            deadline = None
+            if gen.random() < self.deadline_fraction:
+                ideal = num_samples / throughput
+                deadline = trace_job.arrival_time + self.deadline_slack_factor * ideal
+            fill_jobs.append(
+                FillJob(
+                    job_id=f"fill-{trace_job.job_id}",
+                    model_name=model_name,
+                    job_type=job_type,
+                    num_samples=num_samples,
+                    arrival_time=trace_job.arrival_time,
+                    deadline=deadline,
+                )
+            )
+        return fill_jobs
+
+    def generate(
+        self,
+        duration_seconds: float,
+        *,
+        trace_generator: Optional[TraceGenerator] = None,
+        rng: RngLike = None,
+    ) -> List[FillJob]:
+        """Generate a fresh synthetic trace and convert it to fill jobs."""
+        trace_generator = trace_generator or TraceGenerator(seed=self.seed)
+        gen = ensure_rng(rng if rng is not None else self.seed)
+        trace_jobs = trace_generator.generate(duration_seconds, rng=gen)
+        return self.from_trace_jobs(trace_jobs, rng=gen)
+
+
+def build_fill_job_trace(
+    duration_seconds: float,
+    *,
+    arrival_rate_per_hour: float = 120.0,
+    models: Optional[Sequence[str]] = None,
+    job_type: Optional[JobType] = None,
+    deadline_fraction: float = 0.0,
+    deadline_slack_factor: float = 4.0,
+    seed: RngLike = 0,
+) -> List[FillJob]:
+    """Convenience builder used by examples and experiments.
+
+    ``models`` restricts the mix to specific Table 1 models (uniform over
+    them); ``job_type`` forces all jobs to one type (e.g. the "BERT
+    inference only" workload of Figure 4c); ``deadline_slack_factor``
+    controls how loose the generated deadlines are relative to each job's
+    ideal exclusive-GPU processing time.
+    """
+    check_positive(duration_seconds, "duration_seconds")
+    distribution = None
+    if models is not None:
+        unknown = set(models) - set(FILL_JOB_CATEGORIES)
+        if unknown:
+            raise ValueError(f"unknown fill-job models: {sorted(unknown)}")
+        probs = {name: 1.0 / len(models) for name in models}
+        distribution = ModelHubDistribution(probabilities=probs)
+    builder = FillJobTraceBuilder(
+        distribution=distribution,
+        deadline_fraction=deadline_fraction,
+        deadline_slack_factor=deadline_slack_factor,
+        seed=seed,
+    )
+    trace_generator = TraceGenerator(arrival_rate_per_hour=arrival_rate_per_hour, seed=seed)
+    jobs = builder.generate(duration_seconds, trace_generator=trace_generator, rng=seed)
+    if job_type is not None:
+        jobs = [
+            FillJob(
+                job_id=j.job_id,
+                model_name=j.model_name,
+                job_type=job_type,
+                num_samples=j.num_samples,
+                arrival_time=j.arrival_time,
+                deadline=j.deadline,
+            )
+            for j in jobs
+            if job_type in category_for_model(j.model_name).job_types()
+        ]
+    return jobs

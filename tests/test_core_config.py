@@ -1,0 +1,69 @@
+"""Tests for repro.core.config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    PipeFillConfig,
+    SAFE_FILL_FRACTION,
+    main_job_overhead_fraction,
+)
+from repro.utils.units import GIB
+
+
+class TestPipeFillConfig:
+    def test_default_fill_fraction_is_papers_operating_point(self):
+        assert PipeFillConfig().fill_fraction == pytest.approx(0.68)
+
+    def test_usable_bubble_seconds(self):
+        cfg = PipeFillConfig(fill_fraction=0.5, context_switch_seconds=0.01)
+        assert cfg.usable_bubble_seconds(1.0) == pytest.approx(0.49)
+
+    def test_short_bubbles_not_filled(self):
+        cfg = PipeFillConfig(min_fill_bubble_seconds=0.05)
+        assert cfg.usable_bubble_seconds(0.04) == 0.0
+
+    def test_usable_seconds_never_negative(self):
+        cfg = PipeFillConfig(fill_fraction=0.1, context_switch_seconds=0.5,
+                             min_fill_bubble_seconds=0.0)
+        assert cfg.usable_bubble_seconds(0.2) == 0.0
+
+    def test_usable_bubble_memory(self):
+        cfg = PipeFillConfig(memory_safety_fraction=0.9)
+        assert cfg.usable_bubble_memory(4.5 * GIB) == pytest.approx(0.9 * 4.5 * GIB)
+
+    def test_with_fill_fraction(self):
+        cfg = PipeFillConfig().with_fill_fraction(0.3)
+        assert cfg.fill_fraction == 0.3
+        assert cfg.memory_safety_fraction == PipeFillConfig().memory_safety_fraction
+
+    def test_invalid_fill_fraction(self):
+        with pytest.raises(ValueError):
+            PipeFillConfig(fill_fraction=1.2)
+
+    def test_invalid_context_switch(self):
+        with pytest.raises(ValueError):
+            PipeFillConfig(context_switch_seconds=-1.0)
+
+
+class TestMainJobOverheadModel:
+    def test_below_safe_fraction_under_two_percent(self):
+        """Figure 5: <2% main-job overhead up to ~68% of the bubble filled."""
+        for f in (0.0, 0.2, 0.5, SAFE_FILL_FRACTION):
+            assert main_job_overhead_fraction(f) < 0.02
+
+    def test_overhead_grows_past_safe_fraction(self):
+        assert main_job_overhead_fraction(0.9) > main_job_overhead_fraction(0.7)
+        assert main_job_overhead_fraction(0.9) > 0.02
+
+    def test_full_fill_substantial_overhead(self):
+        assert main_job_overhead_fraction(1.0) > 0.10
+
+    def test_monotone(self):
+        values = [main_job_overhead_fraction(f / 20) for f in range(21)]
+        assert values == sorted(values)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            main_job_overhead_fraction(1.5)

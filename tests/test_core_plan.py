@@ -1,0 +1,132 @@
+"""Tests for repro.core.plan (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PipeFillConfig
+from repro.core.plan import ExecutionPlan, PlanError, plan_fill_job
+from repro.models.base import ComputationalGraph, GraphNode, NodeRole
+from repro.pipeline.bubbles import BubbleCycle
+from repro.utils.units import GIB
+
+
+def make_graph(num_nodes: int = 4, duration: float = 0.1, memory: float = 1 * GIB):
+    nodes = tuple(
+        GraphNode(
+            name=f"n{i}",
+            role=NodeRole.FORWARD,
+            duration=duration,
+            memory_bytes=memory,
+            flops=duration * 1e12,
+        )
+        for i in range(num_nodes)
+    )
+    return ComputationalGraph(model_name="toy", nodes=nodes)
+
+
+#: A permissive config so tests can reason about raw packing numbers.
+FULL_FILL = PipeFillConfig(
+    fill_fraction=1.0, context_switch_seconds=0.0, min_fill_bubble_seconds=0.0,
+    memory_safety_fraction=1.0,
+)
+
+
+class TestAlgorithmOne:
+    def test_nodes_packed_in_order(self, synthetic_cycle):
+        graph = make_graph(4, duration=0.4)
+        plan = plan_fill_job(graph, synthetic_cycle, FULL_FILL)
+        packed_names = [n.name for p in plan.partitions for n in p.nodes]
+        # Sequential dependency preserved: iteration 0's nodes in order first.
+        assert packed_names[:4] == ["iter0/n0", "iter0/n1", "iter0/n2", "iter0/n3"]
+
+    def test_partition_durations_respect_bubbles(self, synthetic_cycle):
+        graph = make_graph(6, duration=0.3)
+        plan = plan_fill_job(graph, synthetic_cycle, FULL_FILL)
+        for partition in plan.partitions:
+            capacity = plan.bubbles[partition.bubble_index].duration
+            assert partition.duration <= capacity + 1e-9
+
+    def test_partition_memory_respects_bubbles(self, synthetic_cycle):
+        graph = make_graph(4, duration=0.1, memory=3 * GIB)
+        plan = plan_fill_job(graph, synthetic_cycle, FULL_FILL)
+        for partition in plan.partitions:
+            assert partition.memory_bytes <= synthetic_cycle.min_free_memory_bytes
+
+    def test_replication_fills_cycle(self, synthetic_cycle):
+        """Lines 3-7: the graph is replicated until one more copy would overflow."""
+        graph = make_graph(2, duration=0.1)  # 0.2s per iteration, 2.0s of bubbles
+        plan = plan_fill_job(graph, synthetic_cycle, FULL_FILL)
+        assert plan.iterations == 9  # largest k with (k+1)*0.2 < 2.0
+
+    def test_single_iteration_when_graph_larger_than_cycle(self, synthetic_cycle):
+        graph = make_graph(10, duration=0.5)  # 5s > 2s of bubbles
+        plan = plan_fill_job(graph, synthetic_cycle, FULL_FILL)
+        assert plan.iterations == 1
+        assert plan.num_cycles >= 2  # spills into later cycles
+
+    def test_all_replicated_nodes_placed(self, synthetic_cycle):
+        graph = make_graph(3, duration=0.25)
+        plan = plan_fill_job(graph, synthetic_cycle, FULL_FILL)
+        packed = sum(len(p.nodes) for p in plan.partitions)
+        assert packed == plan.iterations * len(graph)
+
+    def test_planned_work_equals_replicated_duration(self, synthetic_cycle):
+        graph = make_graph(3, duration=0.25)
+        plan = plan_fill_job(graph, synthetic_cycle, FULL_FILL)
+        assert plan.planned_work_seconds == pytest.approx(
+            plan.iterations * graph.total_duration
+        )
+
+    def test_oversized_node_duration_rejected(self, synthetic_cycle):
+        graph = make_graph(1, duration=5.0)
+        with pytest.raises(PlanError, match="does not fit in any bubble"):
+            plan_fill_job(graph, synthetic_cycle, FULL_FILL)
+
+    def test_oversized_node_memory_rejected(self, synthetic_cycle):
+        graph = make_graph(1, duration=0.1, memory=100 * GIB)
+        with pytest.raises(PlanError, match="does not fit in any bubble"):
+            plan_fill_job(graph, synthetic_cycle, FULL_FILL)
+
+    def test_no_fillable_bubbles_rejected(self):
+        cycle = BubbleCycle.from_durations([0.01], 4.5 * GIB, period=1.0)
+        config = PipeFillConfig(min_fill_bubble_seconds=0.05)
+        with pytest.raises(PlanError, match="no fillable bubbles"):
+            plan_fill_job(make_graph(), cycle, config)
+
+    def test_fill_fraction_shrinks_capacity(self, synthetic_cycle):
+        graph = make_graph(8, duration=0.2)
+        full = plan_fill_job(graph, synthetic_cycle, FULL_FILL)
+        partial = plan_fill_job(
+            graph,
+            synthetic_cycle,
+            PipeFillConfig(fill_fraction=0.5, context_switch_seconds=0.0,
+                           min_fill_bubble_seconds=0.0, memory_safety_fraction=1.0),
+        )
+        assert partial.num_cycles >= full.num_cycles
+        assert partial.iterations <= full.iterations
+
+    def test_heterogeneous_bubbles(self):
+        """A node too large for the small bubble is deferred to the big one."""
+        cycle = BubbleCycle.from_durations([0.25, 1.0], 4.5 * GIB, period=4.0)
+        graph = make_graph(3, duration=0.4)
+        plan = plan_fill_job(graph, cycle, FULL_FILL)
+        # Nothing fits in bubble 0 (0.25s capacity, 0.4s nodes).
+        for partition in plan.partitions:
+            if partition.bubble_index == 0:
+                assert partition.is_empty
+            else:
+                assert not partition.is_empty
+
+    def test_plan_metrics(self, synthetic_cycle):
+        graph = make_graph(4, duration=0.2)
+        plan = plan_fill_job(graph, synthetic_cycle, FULL_FILL)
+        assert 0.0 < plan.packing_efficiency <= 1.0
+        assert plan.planned_flops == pytest.approx(plan.planned_work_seconds * 1e12)
+        assert plan.wall_clock_seconds == plan.num_cycles * synthetic_cycle.period
+        assert plan.partitions_in_cycle(0)
+
+    def test_zero_duration_graph_rejected(self, synthetic_cycle):
+        graph = make_graph(1, duration=0.0)
+        with pytest.raises(PlanError):
+            plan_fill_job(graph, synthetic_cycle, FULL_FILL)

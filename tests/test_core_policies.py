@@ -1,0 +1,122 @@
+"""Tests for repro.core.policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import (
+    JobView,
+    POLICIES,
+    SchedulerView,
+    compose_policies,
+    edf_policy,
+    fifo_policy,
+    get_policy,
+    makespan_policy,
+    sjf_policy,
+)
+
+
+def job(job_id="j", arrival=0.0, proc_times=None, deadline=None) -> JobView:
+    return JobView(
+        job_id=job_id,
+        arrival_time=arrival,
+        proc_times=proc_times if proc_times is not None else {0: 10.0, 1: 20.0},
+        deadline=deadline,
+    )
+
+
+def state(now=100.0, rem=None) -> SchedulerView:
+    return SchedulerView(now=now, rem_times=rem if rem is not None else {0: 0.0, 1: 5.0})
+
+
+class TestJobView:
+    def test_min_proc_time(self):
+        assert job(proc_times={0: 10.0, 1: 5.0}).min_proc_time == 5.0
+
+    def test_min_proc_time_ignores_infeasible(self):
+        assert job(proc_times={0: float("inf"), 1: 7.0}).min_proc_time == 7.0
+
+    def test_min_proc_time_all_infeasible(self):
+        assert job(proc_times={0: float("inf")}).min_proc_time == float("inf")
+
+
+class TestFifo:
+    def test_older_job_wins(self):
+        older = fifo_policy(job(arrival=0.0), state(now=100.0), 0)
+        newer = fifo_policy(job(arrival=50.0), state(now=100.0), 0)
+        assert older > newer
+
+
+class TestSjf:
+    def test_shorter_job_wins(self):
+        short = sjf_policy(job(proc_times={0: 5.0}), state(), 0)
+        long = sjf_policy(job(proc_times={0: 50.0}), state(), 0)
+        assert short > long
+
+    def test_uses_best_device_time(self):
+        # The paper's formula uses min over all devices.
+        j = job(proc_times={0: 100.0, 1: 1.0})
+        assert sjf_policy(j, state(), 0) == pytest.approx(1.0, rel=1e-6)
+
+
+class TestMakespan:
+    def test_prefers_job_that_keeps_makespan_low(self):
+        s = state(rem={0: 0.0, 1: 30.0})
+        small = makespan_policy(job(proc_times={0: 10.0}), s, 0)
+        large = makespan_policy(job(proc_times={0: 100.0}), s, 0)
+        assert small > large
+
+    def test_bounded_by_busiest_executor(self):
+        # When another executor stays busy for 50s, finishing a 10s or a 40s
+        # job here makes no difference to the makespan -> equal scores.
+        s = state(rem={0: 0.0, 1: 50.0})
+        a = makespan_policy(job(proc_times={0: 10.0}), s, 0)
+        b = makespan_policy(job(proc_times={0: 40.0}), s, 0)
+        assert a == pytest.approx(b)
+
+
+class TestEdf:
+    def test_closer_deadline_wins(self):
+        s = state(now=0.0)
+        near = edf_policy(job(deadline=10.0), s, 0)
+        far = edf_policy(job(deadline=1000.0), s, 0)
+        assert near > far
+
+    def test_no_deadline_scores_zero(self):
+        assert edf_policy(job(deadline=None), state(), 0) == 0.0
+
+
+class TestCompose:
+    def test_weighted_sum(self):
+        policy = compose_policies((2.0, sjf_policy), (1.0, fifo_policy))
+        j, s = job(), state()
+        assert policy(j, s, 0) == pytest.approx(2 * sjf_policy(j, s, 0) + fifo_policy(j, s, 0))
+
+    def test_hierarchical_deadline_fallback(self):
+        """EDF+SJF: deadline jobs dominate, deadline-free jobs fall back to SJF."""
+        policy = get_policy("edf+sjf")
+        s = state(now=0.0)
+        urgent = job(job_id="urgent", deadline=5.0, proc_times={0: 100.0})
+        quick = job(job_id="quick", deadline=None, proc_times={0: 1.0})
+        assert policy(urgent, s, 0) > policy(quick, s, 0)
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(ValueError):
+            compose_policies()
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            compose_policies((-1.0, sjf_policy))
+
+
+class TestRegistry:
+    def test_known_policies(self):
+        assert {"fifo", "sjf", "makespan", "edf"} <= set(POLICIES)
+
+    def test_get_policy_case_insensitive(self):
+        assert get_policy("SJF") is sjf_policy
+
+    def test_unknown_policy(self):
+        with pytest.raises(KeyError):
+            get_policy("random")

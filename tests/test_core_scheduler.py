@@ -1,0 +1,152 @@
+"""Tests for repro.core.scheduler (the Fill Job Scheduler)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.executor import FillJobExecutor
+from repro.core.policies import makespan_policy, sjf_policy
+from repro.core.scheduler import FillJob, FillJobScheduler, FillJobState
+from repro.models.configs import JobType
+from repro.pipeline.bubbles import BubbleCycle
+from repro.utils.units import GIB
+
+
+@pytest.fixture()
+def executors():
+    """Two executors with different bubble capacities (fast and slow device)."""
+    fast = FillJobExecutor(BubbleCycle.from_durations([1.5, 1.5], 4.5 * GIB, period=4.0))
+    slow = FillJobExecutor(BubbleCycle.from_durations([0.4, 0.4], 4.5 * GIB, period=4.0))
+    return {0: fast, 1: slow}
+
+
+@pytest.fixture()
+def scheduler(executors) -> FillJobScheduler:
+    return FillJobScheduler(executors, policy=sjf_policy)
+
+
+def make_job(job_id="job-0", samples=2_000.0, arrival=0.0, model="bert-base",
+             job_type=JobType.BATCH_INFERENCE, deadline=None) -> FillJob:
+    return FillJob(
+        job_id=job_id, model_name=model, job_type=job_type,
+        num_samples=samples, arrival_time=arrival, deadline=deadline,
+    )
+
+
+class TestSubmission:
+    def test_submit_queues_job(self, scheduler):
+        record = scheduler.submit(make_job())
+        assert record.state is FillJobState.QUEUED
+        assert scheduler.queued_jobs()
+
+    def test_duplicate_id_rejected(self, scheduler):
+        scheduler.submit(make_job("a"))
+        with pytest.raises(ValueError):
+            scheduler.submit(make_job("a"))
+
+    def test_infeasible_job_rejected(self, scheduler):
+        record = scheduler.submit(
+            make_job("too-big", model="xlm-roberta-xl", job_type=JobType.TRAINING)
+        )
+        assert record.state is FillJobState.REJECTED
+        assert not scheduler.queued_jobs()
+
+    def test_queued_jobs_respect_arrival_time(self, scheduler):
+        scheduler.submit(make_job("later", arrival=100.0))
+        assert not scheduler.queued_jobs(now=50.0)
+        assert scheduler.queued_jobs(now=150.0)
+
+
+class TestPredictions:
+    def test_processing_times_faster_on_bigger_bubbles(self, scheduler):
+        times = scheduler.processing_times(make_job())
+        assert times[0] < times[1]
+
+    def test_expected_completion_for_queued_job(self, scheduler):
+        scheduler.submit(make_job("a"))
+        expected = scheduler.expected_completion("a", now=0.0)
+        assert expected > 0.0
+        assert expected != float("inf")
+
+    def test_can_meet_deadline(self, scheduler):
+        scheduler.submit(make_job("tight", deadline=1.0))
+        scheduler.submit(make_job("loose", deadline=1e9))
+        assert not scheduler.can_meet_deadline("tight", now=0.0)
+        assert scheduler.can_meet_deadline("loose", now=0.0)
+
+    def test_no_deadline_always_met(self, scheduler):
+        scheduler.submit(make_job("free"))
+        assert scheduler.can_meet_deadline("free", now=0.0)
+
+
+class TestAssignment:
+    def test_dispatch_assigns_best_job(self, scheduler):
+        scheduler.submit(make_job("short", samples=500))
+        scheduler.submit(make_job("long", samples=50_000))
+        completion = scheduler.dispatch(0, now=0.0)
+        assert completion is not None
+        # SJF picks the short job first.
+        assert scheduler.executors[0].current_job_id == "short"
+        assert scheduler.records["short"].state is FillJobState.RUNNING
+
+    def test_dispatch_on_busy_executor_is_noop(self, scheduler):
+        scheduler.submit(make_job("a"))
+        scheduler.dispatch(0, now=0.0)
+        assert scheduler.dispatch(0, now=0.0) is None
+
+    def test_assign_busy_executor_raises(self, scheduler):
+        scheduler.submit(make_job("a"))
+        scheduler.submit(make_job("b"))
+        scheduler.dispatch(0, now=0.0)
+        with pytest.raises(RuntimeError, match="busy"):
+            scheduler.assign(0, scheduler.records["b"].job, now=0.0)
+
+    def test_complete_frees_executor_and_records_jct(self, scheduler):
+        scheduler.submit(make_job("a", arrival=0.0))
+        completion = scheduler.dispatch(0, now=0.0)
+        finished = scheduler.complete(0, now=completion)
+        assert finished == "a"
+        record = scheduler.records["a"]
+        assert record.state is FillJobState.COMPLETED
+        assert record.jct == pytest.approx(completion)
+        assert not scheduler.executors[0].is_busy
+
+    def test_complete_idle_executor_returns_none(self, scheduler):
+        assert scheduler.complete(0, now=0.0) is None
+
+    def test_flops_recorded_on_assignment(self, scheduler):
+        scheduler.submit(make_job("a"))
+        scheduler.dispatch(0, now=0.0)
+        assert scheduler.records["a"].flops_executed > 0
+
+    def test_expected_completion_for_running_job(self, scheduler):
+        scheduler.submit(make_job("a"))
+        completion = scheduler.dispatch(0, now=0.0)
+        assert scheduler.expected_completion("a", now=1.0) == pytest.approx(completion)
+
+
+class TestMetricsAndPolicies:
+    def test_average_jct_and_makespan(self, scheduler):
+        scheduler.submit(make_job("a", samples=500, arrival=0.0))
+        scheduler.submit(make_job("b", samples=500, arrival=0.0))
+        done_a = scheduler.dispatch(0, now=0.0)
+        done_b = scheduler.dispatch(1, now=0.0)
+        scheduler.complete(0, now=done_a)
+        scheduler.complete(1, now=done_b)
+        assert scheduler.makespan() == pytest.approx(max(done_a, done_b))
+        assert scheduler.average_jct() == pytest.approx((done_a + done_b) / 2)
+
+    def test_empty_metrics(self, scheduler):
+        assert scheduler.average_jct() == 0.0
+        assert scheduler.makespan() == 0.0
+
+    def test_makespan_policy_balances_load(self, executors):
+        scheduler = FillJobScheduler(executors, policy=makespan_policy)
+        scheduler.submit(make_job("big", samples=20_000))
+        scheduler.submit(make_job("small", samples=500))
+        scheduler.dispatch(0, now=0.0)
+        assert scheduler.executors[0].current_job_id in {"big", "small"}
+
+    def test_requires_executors(self):
+        with pytest.raises(ValueError):
+            FillJobScheduler({})

@@ -1,0 +1,115 @@
+"""Tests for repro.hardware.device."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.device import (
+    A100_40GB,
+    DEVICE_SPECS,
+    Device,
+    DeviceSpec,
+    TRAINIUM1,
+    V100_16GB,
+    device_spec,
+)
+from repro.utils.units import GIB, TERA
+
+
+class TestDeviceSpec:
+    def test_v100_matches_paper_testbed(self):
+        # The paper's GPUs: 16 GB HBM, 125 TFLOP/s peak.
+        assert V100_16GB.memory_bytes == 16 * GIB
+        assert V100_16GB.peak_tflops == pytest.approx(125.0)
+
+    def test_usable_memory_excludes_reserved(self):
+        assert V100_16GB.usable_memory_bytes == pytest.approx(
+            V100_16GB.memory_bytes - V100_16GB.reserved_bytes
+        )
+        assert V100_16GB.usable_memory_bytes < V100_16GB.memory_bytes
+
+    def test_invalid_memory_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad",
+                memory_bytes=0,
+                peak_flops=1.0,
+                memory_bandwidth=1.0,
+                host_link_bandwidth=1.0,
+            )
+
+    def test_reserved_must_be_below_capacity(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad",
+                memory_bytes=1 * GIB,
+                peak_flops=1 * TERA,
+                memory_bandwidth=1e9,
+                host_link_bandwidth=1e9,
+                reserved_bytes=2 * GIB,
+            )
+
+    def test_scaled_spec(self):
+        bigger = V100_16GB.scaled(memory_scale=2.0)
+        assert bigger.memory_bytes == pytest.approx(2 * V100_16GB.memory_bytes)
+        assert bigger.peak_flops == pytest.approx(V100_16GB.peak_flops)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            V100_16GB.scaled(memory_scale=0.0)
+
+    def test_registry_lookup(self):
+        assert device_spec("V100-16GB") is V100_16GB
+        assert "A100-40GB" in DEVICE_SPECS
+
+    def test_registry_unknown(self):
+        with pytest.raises(KeyError, match="unknown device spec"):
+            device_spec("H100")
+
+    def test_other_specs_sane(self):
+        assert A100_40GB.peak_flops > V100_16GB.peak_flops
+        assert TRAINIUM1.memory_bytes == 32 * GIB
+
+
+class TestDevice:
+    def test_allocator_capacity_is_usable_memory(self, device):
+        assert device.allocator.capacity_bytes == pytest.approx(
+            V100_16GB.usable_memory_bytes
+        )
+
+    def test_name_includes_location(self):
+        d = Device(spec=V100_16GB, device_id=9, node_id=1, local_rank=1)
+        assert d.name == "V100-16GB[node1:gpu1]"
+
+    def test_time_for_flops(self, device):
+        # 125 TFLOPs at 50% efficiency -> 2 seconds.
+        assert device.time_for_flops(125 * TERA, 0.5) == pytest.approx(2.0)
+
+    def test_time_for_flops_zero(self, device):
+        assert device.time_for_flops(0.0, 0.5) == 0.0
+
+    def test_time_for_flops_rejects_bad_efficiency(self, device):
+        with pytest.raises(ValueError):
+            device.time_for_flops(1.0, 0.0)
+
+    def test_time_for_flops_rejects_negative(self, device):
+        with pytest.raises(ValueError):
+            device.time_for_flops(-1.0, 0.5)
+
+    def test_host_transfer_time(self, device):
+        t = device.time_for_host_transfer(V100_16GB.host_link_bandwidth)
+        assert t == pytest.approx(1.0 + V100_16GB.host_link_latency)
+
+    def test_host_transfer_zero(self, device):
+        assert device.time_for_host_transfer(0.0) == 0.0
+
+    def test_free_memory_tracks_allocator(self, device):
+        before = device.free_memory_bytes
+        device.allocator.allocate("main", "weights", 1 * GIB)
+        assert device.free_memory_bytes == pytest.approx(before - 1 * GIB)
+
+    def test_clone_has_fresh_allocator(self, device):
+        device.allocator.allocate("main", "weights", 1 * GIB)
+        clone = device.clone(device_id=5)
+        assert clone.device_id == 5
+        assert clone.allocator.total_allocated_bytes == 0.0

@@ -1,0 +1,79 @@
+"""Tests for repro.hardware.interconnect."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.interconnect import (
+    ETHERNET_25G,
+    LinkSpec,
+    NVLINK2,
+    PCIE3_X16,
+)
+
+
+class TestLinkSpec:
+    def test_effective_bandwidth(self):
+        link = LinkSpec(name="x", bandwidth=100.0, efficiency=0.8)
+        assert link.effective_bandwidth == pytest.approx(80.0)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            LinkSpec(name="x", bandwidth=0.0)
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(ValueError):
+            LinkSpec(name="x", bandwidth=1.0, efficiency=0.0)
+
+    def test_transfer_time_zero_bytes(self):
+        assert NVLINK2.transfer_time(0.0) == 0.0
+
+    def test_transfer_time_includes_latency(self):
+        small = NVLINK2.transfer_time(1.0)
+        assert small >= NVLINK2.latency
+
+    def test_transfer_time_monotone_in_size(self):
+        assert NVLINK2.transfer_time(1e9) < NVLINK2.transfer_time(2e9)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            NVLINK2.transfer_time(-1.0)
+
+
+class TestCollectives:
+    def test_allreduce_single_peer_is_free(self):
+        assert NVLINK2.allreduce_time(1e9, 1) == 0.0
+
+    def test_allreduce_grows_with_group(self):
+        t2 = ETHERNET_25G.allreduce_time(1e9, 2)
+        t8 = ETHERNET_25G.allreduce_time(1e9, 8)
+        assert t8 > t2
+
+    def test_allreduce_volume_formula(self):
+        # For large messages the ring all-reduce moves 2*(n-1)/n of the data.
+        link = LinkSpec(name="x", bandwidth=1e9, latency=0.0, efficiency=1.0)
+        t = link.allreduce_time(1e9, 4)
+        assert t == pytest.approx(2 * 3 / 4, rel=1e-6)
+
+    def test_allreduce_invalid_group(self):
+        with pytest.raises(ValueError):
+            NVLINK2.allreduce_time(1.0, 0)
+
+    def test_allgather_time(self):
+        link = LinkSpec(name="x", bandwidth=1e9, latency=0.0, efficiency=1.0)
+        assert link.allgather_time(1e9, 4) == pytest.approx(3.0)
+
+    def test_allgather_single_peer(self):
+        assert PCIE3_X16.allgather_time(1e9, 1) == 0.0
+
+
+class TestPresets:
+    def test_nvlink_faster_than_ethernet(self):
+        assert NVLINK2.effective_bandwidth > ETHERNET_25G.effective_bandwidth
+
+    def test_ethernet_25g_bandwidth(self):
+        # 25 Gbps is 3.125 GB/s nominal.
+        assert ETHERNET_25G.bandwidth == pytest.approx(25e9 / 8)
+
+    def test_pcie_slower_than_nvlink(self):
+        assert PCIE3_X16.effective_bandwidth < NVLINK2.effective_bandwidth

@@ -1,0 +1,151 @@
+"""Tests for repro.hardware.memory (the simulated caching allocator)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.memory import DeviceOOMError, MemoryAllocator
+from repro.utils.units import GIB
+
+
+@pytest.fixture()
+def allocator() -> MemoryAllocator:
+    return MemoryAllocator(capacity_bytes=10 * GIB)
+
+
+class TestBasicAccounting:
+    def test_initially_all_free(self, allocator):
+        assert allocator.free_bytes == pytest.approx(10 * GIB)
+        assert allocator.total_allocated_bytes == 0.0
+
+    def test_allocate_reduces_free(self, allocator):
+        allocator.allocate("main", "weights", 4 * GIB)
+        assert allocator.free_bytes == pytest.approx(6 * GIB)
+        assert allocator.memory_allocated("main") == pytest.approx(4 * GIB)
+
+    def test_duplicate_tag_rejected(self, allocator):
+        allocator.allocate("main", "weights", 1 * GIB)
+        with pytest.raises(ValueError, match="already allocated"):
+            allocator.allocate("main", "weights", 1 * GIB)
+
+    def test_free_unknown_tag_rejected(self, allocator):
+        with pytest.raises(KeyError):
+            allocator.free("main", "nope")
+
+    def test_negative_allocation_rejected(self, allocator):
+        with pytest.raises(ValueError):
+            allocator.allocate("main", "x", -1.0)
+
+
+class TestCachingSemantics:
+    def test_free_moves_bytes_to_cache(self, allocator):
+        allocator.allocate("main", "acts", 2 * GIB)
+        allocator.free("main", "acts")
+        # Still reserved by the pool (cached), not returned to the device.
+        assert allocator.memory_allocated("main") == 0.0
+        assert allocator.memory_reserved("main") == pytest.approx(2 * GIB)
+        assert allocator.free_bytes == pytest.approx(8 * GIB)
+
+    def test_cache_reused_by_next_allocation(self, allocator):
+        allocator.allocate("main", "acts", 2 * GIB)
+        allocator.free("main", "acts")
+        allocator.allocate("main", "acts2", 1 * GIB)
+        # Reused from cache: device free bytes unchanged.
+        assert allocator.free_bytes == pytest.approx(8 * GIB)
+        assert allocator.memory_reserved("main") == pytest.approx(2 * GIB)
+
+    def test_empty_cache_returns_bytes_to_device(self, allocator):
+        allocator.allocate("main", "acts", 2 * GIB)
+        allocator.free("main", "acts")
+        released = allocator.empty_cache("main")
+        assert released == pytest.approx(2 * GIB)
+        assert allocator.free_bytes == pytest.approx(10 * GIB)
+
+    def test_release_frees_directly(self, allocator):
+        allocator.allocate("main", "acts", 2 * GIB)
+        allocator.free("main", "acts", release=True)
+        assert allocator.memory_reserved("main") == 0.0
+        assert allocator.free_bytes == pytest.approx(10 * GIB)
+
+    def test_free_all(self, allocator):
+        allocator.allocate("main", "a", 1 * GIB)
+        allocator.allocate("main", "b", 2 * GIB)
+        freed = allocator.free_all("main")
+        assert freed == pytest.approx(3 * GIB)
+        assert allocator.memory_allocated("main") == 0.0
+
+    def test_empty_all_caches(self, allocator):
+        allocator.allocate("a", "x", 1 * GIB)
+        allocator.allocate("b", "y", 1 * GIB)
+        allocator.free("a", "x")
+        allocator.free("b", "y")
+        assert allocator.empty_all_caches() == pytest.approx(2 * GIB)
+
+
+class TestOOMBehaviour:
+    def test_oom_when_device_full(self, allocator):
+        allocator.allocate("main", "weights", 9 * GIB)
+        with pytest.raises(DeviceOOMError) as excinfo:
+            allocator.allocate("fill", "model", 2 * GIB)
+        assert excinfo.value.pool == "fill"
+
+    def test_oom_is_isolated_to_offending_pool(self, allocator):
+        """A fill-job OOM must never disturb the main job's allocations."""
+        allocator.allocate("main-job", "weights", 8 * GIB)
+        before = allocator.snapshot()["main-job"]
+        with pytest.raises(DeviceOOMError):
+            allocator.allocate("fill-job", "model", 5 * GIB)
+        after = allocator.snapshot()["main-job"]
+        assert after.allocated_bytes == before.allocated_bytes
+        # The failed pool holds nothing either.
+        assert allocator.memory_allocated("fill-job") == 0.0
+
+    def test_cap_enforced(self, allocator):
+        allocator.set_memory_cap("fill", 1 * GIB)
+        with pytest.raises(DeviceOOMError):
+            allocator.allocate("fill", "big", 2 * GIB)
+
+    def test_cap_cleared(self, allocator):
+        allocator.set_memory_cap("fill", 1 * GIB)
+        allocator.set_memory_cap("fill", None)
+        allocator.allocate("fill", "big", 2 * GIB)
+        assert allocator.memory_allocated("fill") == pytest.approx(2 * GIB)
+
+    def test_per_process_memory_fraction(self, allocator):
+        allocator.set_per_process_memory_fraction("fill", 0.25)
+        allocator.allocate("fill", "ok", 2 * GIB)
+        with pytest.raises(DeviceOOMError):
+            allocator.allocate("fill", "too-much", 1 * GIB)
+
+    def test_fraction_out_of_range(self, allocator):
+        with pytest.raises(ValueError):
+            allocator.set_per_process_memory_fraction("fill", 1.5)
+
+
+class TestPools:
+    def test_pools_are_independent(self, allocator):
+        allocator.allocate("a", "x", 1 * GIB)
+        allocator.allocate("b", "y", 2 * GIB)
+        assert allocator.memory_allocated("a") == pytest.approx(1 * GIB)
+        assert allocator.memory_allocated("b") == pytest.approx(2 * GIB)
+        assert allocator.total_allocated_bytes == pytest.approx(3 * GIB)
+
+    def test_remove_pool_returns_bytes(self, allocator):
+        allocator.allocate("fill", "x", 2 * GIB)
+        released = allocator.remove_pool("fill")
+        assert released == pytest.approx(2 * GIB)
+        assert allocator.free_bytes == pytest.approx(10 * GIB)
+
+    def test_remove_missing_pool(self, allocator):
+        assert allocator.remove_pool("ghost") == 0.0
+
+    def test_snapshot_contents(self, allocator):
+        allocator.allocate("main", "x", 1 * GIB)
+        snap = allocator.snapshot()["main"]
+        assert snap.pool == "main"
+        assert snap.allocated_bytes == pytest.approx(1 * GIB)
+        assert snap.reserved_bytes == pytest.approx(1 * GIB)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MemoryAllocator(capacity_bytes=0)

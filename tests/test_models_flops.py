@@ -1,0 +1,93 @@
+"""Tests for repro.models.flops (analytical FLOPs/activation formulas)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import flops
+
+
+class TestDense:
+    def test_dense_flops(self):
+        assert flops.dense_flops(2, 3, 4) == 48.0
+
+
+class TestAttention:
+    def test_projection_term_dominates_long_hidden(self):
+        # With h >> s, the 8 s h^2 projection term dominates.
+        val = flops.attention_flops(seq_len=128, hidden=4096)
+        assert val == pytest.approx(8 * 128 * 4096**2 + 4 * 128**2 * 4096)
+
+    def test_causal_discount(self):
+        causal = flops.attention_flops(2048, 1024, causal=True)
+        full = flops.attention_flops(2048, 1024, causal=False)
+        assert causal < full
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            flops.attention_flops(0, 128)
+
+
+class TestTransformerBlock:
+    def test_block_flops_formula(self):
+        s, h = 2048, 4096
+        expected = 8 * s * h * h + 4 * s * s * h + 16 * s * h * h
+        assert flops.transformer_block_flops(s, h) == pytest.approx(expected)
+
+    def test_block_params_formula(self):
+        h = 1024
+        assert flops.transformer_block_params(h) == pytest.approx(12 * h * h + 9 * h)
+
+    def test_block_params_expansion(self):
+        h = 512
+        assert flops.transformer_block_params(h, expansion=8.0) == pytest.approx(
+            20 * h * h + 9 * h
+        )
+
+    def test_activation_bytes_megatron_formula(self):
+        # s*h*(34 + 5*a*s/h) in fp16.
+        s, h, a = 2048, 8192, 64
+        expected = s * h * (34 + 5 * a * s / h)
+        assert flops.transformer_block_activation_bytes(s, h, a) == pytest.approx(expected)
+
+    def test_activation_bytes_scale_with_dtype(self):
+        fp16 = flops.transformer_block_activation_bytes(512, 768, 12, dtype_bytes=2)
+        fp32 = flops.transformer_block_activation_bytes(512, 768, 12, dtype_bytes=4)
+        assert fp32 == pytest.approx(2 * fp16)
+
+
+class TestEmbeddingAndHead:
+    def test_embedding_params(self):
+        assert flops.embedding_params(1000, 64) == 64_000
+        assert flops.embedding_params(1000, 64, max_positions=512) == 64_000 + 512 * 64
+
+    def test_lm_head_flops(self):
+        assert flops.lm_head_flops(10, 20, 30) == pytest.approx(2 * 10 * 20 * 30)
+
+
+class TestConv:
+    def test_conv_flops(self):
+        assert flops.conv_flops(8, 8, 3, 16, 3) == pytest.approx(2 * 9 * 3 * 16 * 64)
+
+    def test_conv_params(self):
+        assert flops.conv_params(3, 16, 3) == 9 * 3 * 16 + 16
+
+    def test_feature_map_bytes(self):
+        assert flops.feature_map_bytes(4, 4, 8, dtype_bytes=2) == 256
+
+    def test_token_activation_bytes(self):
+        assert flops.token_activation_bytes(512, 768) == 512 * 768 * 2
+
+    def test_conv_invalid(self):
+        with pytest.raises(ValueError):
+            flops.conv_flops(0, 8, 3, 16, 3)
+
+
+class TestMlp:
+    def test_mlp_flops(self):
+        s, h = 128, 256
+        assert flops.mlp_flops(s, h) == pytest.approx(16 * s * h * h)
+
+    def test_mlp_expansion(self):
+        s, h = 128, 256
+        assert flops.mlp_flops(s, h, expansion=2.0) == pytest.approx(8 * s * h * h)

@@ -1,0 +1,127 @@
+"""Tests for repro.models.profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.device import A100_80GB, V100_16GB
+from repro.models.base import NodeRole
+from repro.models.configs import ExecutionConfig, JobType
+from repro.models.profiles import (
+    best_profile,
+    isolated_throughput,
+    isolated_tflops,
+    profile_model,
+)
+from repro.utils.units import GIB
+
+
+class TestProfileStructure:
+    def test_inference_graph_has_only_forward_nodes(self, bert_base_model, inference_config):
+        profile = profile_model(bert_base_model, JobType.BATCH_INFERENCE, inference_config)
+        roles = {node.role for node in profile.graph.nodes}
+        assert roles == {NodeRole.FORWARD}
+        assert len(profile.graph) == bert_base_model.num_layers
+
+    def test_training_graph_has_fwd_bwd_and_optimizer(self, bert_base_model, training_config):
+        profile = profile_model(bert_base_model, JobType.TRAINING, training_config)
+        roles = [node.role for node in profile.graph.nodes]
+        assert roles.count(NodeRole.FORWARD) == bert_base_model.num_layers
+        assert roles.count(NodeRole.BACKWARD) == bert_base_model.num_layers
+        assert roles.count(NodeRole.OPTIMIZER_STEP) == 1
+        # Backward nodes come after forward nodes, in reverse layer order.
+        assert roles[-1] == NodeRole.OPTIMIZER_STEP
+
+    def test_backward_nodes_reverse_layer_order(self, bert_base_model, training_config):
+        profile = profile_model(bert_base_model, JobType.TRAINING, training_config)
+        fwd = [n.layer_name for n in profile.graph.nodes if n.role == NodeRole.FORWARD]
+        bwd = [n.layer_name for n in profile.graph.nodes if n.role == NodeRole.BACKWARD]
+        assert bwd == list(reversed(fwd))
+
+
+class TestProfileTiming:
+    def test_training_slower_than_inference(self, bert_base_model):
+        cfg = ExecutionConfig(batch_size=8)
+        inf = profile_model(bert_base_model, JobType.BATCH_INFERENCE, cfg)
+        train = profile_model(bert_base_model, JobType.TRAINING, cfg)
+        assert train.iteration_time > 2 * inf.iteration_time
+
+    def test_larger_batch_higher_throughput(self, bert_base_model):
+        small = profile_model(bert_base_model, JobType.BATCH_INFERENCE, ExecutionConfig(batch_size=1))
+        large = profile_model(bert_base_model, JobType.BATCH_INFERENCE, ExecutionConfig(batch_size=32))
+        assert large.throughput_samples_per_s > small.throughput_samples_per_s
+
+    def test_checkpointing_adds_recompute_time(self, bert_base_model):
+        plain = profile_model(bert_base_model, JobType.TRAINING, ExecutionConfig(batch_size=4))
+        ckpt = profile_model(
+            bert_base_model,
+            JobType.TRAINING,
+            ExecutionConfig(batch_size=4, activation_checkpointing=True),
+        )
+        assert ckpt.iteration_time > plain.iteration_time
+        assert ckpt.device_footprint_bytes < plain.device_footprint_bytes
+
+    def test_param_offload_bound_by_pcie(self, xlm_model):
+        plain = profile_model(xlm_model, JobType.BATCH_INFERENCE, ExecutionConfig(batch_size=1))
+        offloaded = profile_model(
+            xlm_model, JobType.BATCH_INFERENCE, ExecutionConfig(batch_size=1, offload_params=True)
+        )
+        assert offloaded.iteration_time >= plain.iteration_time
+        assert offloaded.device_footprint_bytes < plain.device_footprint_bytes
+
+    def test_faster_device_faster_profile(self, bert_base_model, inference_config):
+        v100 = profile_model(bert_base_model, JobType.BATCH_INFERENCE, inference_config, V100_16GB)
+        a100 = profile_model(bert_base_model, JobType.BATCH_INFERENCE, inference_config, A100_80GB)
+        assert a100.iteration_time < v100.iteration_time
+
+    def test_effective_tflops_below_peak(self, bert_base_model, inference_config):
+        profile = profile_model(bert_base_model, JobType.BATCH_INFERENCE, inference_config)
+        assert 0 < profile.effective_tflops < V100_16GB.peak_tflops
+
+
+class TestBestProfile:
+    def test_best_profile_fits_memory(self, bert_large_model):
+        limit = 4.5 * GIB
+        profile = best_profile(bert_large_model, JobType.TRAINING, memory_limit_bytes=limit)
+        assert profile is not None
+        assert profile.device_footprint_bytes <= limit
+
+    def test_xlm_training_does_not_fit_bubble_memory(self, xlm_model):
+        """Table 1 rationale: large models are inference-only fill jobs."""
+        profile = best_profile(xlm_model, JobType.TRAINING, memory_limit_bytes=4.5 * GIB)
+        assert profile is None
+
+    def test_xlm_inference_fits_bubble_memory(self, xlm_model):
+        profile = best_profile(xlm_model, JobType.BATCH_INFERENCE, memory_limit_bytes=4.5 * GIB)
+        assert profile is not None
+
+    def test_more_memory_never_hurts(self, bert_large_model):
+        tight = best_profile(bert_large_model, JobType.TRAINING, memory_limit_bytes=2 * GIB)
+        roomy = best_profile(bert_large_model, JobType.TRAINING, memory_limit_bytes=10 * GIB)
+        assert roomy is not None
+        if tight is not None:
+            assert roomy.throughput_samples_per_s >= tight.throughput_samples_per_s
+
+    def test_invalid_memory_limit(self, bert_base_model):
+        with pytest.raises(ValueError):
+            best_profile(bert_base_model, JobType.TRAINING, memory_limit_bytes=0.0)
+
+
+class TestIsolatedExecution:
+    def test_isolated_throughput_positive(self, bert_base_model):
+        assert isolated_throughput(bert_base_model, JobType.BATCH_INFERENCE) > 0
+
+    def test_inference_throughput_exceeds_training(self, bert_base_model):
+        inf = isolated_throughput(bert_base_model, JobType.BATCH_INFERENCE)
+        train = isolated_throughput(bert_base_model, JobType.TRAINING)
+        assert inf > train
+
+    def test_isolated_tflops_in_plausible_range(self, bert_base_model):
+        tflops = isolated_tflops(bert_base_model, JobType.BATCH_INFERENCE)
+        assert 20.0 < tflops < 125.0
+
+    def test_isolated_swin_lower_than_bert(self, swin_model, bert_base_model):
+        """Swin's poorly-optimised window attention lowers its achievable FLOPS."""
+        assert isolated_tflops(swin_model, JobType.BATCH_INFERENCE) < isolated_tflops(
+            bert_base_model, JobType.BATCH_INFERENCE
+        )

@@ -1,0 +1,81 @@
+"""Tests for repro.pipeline.bubbles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.bubbles import Bubble, BubbleCycle
+from repro.pipeline.instructions import BubbleKind
+from repro.utils.units import GIB
+
+
+def make_bubble(duration=1.0, kind=BubbleKind.FWD_BWD, memory=4.5 * GIB, index=0) -> Bubble:
+    return Bubble(kind=kind, stage_id=0, index=index, duration=duration, free_memory_bytes=memory)
+
+
+class TestBubble:
+    def test_fillable(self):
+        assert make_bubble(kind=BubbleKind.FWD_BWD).fillable
+        assert make_bubble(kind=BubbleKind.FILL_DRAIN).fillable
+        assert not make_bubble(kind=BubbleKind.NON_CONTIGUOUS).fillable
+
+    def test_scaled(self):
+        b = make_bubble(duration=2.0).scaled(duration_scale=0.5, memory_scale=2.0)
+        assert b.duration == 1.0
+        assert b.free_memory_bytes == pytest.approx(9 * GIB)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            make_bubble(duration=-1.0)
+
+
+class TestBubbleCycle:
+    def test_from_durations(self):
+        cycle = BubbleCycle.from_durations([1.0, 0.5], 4.5 * GIB, period=4.0)
+        assert len(cycle) == 2
+        assert cycle.total_bubble_time == pytest.approx(1.5)
+        assert cycle.bubble_ratio == pytest.approx(1.5 / 4.0)
+        assert cycle.min_free_memory_bytes == pytest.approx(4.5 * GIB)
+
+    def test_fillable_filtering(self):
+        bubbles = (
+            make_bubble(1.0, BubbleKind.FWD_BWD, index=0),
+            make_bubble(0.2, BubbleKind.NON_CONTIGUOUS, index=1),
+        )
+        cycle = BubbleCycle(stage_id=0, bubbles=bubbles, period=5.0)
+        assert cycle.fillable_time == pytest.approx(1.0)
+        assert len(cycle.fillable_bubbles) == 1
+
+    def test_bubble_time_cannot_exceed_period(self):
+        with pytest.raises(ValueError):
+            BubbleCycle.from_durations([3.0, 3.0], GIB, period=4.0)
+
+    def test_min_free_memory_empty_cycle(self):
+        cycle = BubbleCycle(stage_id=0, bubbles=(), period=1.0)
+        assert cycle.min_free_memory_bytes == 0.0
+        assert cycle.total_bubble_time == 0.0
+
+    def test_zero_period_ratio(self):
+        cycle = BubbleCycle(stage_id=0, bubbles=(), period=0.0)
+        assert cycle.bubble_ratio == 0.0
+
+    def test_scaled_stretches_idle_only(self):
+        cycle = BubbleCycle.from_durations([1.0, 1.0], GIB, period=4.0)
+        scaled = cycle.scaled(duration_scale=2.0)
+        # Busy time (2.0s) unchanged; bubbles doubled (4.0s) -> period 6.0.
+        assert scaled.total_bubble_time == pytest.approx(4.0)
+        assert scaled.period == pytest.approx(6.0)
+
+    def test_scaled_memory(self):
+        cycle = BubbleCycle.from_durations([1.0], GIB, period=2.0)
+        assert cycle.scaled(memory_scale=3.0).min_free_memory_bytes == pytest.approx(3 * GIB)
+
+    def test_with_free_memory(self):
+        cycle = BubbleCycle.from_durations([1.0, 1.0], GIB, period=4.0)
+        updated = cycle.with_free_memory(8 * GIB)
+        assert updated.min_free_memory_bytes == pytest.approx(8 * GIB)
+        assert updated.period == cycle.period
+
+    def test_iteration(self):
+        cycle = BubbleCycle.from_durations([1.0, 0.5], GIB, period=4.0)
+        assert [b.duration for b in cycle] == [1.0, 0.5]

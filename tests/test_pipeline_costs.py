@@ -1,0 +1,87 @@
+"""Tests for repro.pipeline.costs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.node import P3_16XLARGE
+from repro.pipeline.costs import main_job_costs
+from repro.pipeline.parallelism import ParallelConfig
+from repro.utils.units import GIB
+
+
+class TestMainJobCosts:
+    def test_stage_count(self, costs_5b, parallel_5b):
+        assert len(costs_5b.stages) == parallel_5b.pipeline_stages
+
+    def test_backward_roughly_twice_forward(self, costs_5b):
+        for stage in costs_5b.stages:
+            assert stage.t_backward == pytest.approx(2 * stage.t_forward, rel=0.05)
+
+    def test_microbatch_time(self, costs_5b):
+        s = costs_5b.stages[0]
+        assert s.t_microbatch == pytest.approx(s.t_forward + s.t_backward)
+
+    def test_iteration_time_formula(self, costs_5b, parallel_5b):
+        m = parallel_5b.num_microbatches
+        p = parallel_5b.pipeline_stages
+        pipeline_part = (m + p - 1) * (costs_5b.max_t_forward + costs_5b.max_t_backward)
+        # Iteration = pipelined compute plus the iteration-boundary tail
+        # (data-parallel gradient all-reduce + optimizer step), which for the
+        # 5B job over 64 replicas on 25 Gbps Ethernet is a noticeable but
+        # bounded fraction of the step.
+        assert costs_5b.iteration_time >= pipeline_part
+        assert costs_5b.iteration_time <= 1.35 * pipeline_part
+
+    def test_tflops_per_device_plausible(self, costs_5b):
+        # 65% bubbles on a 60 TFLOP/s-while-busy job -> roughly 13-25 TFLOP/s.
+        assert 8.0 < costs_5b.tflops_per_device < 30.0
+
+    def test_bubble_free_memory_near_measured_4_5gb(self, costs_5b):
+        """The paper measures ~4.5 GB free during the 5B job's bubbles.
+
+        Individual stages deviate (the embedding-heavy first stage holds far
+        more optimizer state than a one-block stage), but the cluster-wide
+        mean should land in the same few-GiB band the paper reports.
+        """
+        free = [s.bubble_free_memory_bytes for s in costs_5b.stages]
+        mean_free = sum(free) / len(free)
+        assert 3.0 * GIB < mean_free < 9.0 * GIB
+        assert min(free) > 0.5 * GIB
+
+    def test_main_job_memory_fits_device(self, costs_5b):
+        for stage in costs_5b.stages:
+            assert stage.main_job_memory_bytes < 16 * GIB
+
+    def test_tensor_parallelism_reduces_stage_time(self, gpt40b_model):
+        tp1 = ParallelConfig(
+            tensor_parallel=1, pipeline_stages=16, data_parallel=8,
+            microbatch_size=2, global_batch_size=1024,
+        )
+        tp8 = ParallelConfig(
+            tensor_parallel=8, pipeline_stages=16, data_parallel=8,
+            microbatch_size=2, global_batch_size=1024,
+        )
+        c1 = main_job_costs(gpt40b_model, tp1)
+        c8 = main_job_costs(gpt40b_model, tp8)
+        assert c8.max_t_forward < c1.max_t_forward
+
+    def test_grad_reduce_zero_without_data_parallelism(self, gpt5b_model):
+        cfg = ParallelConfig(
+            tensor_parallel=1, pipeline_stages=16, data_parallel=1,
+            microbatch_size=2, global_batch_size=16,
+        )
+        costs = main_job_costs(gpt5b_model, cfg)
+        assert all(s.t_grad_reduce == 0.0 for s in costs.stages)
+
+    def test_invalid_runtime_buffer(self, gpt5b_model, parallel_5b):
+        with pytest.raises(ValueError):
+            main_job_costs(gpt5b_model, parallel_5b, runtime_buffer_bytes=-1.0)
+
+    def test_model_flops_per_iteration(self, costs_5b, gpt5b_model, parallel_5b):
+        expected = gpt5b_model.train_flops_per_sample * parallel_5b.global_batch_size
+        assert costs_5b.model_flops_per_iteration == pytest.approx(expected)
+
+    def test_node_spec_override(self, gpt5b_model, parallel_5b):
+        costs = main_job_costs(gpt5b_model, parallel_5b, node=P3_16XLARGE)
+        assert costs.device.name == "V100-16GB"

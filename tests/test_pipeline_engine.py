@@ -1,0 +1,169 @@
+"""Tests for repro.pipeline.engine (the instrumented pipeline engine)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.costs import main_job_costs
+from repro.pipeline.engine import InstrumentedPipelineEngine
+from repro.pipeline.instructions import BubbleKind
+from repro.pipeline.parallelism import ParallelConfig
+
+
+@pytest.fixture(scope="module")
+def small_engine(bert_base_model_module):
+    """A fast 4-stage pipeline over BERT-base used for structural tests."""
+    cfg = ParallelConfig(
+        tensor_parallel=1, pipeline_stages=4, data_parallel=1,
+        microbatch_size=2, global_batch_size=16,
+    )
+    costs = main_job_costs(bert_base_model_module, cfg)
+    return InstrumentedPipelineEngine(costs, "gpipe")
+
+
+@pytest.fixture(scope="module")
+def bert_base_model_module():
+    from repro.models.registry import build_model
+
+    return build_model("bert-base")
+
+
+class TestReplayBasics:
+    def test_all_stages_have_timelines(self, small_engine):
+        timelines = small_engine.run()
+        assert len(timelines) == 4
+        assert all(t.busy_time > 0 for t in timelines)
+
+    def test_iteration_counts(self, small_engine):
+        timelines = small_engine.run()
+        for t in timelines:
+            assert len(t.iteration_starts) == small_engine.num_iterations
+            assert len(t.iteration_ends) == small_engine.num_iterations
+
+    def test_deterministic_replay(self, small_engine):
+        a = small_engine.measure().iteration_time
+        b = small_engine.measure().iteration_time
+        assert a == b
+
+    def test_minimum_iterations_enforced(self, small_engine):
+        with pytest.raises(ValueError):
+            InstrumentedPipelineEngine(small_engine.costs, "gpipe", num_iterations=2)
+
+    def test_schedule_mismatch_rejected(self, small_engine):
+        from repro.pipeline.schedules import GPipeSchedule
+
+        with pytest.raises(ValueError):
+            InstrumentedPipelineEngine(small_engine.costs, GPipeSchedule(8, 4))
+
+
+class TestMeasuredBubbles:
+    def test_5b_job_bubble_ratio_matches_paper(self, engine_5b):
+        """The 5B physical-cluster job runs at ~65% bubbles (Section 6.1)."""
+        stats = engine_5b.measure()
+        assert 0.55 <= stats.bubble_ratio <= 0.72
+
+    def test_measured_iteration_close_to_analytic(self, engine_5b, costs_5b):
+        stats = engine_5b.measure()
+        assert stats.iteration_time == pytest.approx(costs_5b.iteration_time, rel=0.10)
+
+    def test_bubble_kinds_by_stage(self, engine_5b):
+        cycles = engine_5b.bubble_cycles()
+        # Stage 0: only fwd-bwd; last stage: only fill-drain.
+        kinds_first = {b.kind for b in cycles[0].bubbles if b.duration > 1e-6}
+        kinds_last = {b.kind for b in cycles[-1].bubbles if b.duration > 1e-6}
+        assert BubbleKind.FWD_BWD in kinds_first
+        assert BubbleKind.FILL_DRAIN not in kinds_first
+        assert BubbleKind.FILL_DRAIN in kinds_last
+        assert BubbleKind.FWD_BWD not in kinds_last
+
+    def test_fwd_bwd_bubble_shrinks_with_stage_id(self, engine_5b):
+        cycles = engine_5b.bubble_cycles()
+
+        def fwd_bwd(c):
+            return sum(b.duration for b in c.bubbles if b.kind is BubbleKind.FWD_BWD)
+
+        assert fwd_bwd(cycles[0]) > fwd_bwd(cycles[8]) > fwd_bwd(cycles[15])
+
+    def test_fill_drain_bubble_grows_with_stage_id(self, engine_5b):
+        cycles = engine_5b.bubble_cycles()
+
+        def fill_drain(c):
+            return sum(b.duration for b in c.bubbles if b.kind is BubbleKind.FILL_DRAIN)
+
+        assert fill_drain(cycles[15]) > fill_drain(cycles[8]) > fill_drain(cycles[0])
+
+    def test_gpipe_measured_bubbles_match_formulas_uniform_stages(self):
+        """With perfectly uniform stages the measured bubbles equal Section 4.5's formulas."""
+        from repro.models.base import LayerKind, LayerSpec, ModelSpec
+
+        block = dict(
+            kind=LayerKind.TRANSFORMER_BLOCK,
+            param_count=1e6,
+            fwd_flops_per_sample=1e12,
+            activation_bytes_per_sample=1e6,
+            output_bytes_per_sample=1e5,
+        )
+        model = ModelSpec(
+            name="uniform",
+            layers=tuple(LayerSpec(name=f"b{i}", **block) for i in range(8)),
+            reference_seq_len=128,
+        )
+        cfg = ParallelConfig(
+            tensor_parallel=1, pipeline_stages=8, data_parallel=1,
+            microbatch_size=1, global_batch_size=6,
+        )
+        costs = main_job_costs(model, cfg)
+        engine = InstrumentedPipelineEngine(costs, "gpipe")
+        cycles = engine.bubble_cycles()
+        t_f, t_b = costs.max_t_forward, costs.max_t_backward
+        sched = engine.schedule
+        for stage in (1, 4, 6):
+            measured = sum(
+                b.duration for b in cycles[stage].bubbles if b.kind is BubbleKind.FWD_BWD
+            )
+            expected = sched.fwd_bwd_bubble_duration(stage, t_f, t_b)
+            assert measured == pytest.approx(expected, rel=0.15)
+
+    def test_cycle_period_matches_iteration_time(self, engine_5b):
+        stats = engine_5b.measure()
+        cycle = engine_5b.bubble_cycle(5)
+        assert cycle.period == pytest.approx(stats.iteration_time, rel=1e-6)
+
+    def test_1f1b_total_bubble_similar_to_gpipe(self, costs_5b):
+        gpipe = InstrumentedPipelineEngine(costs_5b, "gpipe").measure()
+        f1b = InstrumentedPipelineEngine(costs_5b, "1f1b").measure()
+        assert f1b.bubble_ratio == pytest.approx(gpipe.bubble_ratio, rel=0.10)
+
+    def test_1f1b_has_non_contiguous_idle(self, costs_5b):
+        engine = InstrumentedPipelineEngine(costs_5b, "1f1b")
+        cycles = engine.bubble_cycles()
+        non_contig = sum(
+            b.duration
+            for c in cycles
+            for b in c.bubbles
+            if b.kind is BubbleKind.NON_CONTIGUOUS
+        )
+        assert non_contig > 0.0
+
+
+class TestInjectedWork:
+    def test_small_injection_does_not_slow_main_job(self, engine_5b):
+        """Work that fits in the bubble leaves the iteration time unchanged."""
+        slowdown = engine_5b.measure_slowdown({(8, BubbleKind.FWD_BWD): 0.1})
+        assert slowdown == pytest.approx(0.0, abs=0.005)
+
+    def test_oversized_injection_slows_main_job(self, engine_5b):
+        cycle = engine_5b.bubble_cycle(8)
+        fwd_bwd = sum(b.duration for b in cycle.bubbles if b.kind is BubbleKind.FWD_BWD)
+        slowdown = engine_5b.measure_slowdown({(8, BubbleKind.FWD_BWD): 2.0 * fwd_bwd})
+        assert slowdown > 0.02
+
+    def test_stats_days_to_train(self, engine_5b):
+        stats = engine_5b.measure()
+        days = stats.days_to_train(1e12)
+        assert days > 0
+        with pytest.raises(ValueError):
+            stats.days_to_train(0)
+
+    def test_samples_per_second_positive(self, engine_5b):
+        assert engine_5b.measure().samples_per_second > 0

@@ -1,0 +1,99 @@
+"""Tests for repro.pipeline.parallelism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.parallelism import ParallelConfig, bubble_fraction, microbatches_for_cluster
+
+
+class TestBubbleFraction:
+    def test_formula(self):
+        # (p-1)/(m+p-1)
+        assert bubble_fraction(16, 8) == pytest.approx(15 / 23)
+
+    def test_single_stage_no_bubble(self):
+        assert bubble_fraction(1, 8) == 0.0
+
+    def test_single_microbatch_worst_case(self):
+        assert bubble_fraction(4, 1) == pytest.approx(3 / 4)
+
+    def test_monotone_in_stages(self):
+        assert bubble_fraction(32, 8) > bubble_fraction(16, 8)
+
+    def test_monotone_in_microbatches(self):
+        assert bubble_fraction(16, 64) < bubble_fraction(16, 8)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            bubble_fraction(0, 8)
+
+
+class TestParallelConfig:
+    def test_paper_8k_configuration(self, parallel_40b_8k):
+        assert parallel_40b_8k.num_devices == 8192
+        assert parallel_40b_8k.num_microbatches == 8
+        assert parallel_40b_8k.bubble_fraction == pytest.approx(15 / 23)
+
+    def test_paper_5b_configuration(self, parallel_5b):
+        # 16 GPUs per replica (pp16, no tp); 8 microbatches -> 65% bubbles.
+        assert parallel_5b.devices_per_replica == 16
+        assert parallel_5b.num_microbatches == 8
+        assert parallel_5b.bubble_fraction == pytest.approx(0.652, abs=0.001)
+
+    def test_samples_per_replica(self, parallel_40b_1k):
+        assert parallel_40b_1k.samples_per_replica == 128
+        assert parallel_40b_1k.num_microbatches == 64
+
+    def test_describe(self, parallel_40b_8k):
+        assert parallel_40b_8k.describe() == "tp8-pp16-dp64 (m=8)"
+
+    def test_invalid_batch_split(self):
+        with pytest.raises(ValueError, match="multiple of the microbatch"):
+            ParallelConfig(
+                tensor_parallel=1,
+                pipeline_stages=2,
+                data_parallel=1,
+                microbatch_size=3,
+                global_batch_size=8,
+            )
+
+    def test_too_much_data_parallelism(self):
+        with pytest.raises(ValueError, match="fewer than the microbatch size"):
+            ParallelConfig(
+                tensor_parallel=1,
+                pipeline_stages=2,
+                data_parallel=1024,
+                microbatch_size=2,
+                global_batch_size=1024,
+            )
+
+    def test_with_data_parallel(self, parallel_40b_1k):
+        scaled = parallel_40b_1k.with_data_parallel(64)
+        assert scaled.num_devices == 8192
+        assert scaled.num_microbatches == 8
+
+
+class TestMicrobatchesForCluster:
+    def test_scaling_sweep_matches_paper(self, parallel_40b_1k):
+        """Scaling the 40B job 1K->16K GPUs reproduces the paper's m and bubble ratios."""
+        expected = {
+            1024: (8, 64, pytest.approx(0.19, abs=0.01)),
+            2048: (16, 32, pytest.approx(0.32, abs=0.01)),
+            4096: (32, 16, pytest.approx(0.48, abs=0.01)),
+            8192: (64, 8, pytest.approx(0.65, abs=0.01)),
+            16384: (128, 4, pytest.approx(0.789, abs=0.01)),
+        }
+        for gpus, (dp, m, bubble) in expected.items():
+            cfg = microbatches_for_cluster(parallel_40b_1k, gpus)
+            assert cfg.data_parallel == dp
+            assert cfg.num_microbatches == m
+            assert cfg.bubble_fraction == bubble
+
+    def test_non_multiple_rejected(self, parallel_40b_1k):
+        with pytest.raises(ValueError):
+            microbatches_for_cluster(parallel_40b_1k, 1000)
+
+    def test_invalid_device_count(self, parallel_40b_1k):
+        with pytest.raises(ValueError):
+            microbatches_for_cluster(parallel_40b_1k, 0)

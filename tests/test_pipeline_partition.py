@@ -1,0 +1,57 @@
+"""Tests for repro.pipeline.partition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.partition import partition_layers
+
+
+class TestPartitionLayers:
+    def test_partitions_cover_all_layers(self, gpt5b_model):
+        stages = partition_layers(gpt5b_model, 16)
+        assert len(stages) == 16
+        assert stages[0].layer_start == 0
+        assert stages[-1].layer_stop == gpt5b_model.num_layers
+        for prev, cur in zip(stages, stages[1:]):
+            assert prev.layer_stop == cur.layer_start
+
+    def test_total_params_preserved(self, gpt5b_model):
+        stages = partition_layers(gpt5b_model, 16)
+        assert sum(s.param_count for s in stages) == pytest.approx(gpt5b_model.param_count)
+
+    def test_total_flops_preserved(self, gpt40b_model):
+        stages = partition_layers(gpt40b_model, 16)
+        assert sum(s.fwd_flops_per_sample for s in stages) == pytest.approx(
+            gpt40b_model.fwd_flops_per_sample
+        )
+
+    def test_compute_balanced_within_factor(self, gpt40b_model):
+        """No stage should carry more than ~2x the mean compute."""
+        stages = partition_layers(gpt40b_model, 16)
+        flops = [s.fwd_flops_per_sample for s in stages]
+        mean = sum(flops) / len(flops)
+        assert max(flops) < 2.0 * mean
+        assert min(flops) > 0.0
+
+    def test_first_last_flags(self, gpt5b_model):
+        stages = partition_layers(gpt5b_model, 4)
+        assert stages[0].is_first and not stages[0].is_last
+        assert stages[-1].is_last and not stages[-1].is_first
+
+    def test_single_stage(self, bert_base_model):
+        stages = partition_layers(bert_base_model, 1)
+        assert len(stages) == 1
+        assert stages[0].model.num_layers == bert_base_model.num_layers
+
+    def test_stage_per_layer(self, bert_base_model):
+        stages = partition_layers(bert_base_model, bert_base_model.num_layers)
+        assert all(s.model.num_layers == 1 for s in stages)
+
+    def test_too_many_stages_rejected(self, bert_base_model):
+        with pytest.raises(ValueError):
+            partition_layers(bert_base_model, bert_base_model.num_layers + 1)
+
+    def test_invalid_stage_count(self, bert_base_model):
+        with pytest.raises(ValueError):
+            partition_layers(bert_base_model, 0)

@@ -1,0 +1,231 @@
+"""Tests for repro.pipeline.schedules (GPipe / 1F1B instruction streams)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.instructions import (
+    BackwardPass,
+    BubbleKind,
+    ForwardPass,
+    InstructionKind,
+    OptimizerStep,
+    PipelineBubble,
+    RecvActivation,
+    RecvGrad,
+    ReduceGrads,
+    SendActivation,
+    SendGrad,
+)
+from repro.pipeline.schedules import (
+    GPipeSchedule,
+    OneFOneBSchedule,
+    SCHEDULES,
+    build_schedule,
+)
+
+
+class TestBuildSchedule:
+    def test_lookup(self):
+        assert isinstance(build_schedule("gpipe", 4, 8), GPipeSchedule)
+        assert isinstance(build_schedule("1F1B", 4, 8), OneFOneBSchedule)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            build_schedule("chimera", 4, 8)
+
+    def test_registry_contents(self):
+        assert set(SCHEDULES) == {"gpipe", "1f1b"}
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            GPipeSchedule(num_stages=0, num_microbatches=4)
+
+
+def _count(instrs, kind):
+    return sum(1 for i in instrs if i.kind is kind)
+
+
+class TestGPipeInstructions:
+    @pytest.fixture(scope="class")
+    def schedule(self) -> GPipeSchedule:
+        return GPipeSchedule(num_stages=4, num_microbatches=6)
+
+    def test_every_stage_runs_all_microbatches(self, schedule):
+        for stage in range(4):
+            instrs = schedule.stage_instructions(stage)
+            assert _count(instrs, InstructionKind.FORWARD) == 6
+            assert _count(instrs, InstructionKind.BACKWARD) == 6
+
+    def test_all_forwards_before_all_backwards(self, schedule):
+        instrs = schedule.stage_instructions(1)
+        last_fwd = max(i for i, x in enumerate(instrs) if x.kind is InstructionKind.FORWARD)
+        first_bwd = min(i for i, x in enumerate(instrs) if x.kind is InstructionKind.BACKWARD)
+        assert last_fwd < first_bwd
+
+    def test_first_stage_has_no_recv_activation(self, schedule):
+        instrs = schedule.stage_instructions(0)
+        assert _count(instrs, InstructionKind.RECV_ACTIVATION) == 0
+        assert _count(instrs, InstructionKind.SEND_ACTIVATION) == 6
+
+    def test_last_stage_has_no_send_activation(self, schedule):
+        instrs = schedule.stage_instructions(3)
+        assert _count(instrs, InstructionKind.SEND_ACTIVATION) == 0
+        assert _count(instrs, InstructionKind.RECV_GRAD) == 0
+
+    def test_bubble_instructions_present(self, schedule):
+        # Middle stages get both bubble markers; stage 0 only fwd-bwd; the
+        # last stage only fill-drain.
+        mid = [i for i in schedule.stage_instructions(2) if isinstance(i, PipelineBubble)]
+        assert {b.bubble_kind for b in mid} == {BubbleKind.FILL_DRAIN, BubbleKind.FWD_BWD}
+        first = [i for i in schedule.stage_instructions(0) if isinstance(i, PipelineBubble)]
+        assert {b.bubble_kind for b in first} == {BubbleKind.FWD_BWD}
+        last = [i for i in schedule.stage_instructions(3) if isinstance(i, PipelineBubble)]
+        assert {b.bubble_kind for b in last} == {BubbleKind.FILL_DRAIN}
+
+    def test_boundary_tail(self, schedule):
+        instrs = schedule.stage_instructions(1)
+        assert isinstance(instrs[-1], OptimizerStep)
+        assert isinstance(instrs[-2], ReduceGrads)
+
+    def test_send_recv_pairing(self, schedule):
+        """Every activation sent by stage s is received by stage s+1."""
+        for s in range(3):
+            sends = [
+                i.microbatch
+                for i in schedule.stage_instructions(s)
+                if isinstance(i, SendActivation)
+            ]
+            recvs = [
+                i.microbatch
+                for i in schedule.stage_instructions(s + 1)
+                if isinstance(i, RecvActivation)
+            ]
+            assert sorted(sends) == sorted(recvs)
+
+    def test_grad_send_recv_pairing(self, schedule):
+        for s in range(1, 4):
+            sends = [
+                i.microbatch for i in schedule.stage_instructions(s) if isinstance(i, SendGrad)
+            ]
+            recvs = [
+                i.microbatch
+                for i in schedule.stage_instructions(s - 1)
+                if isinstance(i, RecvGrad)
+            ]
+            assert sorted(sends) == sorted(recvs)
+
+
+class TestOneFOneBInstructions:
+    @pytest.fixture(scope="class")
+    def schedule(self) -> OneFOneBSchedule:
+        return OneFOneBSchedule(num_stages=4, num_microbatches=6)
+
+    def test_all_microbatches_processed(self, schedule):
+        for stage in range(4):
+            instrs = schedule.stage_instructions(stage)
+            fwd = sorted(i.microbatch for i in instrs if isinstance(i, ForwardPass))
+            bwd = sorted(i.microbatch for i in instrs if isinstance(i, BackwardPass))
+            assert fwd == list(range(6))
+            assert bwd == list(range(6))
+
+    def test_interleaving_in_steady_state(self, schedule):
+        """After warmup, forwards and backwards alternate (1F1B property)."""
+        instrs = [
+            i for i in schedule.stage_instructions(0)
+            if isinstance(i, (ForwardPass, BackwardPass))
+        ]
+        # Stage 0 has warmup = 3; afterwards F/B alternate.
+        steady = instrs[3:]
+        kinds = [type(i).__name__ for i in steady]
+        for a, b in zip(kinds, kinds[1:]):
+            assert a != b or kinds.count("BackwardPass") > kinds.count("ForwardPass")
+
+    def test_warmup_smaller_for_later_stages(self, schedule):
+        def warmup_count(stage: int) -> int:
+            instrs = schedule.stage_instructions(stage)
+            count = 0
+            for i in instrs:
+                if isinstance(i, ForwardPass):
+                    count += 1
+                elif isinstance(i, BackwardPass):
+                    break
+            return count
+
+        assert warmup_count(0) > warmup_count(2)
+        assert warmup_count(3) == 1
+
+    def test_send_recv_pairing(self, schedule):
+        for s in range(3):
+            sends = [
+                i.microbatch
+                for i in schedule.stage_instructions(s)
+                if isinstance(i, SendActivation)
+            ]
+            recvs = [
+                i.microbatch
+                for i in schedule.stage_instructions(s + 1)
+                if isinstance(i, RecvActivation)
+            ]
+            assert sorted(sends) == sorted(recvs)
+
+
+class TestAnalyticBubbleDurations:
+    """The Section 4.5 formulas."""
+
+    def test_gpipe_fwd_bwd_bubble(self):
+        sched = GPipeSchedule(num_stages=16, num_microbatches=8)
+        t_f, t_b = 0.05, 0.1
+        assert sched.fwd_bwd_bubble_duration(0, t_f, t_b) == pytest.approx(15 * 0.15)
+        assert sched.fwd_bwd_bubble_duration(15, t_f, t_b) == 0.0
+
+    def test_fill_drain_same_for_both_schedules(self):
+        g = GPipeSchedule(num_stages=16, num_microbatches=8)
+        o = OneFOneBSchedule(num_stages=16, num_microbatches=8)
+        for stage in range(16):
+            assert g.fill_drain_bubble_duration(stage, 0.05, 0.1) == pytest.approx(
+                o.fill_drain_bubble_duration(stage, 0.05, 0.1)
+            )
+
+    def test_1f1b_fwd_bwd_formula(self):
+        sched = OneFOneBSchedule(num_stages=16, num_microbatches=8)
+        t_f, t_b = 0.05, 0.1
+        # (p - s - 1)*t_b + max(0, p - s - m)*t_f
+        assert sched.fwd_bwd_bubble_duration(0, t_f, t_b) == pytest.approx(15 * t_b + 8 * t_f)
+        assert sched.fwd_bwd_bubble_duration(10, t_f, t_b) == pytest.approx(5 * t_b)
+
+    def test_total_bubble_identical_across_schedules(self):
+        """The paper: 1F1B has the same total bubble time, just fragmented."""
+        g = GPipeSchedule(num_stages=16, num_microbatches=8)
+        o = OneFOneBSchedule(num_stages=16, num_microbatches=8)
+        for stage in range(16):
+            assert g.total_bubble_duration(stage, 0.05, 0.1) == pytest.approx(
+                o.total_bubble_duration(stage, 0.05, 0.1)
+            )
+
+    def test_gpipe_has_no_non_contiguous_bubbles(self):
+        g = GPipeSchedule(num_stages=8, num_microbatches=4)
+        for stage in range(8):
+            assert g.non_contiguous_bubble_duration(stage, 0.05, 0.1) == pytest.approx(0.0)
+
+    def test_1f1b_has_non_contiguous_bubbles(self):
+        o = OneFOneBSchedule(num_stages=8, num_microbatches=16)
+        assert o.non_contiguous_bubble_duration(0, 0.05, 0.1) > 0.0
+        # The last stage never waits mid-iteration.
+        assert o.non_contiguous_bubble_duration(7, 0.05, 0.1) == pytest.approx(0.0)
+
+    def test_non_contiguous_shrinks_relative_at_scale(self):
+        """At larger scale (fewer microbatches) the non-contiguous share shrinks,
+        which is why the GPipe-vs-1F1B gap closes (Figure 8)."""
+        t_f, t_b = 0.05, 0.1
+        small_scale = OneFOneBSchedule(num_stages=16, num_microbatches=64)
+        large_scale = OneFOneBSchedule(num_stages=16, num_microbatches=4)
+        def non_contig_share(sched):
+            total = sum(sched.total_bubble_duration(s, t_f, t_b) for s in range(16))
+            nc = sum(sched.non_contiguous_bubble_duration(s, t_f, t_b) for s in range(16))
+            return nc / total
+        assert non_contig_share(large_scale) < non_contig_share(small_scale)
+
+    def test_stage_out_of_range(self):
+        with pytest.raises(ValueError):
+            GPipeSchedule(num_stages=4, num_microbatches=2).fwd_bwd_bubble_duration(4, 0.1, 0.2)

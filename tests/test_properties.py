@@ -1,0 +1,252 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PipeFillConfig, main_job_overhead_fraction
+from repro.core.plan import PlanError, plan_fill_job
+from repro.hardware.memory import DeviceOOMError, MemoryAllocator
+from repro.models.base import ComputationalGraph, GraphNode, NodeRole
+from repro.models.efficiency import EfficiencyModel
+from repro.pipeline.bubbles import BubbleCycle
+from repro.pipeline.parallelism import bubble_fraction
+from repro.pipeline.schedules import GPipeSchedule, OneFOneBSchedule
+from repro.sim.events import EventKind, EventQueue
+from repro.utils.units import GIB
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+durations = st.floats(min_value=0.01, max_value=2.0, allow_nan=False)
+memories = st.floats(min_value=1e6, max_value=4 * GIB, allow_nan=False)
+
+
+@st.composite
+def graphs(draw, max_nodes: int = 8):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    nodes = tuple(
+        GraphNode(
+            name=f"n{i}",
+            role=NodeRole.FORWARD,
+            duration=draw(st.floats(min_value=0.001, max_value=0.3)),
+            memory_bytes=draw(st.floats(min_value=1e6, max_value=2 * GIB)),
+            flops=draw(st.floats(min_value=1e9, max_value=1e13)),
+        )
+        for i in range(n)
+    )
+    return ComputationalGraph(model_name="prop", nodes=nodes)
+
+
+@st.composite
+def bubble_cycles(draw, max_bubbles: int = 4):
+    n = draw(st.integers(min_value=1, max_value=max_bubbles))
+    ds = [draw(st.floats(min_value=0.2, max_value=2.0)) for _ in range(n)]
+    free = draw(st.floats(min_value=2 * GIB, max_value=8 * GIB))
+    period = sum(ds) + draw(st.floats(min_value=0.5, max_value=5.0))
+    return BubbleCycle.from_durations(ds, free, period)
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 1 invariants
+# ---------------------------------------------------------------------------
+
+_PERMISSIVE = PipeFillConfig(
+    fill_fraction=1.0,
+    context_switch_seconds=0.0,
+    min_fill_bubble_seconds=0.0,
+    memory_safety_fraction=1.0,
+)
+
+
+class TestPlanProperties:
+    @given(graph=graphs(), cycle=bubble_cycles())
+    @settings(max_examples=60, deadline=None)
+    def test_partitions_never_exceed_bubble_capacity(self, graph, cycle):
+        try:
+            plan = plan_fill_job(graph, cycle, _PERMISSIVE)
+        except PlanError:
+            assume(False)
+            return
+        for partition in plan.partitions:
+            bubble = plan.bubbles[partition.bubble_index]
+            assert partition.duration <= bubble.duration + 1e-9
+            assert partition.memory_bytes <= bubble.free_memory_bytes + 1e-6
+
+    @given(graph=graphs(), cycle=bubble_cycles())
+    @settings(max_examples=60, deadline=None)
+    def test_every_replicated_node_scheduled_exactly_once(self, graph, cycle):
+        try:
+            plan = plan_fill_job(graph, cycle, _PERMISSIVE)
+        except PlanError:
+            assume(False)
+            return
+        names = [n.name for p in plan.partitions for n in p.nodes]
+        assert len(names) == len(set(names))
+        assert len(names) == plan.iterations * len(graph)
+
+    @given(graph=graphs(), cycle=bubble_cycles())
+    @settings(max_examples=60, deadline=None)
+    def test_sequential_order_preserved(self, graph, cycle):
+        try:
+            plan = plan_fill_job(graph, cycle, _PERMISSIVE)
+        except PlanError:
+            assume(False)
+            return
+        order = [n.name for p in plan.partitions for n in p.nodes]
+        expected = [
+            f"iter{i}/{node.name}" for i in range(plan.iterations) for node in graph.nodes
+        ]
+        assert order == expected
+
+    @given(graph=graphs(), cycle=bubble_cycles())
+    @settings(max_examples=40, deadline=None)
+    def test_planned_flops_conserved(self, graph, cycle):
+        try:
+            plan = plan_fill_job(graph, cycle, _PERMISSIVE)
+        except PlanError:
+            assume(False)
+            return
+        assert math.isclose(
+            plan.planned_flops, plan.iterations * graph.total_flops, rel_tol=1e-9
+        )
+
+
+# ---------------------------------------------------------------------------
+# Memory allocator invariants
+# ---------------------------------------------------------------------------
+
+
+class TestAllocatorProperties:
+    @given(
+        requests=st.lists(
+            st.tuples(
+                st.sampled_from(["main", "fill-a", "fill-b"]),
+                st.floats(min_value=1e6, max_value=6 * GIB),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_reserved_never_exceeds_capacity(self, requests):
+        allocator = MemoryAllocator(capacity_bytes=12 * GIB)
+        for i, (pool, size) in enumerate(requests):
+            try:
+                allocator.allocate(pool, f"t{i}", size)
+            except DeviceOOMError:
+                pass
+            assert allocator.total_reserved_bytes <= allocator.capacity_bytes + 1e-6
+            assert allocator.free_bytes >= -1e-6
+
+    @given(
+        sizes=st.lists(st.floats(min_value=1e6, max_value=1 * GIB), min_size=1, max_size=10)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_alloc_free_empty_cache_roundtrip(self, sizes):
+        allocator = MemoryAllocator(capacity_bytes=64 * GIB)
+        for i, size in enumerate(sizes):
+            allocator.allocate("pool", f"t{i}", size)
+        allocator.free_all("pool")
+        allocator.empty_cache("pool")
+        assert allocator.free_bytes == allocator.capacity_bytes
+        assert allocator.memory_allocated("pool") == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Schedule / bubble invariants
+# ---------------------------------------------------------------------------
+
+
+class TestScheduleProperties:
+    @given(
+        p=st.integers(min_value=1, max_value=32),
+        m=st.integers(min_value=1, max_value=128),
+        t_f=st.floats(min_value=0.001, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bubble_formulas_consistent(self, p, m, t_f):
+        """Per-stage bubble decomposition sums to the schedule-independent total."""
+        t_b = 2 * t_f
+        for schedule in (GPipeSchedule(p, m), OneFOneBSchedule(p, m)):
+            for stage in range(p):
+                total = schedule.total_bubble_duration(stage, t_f, t_b)
+                parts = (
+                    schedule.fill_drain_bubble_duration(stage, t_f, t_b)
+                    + schedule.fwd_bwd_bubble_duration(stage, t_f, t_b)
+                    + schedule.non_contiguous_bubble_duration(stage, t_f, t_b)
+                )
+                assert math.isclose(total, parts, rel_tol=1e-9, abs_tol=1e-12)
+                assert schedule.non_contiguous_bubble_duration(stage, t_f, t_b) >= -1e-12
+
+    @given(p=st.integers(min_value=1, max_value=64), m=st.integers(min_value=1, max_value=512))
+    @settings(max_examples=100, deadline=None)
+    def test_bubble_fraction_bounds(self, p, m):
+        frac = bubble_fraction(p, m)
+        assert 0.0 <= frac < 1.0
+        # More microbatches can only reduce the fraction.
+        assert bubble_fraction(p, m + 1) <= frac
+
+    @given(
+        p=st.integers(min_value=2, max_value=8),
+        m=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_instruction_streams_complete(self, p, m):
+        """Every schedule runs every microbatch exactly once on every stage."""
+        from repro.pipeline.instructions import InstructionKind
+
+        for schedule in (GPipeSchedule(p, m), OneFOneBSchedule(p, m)):
+            for stage in range(p):
+                instrs = schedule.stage_instructions(stage)
+                fwd = [i for i in instrs if i.kind is InstructionKind.FORWARD]
+                bwd = [i for i in instrs if i.kind is InstructionKind.BACKWARD]
+                assert sorted(getattr(i, "microbatch") for i in fwd) == list(range(m))
+                assert sorted(getattr(i, "microbatch") for i in bwd) == list(range(m))
+
+
+class TestEfficiencyProperties:
+    @given(d1=st.floats(min_value=0.0, max_value=100.0), d2=st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_bubble_efficiency_monotone_and_bounded(self, d1, d2):
+        model = EfficiencyModel()
+        e1, e2 = model.bubble_efficiency(d1), model.bubble_efficiency(d2)
+        assert model.cold_efficiency - 1e-9 <= e1 <= 1.0
+        if d1 <= d2:
+            assert e1 <= e2 + 1e-9
+
+    @given(f=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_overhead_model_bounded(self, f):
+        overhead = main_job_overhead_fraction(f)
+        assert 0.0 <= overhead <= 2.0
+        assert overhead <= main_job_overhead_fraction(1.0) + 1e-12
+
+
+class TestEventQueueProperties:
+    @given(times=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=80, deadline=None)
+    def test_events_pop_in_time_order(self, times):
+        queue = EventQueue()
+        for t in times:
+            queue.push(t, EventKind.JOB_ARRIVAL)
+        popped = [queue.pop().time for _ in range(len(times))]
+        assert popped == sorted(popped)
+        assert not queue
+
+
+class TestBubbleCycleProperties:
+    @given(cycle=bubble_cycles(), scale=st.floats(min_value=0.25, max_value=4.0))
+    @settings(max_examples=60, deadline=None)
+    def test_scaling_preserves_busy_time(self, cycle, scale):
+        scaled = cycle.scaled(duration_scale=scale)
+        busy_before = cycle.period - cycle.total_bubble_time
+        busy_after = scaled.period - scaled.total_bubble_time
+        assert math.isclose(busy_before, busy_after, rel_tol=1e-9, abs_tol=1e-9)
+        assert math.isclose(
+            scaled.total_bubble_time, scale * cycle.total_bubble_time, rel_tol=1e-9
+        )

@@ -1,0 +1,113 @@
+"""Tests for repro.sim.mainjob (the analytic uniform-stage main job)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.instructions import BubbleKind
+from repro.pipeline.parallelism import microbatches_for_cluster
+from repro.sim.mainjob import AnalyticMainJob, PAPER_BUBBLE_FREE_MEMORY_BYTES
+from repro.utils.units import GIB
+
+
+class TestTiming:
+    def test_bubble_ratio_matches_formula(self, mainjob_40b_8k, parallel_40b_8k):
+        assert mainjob_40b_8k.bubble_ratio == pytest.approx(
+            parallel_40b_8k.bubble_fraction, abs=0.02
+        )
+
+    def test_backward_twice_forward(self, mainjob_40b_8k):
+        assert mainjob_40b_8k.t_backward == pytest.approx(2 * mainjob_40b_8k.t_forward, rel=0.05)
+
+    def test_iteration_time_positive(self, mainjob_40b_8k):
+        assert mainjob_40b_8k.iteration_time > 0
+
+    def test_main_job_tflops_at_8k_matches_paper_band(self, mainjob_40b_8k):
+        """Figure 1: traditional PP at 8K GPUs lands around 15-22 TFLOP/s/GPU."""
+        assert 12.0 < mainjob_40b_8k.tflops_per_device < 25.0
+
+    def test_main_job_tflops_at_1k_matches_paper_band(self, gpt40b_model, parallel_40b_1k):
+        """Figure 1: traditional PP at 1K GPUs lands around 40-50 TFLOP/s/GPU."""
+        job = AnalyticMainJob(model=gpt40b_model, parallel=parallel_40b_1k)
+        assert 38.0 < job.tflops_per_device < 52.0
+
+    def test_days_to_train_scaling_matches_figure_4a(self, gpt40b_model, parallel_40b_1k):
+        """Figure 4a: scaling 1K -> 8K GPUs cuts training from ~82 to ~26 days."""
+        days = {}
+        for gpus in (1024, 4096, 8192):
+            cfg = microbatches_for_cluster(parallel_40b_1k, gpus)
+            days[gpus] = AnalyticMainJob(model=gpt40b_model, parallel=cfg).days_to_train(1.4e12)
+        assert days[1024] == pytest.approx(82, rel=0.15)
+        assert days[8192] == pytest.approx(26, rel=0.20)
+        assert days[1024] / days[8192] == pytest.approx(82 / 26, rel=0.20)
+
+    def test_scaling_strictly_reduces_days_but_also_tflops(self, gpt40b_model, parallel_40b_1k):
+        prev_days, prev_tflops = float("inf"), float("inf")
+        for gpus in (1024, 2048, 4096, 8192):
+            cfg = microbatches_for_cluster(parallel_40b_1k, gpus)
+            job = AnalyticMainJob(model=gpt40b_model, parallel=cfg)
+            assert job.days_to_train(1e12) < prev_days
+            assert job.tflops_per_device < prev_tflops
+            prev_days = job.days_to_train(1e12)
+            prev_tflops = job.tflops_per_device
+
+    def test_overlap_grad_reduce_flag(self, gpt40b_model, parallel_40b_8k):
+        overlapped = AnalyticMainJob(model=gpt40b_model, parallel=parallel_40b_8k)
+        exposed = AnalyticMainJob(
+            model=gpt40b_model, parallel=parallel_40b_8k, overlap_grad_reduce=False
+        )
+        assert exposed.iteration_time > overlapped.iteration_time
+
+    def test_days_to_train_invalid(self, mainjob_40b_8k):
+        with pytest.raises(ValueError):
+            mainjob_40b_8k.days_to_train(0)
+
+
+class TestBubbleCycles:
+    def test_default_free_memory_is_papers_4_5gb(self, mainjob_40b_8k):
+        assert mainjob_40b_8k.bubble_free_memory_bytes <= PAPER_BUBBLE_FREE_MEMORY_BYTES
+        assert mainjob_40b_8k.bubble_free_memory_bytes > 2 * GIB
+
+    def test_free_memory_override(self, gpt40b_model, parallel_40b_8k):
+        job = AnalyticMainJob(
+            model=gpt40b_model, parallel=parallel_40b_8k, bubble_free_memory_bytes=8 * GIB
+        )
+        assert job.bubble_cycle(3).min_free_memory_bytes == pytest.approx(8 * GIB)
+
+    def test_cycle_per_stage_structure(self, mainjob_40b_8k):
+        cycles = mainjob_40b_8k.bubble_cycles()
+        assert len(cycles) == 16
+        # Stage 0: only fwd-bwd; last stage: only fill-drain.
+        assert {b.kind for b in cycles[0].bubbles} == {BubbleKind.FWD_BWD}
+        assert {b.kind for b in cycles[-1].bubbles} == {BubbleKind.FILL_DRAIN}
+
+    def test_total_bubble_time_equal_across_stages(self, mainjob_40b_8k):
+        """GPipe: every stage idles (p-1)*(t_f+t_b) per iteration."""
+        cycles = mainjob_40b_8k.bubble_cycles()
+        totals = [c.total_bubble_time for c in cycles]
+        assert max(totals) == pytest.approx(min(totals), rel=1e-6)
+
+    def test_cycle_period_is_iteration_time(self, mainjob_40b_8k):
+        assert mainjob_40b_8k.bubble_cycle(5).period == pytest.approx(
+            mainjob_40b_8k.iteration_time
+        )
+
+    def test_1f1b_has_non_contiguous_bubbles(self, gpt40b_model, parallel_40b_1k):
+        job = AnalyticMainJob(model=gpt40b_model, parallel=parallel_40b_1k, schedule="1f1b")
+        cycle = job.bubble_cycle(2)
+        kinds = {b.kind for b in cycle.bubbles}
+        assert BubbleKind.NON_CONTIGUOUS in kinds
+
+    def test_1f1b_fillable_time_smaller_than_gpipe(self, gpt40b_model, parallel_40b_1k):
+        """Figure 8's cause: 1F1B fragments part of its bubbles into unfillable gaps."""
+        gpipe = AnalyticMainJob(model=gpt40b_model, parallel=parallel_40b_1k, schedule="gpipe")
+        f1b = AnalyticMainJob(model=gpt40b_model, parallel=parallel_40b_1k, schedule="1f1b")
+        stage = 2
+        assert (
+            f1b.bubble_cycle(stage).fillable_time
+            < gpipe.bubble_cycle(stage).fillable_time
+        )
+
+    def test_bubble_ratio_in_cycles_matches_job(self, mainjob_40b_8k):
+        cycle = mainjob_40b_8k.bubble_cycle(8)
+        assert cycle.bubble_ratio == pytest.approx(mainjob_40b_8k.bubble_ratio, abs=0.02)

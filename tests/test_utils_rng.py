@@ -1,0 +1,52 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rng
+
+
+class TestEnsureRng:
+    def test_none_uses_default_seed(self):
+        a = ensure_rng(None).integers(0, 1000, 10)
+        b = ensure_rng(None).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_int_seed_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(5)
+        b = ensure_rng(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_invalid_seed_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")  # type: ignore[arg-type]
+
+
+class TestSpawnRng:
+    def test_spawn_count(self):
+        children = spawn_rng(ensure_rng(0), 3)
+        assert len(children) == 3
+
+    def test_spawned_streams_differ(self):
+        children = spawn_rng(ensure_rng(0), 2)
+        assert not np.array_equal(children[0].random(5), children[1].random(5))
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rng(ensure_rng(0), -1)
+
+    def test_spawn_deterministic(self):
+        a = spawn_rng(ensure_rng(7), 2)[0].random(3)
+        b = spawn_rng(ensure_rng(7), 2)[0].random(3)
+        assert np.array_equal(a, b)

@@ -1,0 +1,80 @@
+"""Tests for repro.utils.tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import Table
+
+
+class TestTableConstruction:
+    def test_add_positional_row(self):
+        t = Table(columns=["a", "b"])
+        t.add_row(1, 2)
+        assert t.rows == [[1, 2]]
+
+    def test_add_named_row(self):
+        t = Table(columns=["a", "b"])
+        t.add_row(b=2, a=1)
+        assert t.rows == [[1, 2]]
+
+    def test_mixed_args_rejected(self):
+        t = Table(columns=["a"])
+        with pytest.raises(ValueError):
+            t.add_row(1, a=1)
+
+    def test_wrong_arity_rejected(self):
+        t = Table(columns=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_unknown_column_rejected(self):
+        t = Table(columns=["a"])
+        with pytest.raises(ValueError, match="unknown columns"):
+            t.add_row(z=1)
+
+    def test_extend(self):
+        t = Table(columns=["a", "b"])
+        t.extend([(1, 2), (3, 4)])
+        assert len(t.rows) == 2
+
+
+class TestTableAccess:
+    def test_column(self):
+        t = Table(columns=["x", "y"])
+        t.extend([(1, 10), (2, 20)])
+        assert t.column("y") == [10, 20]
+
+    def test_to_dicts(self):
+        t = Table(columns=["x", "y"])
+        t.add_row(1, 2)
+        assert t.to_dicts() == [{"x": 1, "y": 2}]
+
+
+class TestRendering:
+    def test_markdown_contains_header_and_rows(self):
+        t = Table(columns=["gpus", "tflops"], title="Figure 1")
+        t.add_row(1024, 46.4)
+        md = t.to_markdown()
+        assert "| gpus | tflops |" in md
+        assert "Figure 1" in md
+        assert "1024" in md
+
+    def test_ascii_alignment(self):
+        t = Table(columns=["name", "value"])
+        t.add_row("a", 1)
+        t.add_row("longer-name", 22)
+        lines = t.to_ascii().splitlines()
+        # All data lines have the same width structure.
+        assert len(lines[1]) == len(lines[2]) or len(lines) == 4
+
+    def test_formats_applied(self):
+        t = Table(columns=["v"], formats={"v": ".2f"})
+        t.add_row(3.14159)
+        assert "3.14" in t.to_markdown()
+        assert "3.14159" not in t.to_markdown()
+
+    def test_none_rendered_as_dash(self):
+        t = Table(columns=["v"])
+        t.add_row(None)
+        assert "-" in t.to_markdown()

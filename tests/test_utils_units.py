@@ -1,0 +1,66 @@
+"""Tests for repro.utils.units."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils import units
+
+
+class TestConstants:
+    def test_binary_units_are_powers_of_two(self):
+        assert units.KIB == 2**10
+        assert units.MIB == 2**20
+        assert units.GIB == 2**30
+        assert units.TIB == 2**40
+
+    def test_decimal_units(self):
+        assert units.GB == 10**9
+        assert units.TERA == 10**12
+
+    def test_time_constants(self):
+        assert units.SECONDS_PER_DAY == 24 * units.SECONDS_PER_HOUR
+        assert units.SECONDS_PER_HOUR == 3600.0
+
+
+class TestConversions:
+    def test_bytes_to_gib_roundtrip(self):
+        assert units.bytes_to_gib(units.gib(4.5)) == pytest.approx(4.5)
+
+    def test_bytes_to_gb(self):
+        assert units.bytes_to_gb(2_000_000_000) == pytest.approx(2.0)
+
+    def test_flops_to_tflops_roundtrip(self):
+        assert units.flops_to_tflops(units.tflops(125.0)) == pytest.approx(125.0)
+
+    def test_tflops(self):
+        assert units.tflops(1.0) == 1e12
+
+
+class TestFormatting:
+    def test_format_bytes_gib(self):
+        assert units.format_bytes(4.5 * units.GIB) == "4.50 GiB"
+
+    def test_format_bytes_small(self):
+        assert units.format_bytes(512) == "512 B"
+
+    def test_format_bytes_mib(self):
+        assert "MiB" in units.format_bytes(5 * units.MIB)
+
+    def test_format_duration_ms(self):
+        assert units.format_duration(0.0012) == "1.20 ms"
+
+    def test_format_duration_days(self):
+        assert units.format_duration(2 * units.SECONDS_PER_DAY) == "2.00 d"
+
+    def test_format_duration_us(self):
+        assert "us" in units.format_duration(5e-6)
+
+    def test_format_duration_minutes(self):
+        assert "min" in units.format_duration(90.0)
+
+    def test_format_flops_tflop(self):
+        assert units.format_flops(2.5e12) == "2.50 TFLOP"
+
+    def test_format_flops_small(self):
+        assert units.format_flops(10.0) == "10 FLOP"
