@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Two LLM training jobs sharing one fill-job backlog.
+
+Production clusters rarely train a single model: here the paper's 40B
+headline job (8K GPUs, ~65% bubbles) runs next to the 5B physical-cluster
+job (64 GPUs), while both tenants submit fill jobs into one shared global
+backlog.  The :class:`~repro.core.global_scheduler.GlobalScheduler` routes
+each job to whichever tenant's bubbles serve it best, and the simulator
+reports per-tenant plus aggregate recovered throughput.
+
+The same scenario is expressible declaratively -- see
+``scenarios/multi_tenant.yaml`` and run it with
+``python -m repro run scenarios/multi_tenant.yaml``.
+
+Run with ``python examples/multi_tenant_cluster.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core import PipeFillSystem, get_policy
+from repro.models import build_model
+from repro.pipeline import ParallelConfig
+from repro.sim import MultiTenantSimulator, Tenant
+from repro.workloads import TenantWorkloadSpec, build_tenant_fill_job_traces
+
+HORIZON = 3600.0
+
+
+def main() -> None:
+    # Tenant 1: the 40B LLM on 8K GPUs (deep pipeline bubbles).
+    parallel_40b = ParallelConfig(
+        tensor_parallel=8, pipeline_stages=16, data_parallel=64,
+        microbatch_size=2, global_batch_size=1024,
+    )
+    # Tenant 2: the 5B LLM on 64 GPUs (the paper's physical-cluster job).
+    parallel_5b = ParallelConfig(
+        tensor_parallel=1, pipeline_stages=16, data_parallel=4,
+        microbatch_size=2, global_batch_size=64,
+    )
+
+    # Each tenant contributes its own arrival stream to the shared backlog;
+    # the 5B tenant's jobs carry deadlines.
+    streams = build_tenant_fill_job_traces(
+        HORIZON,
+        [
+            TenantWorkloadSpec("llm-40b-8k", arrival_rate_per_hour=250),
+            TenantWorkloadSpec(
+                "llm-5b-64",
+                arrival_rate_per_hour=120,
+                deadline_fraction=0.4,
+                deadline_slack_factor=8.0,
+            ),
+        ],
+    )
+
+    tenants = [
+        Tenant("llm-40b-8k", PipeFillSystem(build_model("gpt-40b"), parallel_40b),
+               jobs=streams["llm-40b-8k"]),
+        Tenant("llm-5b-64", PipeFillSystem(build_model("gpt-5b"), parallel_5b),
+               jobs=streams["llm-5b-64"]),
+    ]
+
+    simulator = MultiTenantSimulator(tenants, policy=get_policy("sjf"))
+    result = simulator.run(horizon_seconds=HORIZON)
+
+    print(result.summary_table().to_ascii())
+    agg = result.aggregate
+    print(f"\nCluster-wide: {agg.jobs_completed}/{agg.jobs_submitted} fill jobs "
+          f"completed, {result.fill_tflops_per_device:.2f} recovered TFLOP/s per "
+          f"simulated device, {result.backlog_remaining} jobs left in the backlog.")
+    print("\nNote how jobs submitted by one tenant execute on the other tenant's "
+          "devices whenever those bubbles serve them better -- the 'jobs "
+          "submitted' and 'jobs run' columns differ per tenant but agree in "
+          "total.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Docs check: README python code blocks and the quickstart example execute.
+
+Extracts every fenced ```python block from README.md and runs each one in
+a fresh interpreter (with ``src`` on the path), then runs
+``examples/quickstart.py``.  Any failure prints the offending snippet and
+exits non-zero.  Used by CI and runnable locally:
+
+    python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+README = REPO_ROOT / "README.md"
+EXAMPLES = [REPO_ROOT / "examples" / "quickstart.py"]
+
+BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def run_snippet(code: str, label: str) -> bool:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".py", prefix="docs_check_", delete=False
+    ) as handle:
+        handle.write(code)
+        path = handle.name
+    try:
+        proc = subprocess.run(
+            [sys.executable, path],
+            env=env,
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+    finally:
+        os.unlink(path)
+    if proc.returncode != 0:
+        print(f"FAIL {label}")
+        print("--- snippet ---")
+        print(code)
+        print("--- stderr ---")
+        print(proc.stderr)
+        return False
+    print(f"ok   {label}")
+    return True
+
+
+def main() -> int:
+    blocks = BLOCK_RE.findall(README.read_text())
+    if not blocks:
+        print("error: no ```python blocks found in README.md", file=sys.stderr)
+        return 1
+    ok = True
+    for i, block in enumerate(blocks, 1):
+        ok &= run_snippet(block, f"README.md python block {i}/{len(blocks)}")
+    for example in EXAMPLES:
+        ok &= run_snippet(example.read_text(), str(example.relative_to(REPO_ROOT)))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

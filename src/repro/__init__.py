@@ -13,13 +13,17 @@ The package is organised in layers:
   GPipe / 1F1B schedules, and an instrumented pipeline engine.
 * :mod:`repro.core` -- the PipeFill contribution: pipeline bubble
   instructions, bubble profiling, the fill-job execution planner
-  (Algorithm 1), the per-device executor, main-job offloading, and the
-  policy-driven fill-job scheduler.
+  (Algorithm 1), the per-device executor, main-job offloading, the
+  policy-driven fill-job scheduler, and the cross-tenant
+  :class:`~repro.core.global_scheduler.GlobalScheduler`.
 * :mod:`repro.sim` -- the event-driven cluster simulator used for the
-  large-scale experiments.
+  large-scale experiments, its multi-tenant extension, and declarative
+  scenario specs.
 * :mod:`repro.workloads` -- fill-job categories, the synthetic model-hub
-  distribution and Alibaba-style trace generation.
+  distribution, Alibaba-style trace generation and per-tenant arrival
+  streams.
 * :mod:`repro.experiments` -- one harness per paper table/figure.
+* :mod:`repro.cli` -- the ``python -m repro run|sweep|report`` command line.
 """
 
 from repro._version import __version__

@@ -1,0 +1,277 @@
+"""The ``repro`` command-line interface: ``python -m repro <command>``.
+
+Three commands cover the common workflows:
+
+``run``
+    Simulate one scenario file and print per-tenant plus aggregate
+    fill-throughput metrics::
+
+        python -m repro run scenarios/multi_tenant.yaml
+        python -m repro run scenarios/quickstart.yaml --json -
+
+``sweep``
+    Re-run a scenario across a parameter grid, fanning the runs out over
+    worker processes.  The grid comes from the scenario's ``sweep`` block
+    or from ``--parameter/--values`` overrides::
+
+        python -m repro sweep scenarios/multi_tenant.yaml
+        python -m repro sweep scenarios/multi_tenant.yaml \\
+            --parameter policy --values sjf,edf+sjf,slack+sjf --workers 3
+
+``report``
+    Regenerate the paper's tables/figures (the same harnesses as
+    ``benchmarks/``) and write ``EXPERIMENTS.md``::
+
+        python -m repro report --output EXPERIMENTS.md --only "Figure 9"
+
+Scenario files are documented in ``docs/scenarios.md``; every command
+exits non-zero with a one-line error for malformed specs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro._version import __version__
+from repro.sim.scenario import (
+    ScenarioError,
+    ScenarioSpec,
+    load_scenario_dict,
+    run_scenario,
+    set_by_path,
+)
+from repro.utils.tables import Table
+
+
+def _coerce_scalar(token: str) -> Any:
+    """Parse a CLI sweep value: int, float, bool, null or plain string."""
+    lowered = token.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("null", "none"):
+        return None
+    for parser in (int, float):
+        try:
+            return parser(token)
+        except ValueError:
+            continue
+    return token
+
+
+def _print_result(spec: ScenarioSpec, result, *, stream=None) -> None:
+    stream = stream or sys.stdout
+    header = f"Scenario: {spec.name}"
+    if spec.description:
+        header += f" -- {spec.description}"
+    print(header, file=stream)
+    print(
+        f"policy={spec.policy}"
+        + (f" preemption={spec.preemption}" if spec.preemption else "")
+        + f" horizon={spec.horizon_seconds:.0f}s"
+        + f" tenants={len(spec.tenants)}",
+        file=stream,
+    )
+    print("", file=stream)
+    print(result.summary_table().to_ascii(), file=stream)
+    agg = result.aggregate
+    print("", file=stream)
+    print(
+        f"Aggregate: {agg.jobs_completed}/{agg.jobs_submitted} jobs completed, "
+        f"{result.fill_tflops_per_device:.2f} recovered TFLOP/s per device, "
+        f"{agg.num_preemptions} preemption(s), "
+        f"{result.backlog_remaining} left in backlog.",
+        file=stream,
+    )
+
+
+def _write_json(payload: Dict[str, Any], destination: str) -> None:
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if destination == "-":
+        print(text)
+    else:
+        Path(destination).write_text(text + "\n")
+
+
+# -- run ---------------------------------------------------------------------------
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    raw = load_scenario_dict(args.scenario)
+    spec = ScenarioSpec.from_dict(raw)
+    result = run_scenario(spec)
+    if args.json != "-":  # '-' means: stdout carries pure JSON instead
+        _print_result(spec, result)
+    if args.json:
+        _write_json({"scenario": spec.name, **result.to_dict()}, args.json)
+    return 0
+
+
+# -- sweep -------------------------------------------------------------------------
+
+
+def _sweep_worker(payload: Tuple[Dict[str, Any], str, Any]) -> Dict[str, Any]:
+    """Run one sweep point (executed in a worker process)."""
+    raw, parameter, value = payload
+    set_by_path(raw, parameter, value)
+    raw.pop("sweep", None)
+    spec = ScenarioSpec.from_dict(raw)
+    result = run_scenario(spec)
+    return {"parameter": parameter, "value": value, **result.to_dict()}
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    raw = load_scenario_dict(args.scenario)
+    spec = ScenarioSpec.from_dict(raw)
+    if args.parameter:
+        parameter = args.parameter
+        values = [_coerce_scalar(v) for v in args.values.split(",")] if args.values else []
+    elif spec.sweep is not None:
+        parameter, values = spec.sweep.parameter, list(spec.sweep.values)
+    else:
+        print(
+            "error: scenario has no 'sweep' block; pass --parameter and --values",
+            file=sys.stderr,
+        )
+        return 2
+    if not values:
+        print("error: no sweep values given", file=sys.stderr)
+        return 2
+
+    payloads = [(json.loads(json.dumps(raw)), parameter, value) for value in values]
+    workers = args.workers or min(len(values), 4)
+    if workers <= 1:
+        outcomes = [_sweep_worker(p) for p in payloads]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_sweep_worker, payloads))
+
+    table = Table(
+        columns=[
+            parameter,
+            "completed",
+            "submitted",
+            "fill TFLOP/s per GPU",
+            "avg JCT (s)",
+            "makespan (s)",
+            "deadline hit rate",
+            "preemptions",
+        ],
+        title=f"Sweep of {parameter!r} on scenario {spec.name!r}",
+        formats={
+            "fill TFLOP/s per GPU": ".2f",
+            "avg JCT (s)": ".1f",
+            "makespan (s)": ".1f",
+            "deadline hit rate": ".1%",
+        },
+    )
+    for outcome in outcomes:
+        agg = outcome["aggregate"]
+        table.add_row(
+            str(outcome["value"]),
+            agg["jobs_completed"],
+            agg["jobs_submitted"],
+            outcome["fill_tflops_per_device"],
+            agg["average_jct"],
+            agg["makespan"],
+            agg["deadline_hit_rate"] if agg["deadlines_total"] else None,
+            agg["num_preemptions"],
+        )
+    print(table.to_ascii())
+    if args.json:
+        _write_json({"scenario": spec.name, "sweep": outcomes}, args.json)
+    return 0
+
+
+# -- report ------------------------------------------------------------------------
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import run_all, render_markdown
+
+    only = args.only or None
+    results = run_all(only)
+    if not results:
+        print(f"error: no experiments matched {only!r}", file=sys.stderr)
+        return 2
+    content = render_markdown(results)
+    if args.output == "-":
+        print(content)
+    else:
+        Path(args.output).write_text(content)
+        print(f"wrote {len(results)} experiment section(s) to {args.output}")
+    return 0
+
+
+# -- entry point -------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="PipeFill reproduction: run, sweep and report cluster simulations.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="simulate one scenario file")
+    run_p.add_argument("scenario", help="path to a .yaml/.json scenario spec")
+    run_p.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the result as JSON to PATH ('-' for stdout)",
+    )
+    run_p.set_defaults(func=cmd_run)
+
+    sweep_p = sub.add_parser("sweep", help="run a scenario across a parameter grid")
+    sweep_p.add_argument("scenario", help="path to a .yaml/.json scenario spec")
+    sweep_p.add_argument(
+        "--parameter",
+        help="dotted path to override (e.g. policy, tenants.0.workload.arrival_rate_per_hour)",
+    )
+    sweep_p.add_argument("--values", help="comma-separated values for --parameter")
+    sweep_p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (default: min(len(values), 4); 1 disables fan-out)",
+    )
+    sweep_p.add_argument("--json", metavar="PATH", help="also write results as JSON")
+    sweep_p.set_defaults(func=cmd_sweep)
+
+    report_p = sub.add_parser("report", help="regenerate the paper-experiment report")
+    report_p.add_argument(
+        "--output", default="EXPERIMENTS.md", help="output path ('-' for stdout)"
+    )
+    report_p.add_argument(
+        "--only",
+        action="append",
+        metavar="ID",
+        help="run only this experiment id (repeatable), e.g. --only 'Figure 9'",
+    )
+    report_p.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output was piped into a pager/head that exited early.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -15,7 +15,9 @@ This package is the paper's primary contribution:
 * :mod:`repro.core.profiling` -- bubble characterisation: the doubling
   probe for bubble durations and the free-memory probe.
 * :mod:`repro.core.policies` / :mod:`repro.core.scheduler` -- the fill-job
-  scheduler with user-defined scoring policies.
+  scheduler with user-defined scoring policies and preemption rules.
+* :mod:`repro.core.global_scheduler` -- the cross-tenant routing layer: one
+  shared fill-job backlog feeding many main jobs' schedulers.
 * :mod:`repro.core.system` -- the PipeFillSystem facade wiring a main job,
   executors and the scheduler together.
 """
@@ -32,13 +34,19 @@ from repro.core.offload import OffloadPlan, plan_optimizer_offload
 from repro.core.profiling import BubbleProfiler, BubbleProbeResult
 from repro.core.policies import (
     SchedulingPolicy,
+    PreemptionRule,
+    RunningJobView,
     fifo_policy,
     sjf_policy,
     makespan_policy,
     edf_policy,
+    slack_policy,
+    deadline_preemption_rule,
     compose_policies,
     POLICIES,
+    PREEMPTION_RULES,
     get_policy,
+    get_preemption_rule,
 )
 from repro.core.scheduler import (
     FillJob,
@@ -46,6 +54,7 @@ from repro.core.scheduler import (
     ExecutorState,
     FillJobScheduler,
 )
+from repro.core.global_scheduler import Assignment, GlobalScheduler
 from repro.core.system import PipeFillSystem, PipeFillReport
 
 __all__ = [
@@ -62,17 +71,25 @@ __all__ = [
     "BubbleProfiler",
     "BubbleProbeResult",
     "SchedulingPolicy",
+    "PreemptionRule",
+    "RunningJobView",
     "fifo_policy",
     "sjf_policy",
     "makespan_policy",
     "edf_policy",
+    "slack_policy",
+    "deadline_preemption_rule",
     "compose_policies",
     "POLICIES",
+    "PREEMPTION_RULES",
     "get_policy",
+    "get_preemption_rule",
     "FillJob",
     "FillJobState",
     "ExecutorState",
     "FillJobScheduler",
+    "Assignment",
+    "GlobalScheduler",
     "PipeFillSystem",
     "PipeFillReport",
 ]

@@ -1,0 +1,316 @@
+"""The Global (cross-tenant) Fill Job Scheduler.
+
+A production cluster rarely runs a single pipeline-parallel main job:
+several training jobs ("tenants") run side by side, each wasting its own
+pipeline bubbles, while the organisation maintains one shared backlog of
+fill jobs.  :class:`GlobalScheduler` is the routing layer that sits above
+one :class:`~repro.core.scheduler.FillJobScheduler` per tenant:
+
+* arriving fill jobs enter a single **global backlog**;
+* whenever any tenant's device frees up, the global scheduler scores both
+  that tenant's locally re-queued jobs (preemption leftovers) and the
+  global backlog with the configured
+  :data:`~repro.core.policies.SchedulingPolicy`, and assigns the winner;
+* once a job has begun running on a tenant it acquires **affinity** to that
+  tenant (its partial progress lives in that tenant's records), so a
+  preempted job resumes on the same tenant rather than migrating state;
+* with a :data:`~repro.core.policies.PreemptionRule` configured, an urgent
+  deadline-constrained arrival may interrupt a running job anywhere in the
+  cluster; the victim's progress is banked and its remainder re-queued.
+
+The :class:`~repro.sim.multi_tenant.MultiTenantSimulator` drives this class
+event-by-event; it can also be used directly for step-by-step tests.
+
+Job conservation invariant: every submitted job is, at all times, in
+exactly one of (a) the global backlog, (b) exactly one tenant's records
+(queued / running / completed), or (c) the globally-rejected set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.policies import (
+    JobView,
+    PreemptionRule,
+    RunningJobView,
+    SchedulingPolicy,
+    sjf_policy,
+)
+from repro.core.scheduler import FillJob, FillJobScheduler, FillJobState
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One job placement decided by the global scheduler."""
+
+    tenant: str
+    executor_index: int
+    job_id: str
+    completion_time: float
+    preempted_job_id: Optional[str] = None
+
+
+class GlobalScheduler:
+    """Routes a shared fill-job backlog across per-tenant schedulers.
+
+    Parameters
+    ----------
+    tenants:
+        One :class:`~repro.core.scheduler.FillJobScheduler` per tenant,
+        keyed by tenant name.  Each tenant scheduler owns the executors of
+        that tenant's representative devices.
+    policy:
+        Scoring policy used both for the global backlog and for jobs
+        re-queued locally after preemption.
+    preemption_rule:
+        Optional rule enabling deadline-driven preemption; ``None``
+        disables preemption entirely.
+    """
+
+    def __init__(
+        self,
+        tenants: Mapping[str, FillJobScheduler],
+        *,
+        policy: SchedulingPolicy = sjf_policy,
+        preemption_rule: Optional[PreemptionRule] = None,
+    ) -> None:
+        if not tenants:
+            raise ValueError("the global scheduler needs at least one tenant")
+        self.tenants: Dict[str, FillJobScheduler] = dict(tenants)
+        self.policy = policy
+        self.preemption_rule = preemption_rule
+        self.jobs: Dict[str, FillJob] = {}
+        self.rejected: Dict[str, FillJob] = {}
+        #: Tenant a job is (or was) resident on, once dispatched there.
+        self.placements: Dict[str, str] = {}
+        self._backlog: List[str] = []
+        # A backlog job's view on a tenant never changes while it waits
+        # (proc times depend only on the executors' cycles and the full
+        # sample count), so it is computed once per (tenant, job) instead
+        # of once per idle executor per dispatch sweep.
+        self._view_cache: Dict[Tuple[str, str], JobView] = {}
+
+    # -- submission -------------------------------------------------------------
+
+    def submit(self, job: FillJob) -> bool:
+        """Add a job to the global backlog.
+
+        Returns ``False`` (and records the job as rejected) when no
+        executor of any tenant can ever run it.
+        """
+        if job.job_id in self.jobs:
+            raise ValueError(f"job id {job.job_id!r} already submitted")
+        self.jobs[job.job_id] = job
+        for sched in self.tenants.values():
+            if any(t != float("inf") for t in sched.processing_times(job).values()):
+                self._backlog.append(job.job_id)
+                return True
+        self.rejected[job.job_id] = job
+        return False
+
+    def backlog_jobs(self, now: Optional[float] = None) -> List[FillJob]:
+        """Jobs waiting in the global backlog (arrived by ``now`` if given)."""
+        jobs = [self.jobs[jid] for jid in self._backlog]
+        if now is not None:
+            jobs = [j for j in jobs if j.arrival_time <= now]
+        return jobs
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _backlog_view(self, tenant: str, job: FillJob) -> JobView:
+        key = (tenant, job.job_id)
+        view = self._view_cache.get(key)
+        if view is None:
+            view = JobView(
+                job_id=job.job_id,
+                arrival_time=job.arrival_time,
+                proc_times=self.tenants[tenant].processing_times(job),
+                deadline=job.deadline,
+            )
+            self._view_cache[key] = view
+        return view
+
+    def _forget_backlog_views(self, job_id: str) -> None:
+        for tenant in self.tenants:
+            self._view_cache.pop((tenant, job_id), None)
+
+    def _best_backlog_job(
+        self, tenant: str, executor_index: int, now: float
+    ) -> Tuple[Optional[FillJob], float]:
+        """Highest-scoring backlog job runnable on this tenant executor."""
+        sched = self.tenants[tenant]
+        state_view = sched.scheduler_view(now)
+        best_job: Optional[FillJob] = None
+        best_score = -float("inf")
+        for job in self.backlog_jobs(now):
+            view = self._backlog_view(tenant, job)
+            if view.proc_times.get(executor_index, float("inf")) == float("inf"):
+                continue
+            score = self.policy(view, state_view, executor_index)
+            if score > best_score:
+                best_score = score
+                best_job = job
+        return best_job, best_score
+
+    def _best_local_job(
+        self, tenant: str, executor_index: int, now: float
+    ) -> Tuple[Optional[FillJob], float]:
+        """Highest-scoring locally re-queued job on this tenant executor.
+
+        Note: the tenant scheduler scores with *its own* policy, which the
+        global scheduler constructs with the same policy as its backlog
+        scoring, so local and global scores are comparable.
+        """
+        return self.tenants[tenant].select_job_scored(executor_index, now)
+
+    def dispatch(
+        self, tenant: str, executor_index: int, now: float
+    ) -> Optional[Assignment]:
+        """Fill one idle tenant executor with the best available job.
+
+        Considers both the tenant's local queue (preemption leftovers,
+        which have affinity here) and the global backlog; the policy score
+        decides between them.  Returns the resulting
+        :class:`Assignment`, or ``None`` when the executor stays idle.
+        """
+        sched = self.tenants[tenant]
+        if sched.executors[executor_index].is_busy:
+            return None
+        local_job, local_score = self._best_local_job(tenant, executor_index, now)
+        backlog_job, backlog_score = self._best_backlog_job(tenant, executor_index, now)
+        if local_job is None and backlog_job is None:
+            return None
+        if backlog_job is not None and (local_job is None or backlog_score > local_score):
+            self._backlog.remove(backlog_job.job_id)
+            self._forget_backlog_views(backlog_job.job_id)
+            self.placements[backlog_job.job_id] = tenant
+            sched.submit(backlog_job)
+            completion = sched.assign(executor_index, backlog_job, now)
+            return Assignment(tenant, executor_index, backlog_job.job_id, completion)
+        assert local_job is not None
+        completion = sched.assign(executor_index, local_job, now)
+        return Assignment(tenant, executor_index, local_job.job_id, completion)
+
+    def dispatch_idle(self, now: float) -> List[Assignment]:
+        """Dispatch onto every idle executor of every tenant until stable."""
+        assignments: List[Assignment] = []
+        progress = True
+        while progress:
+            progress = False
+            for tenant, sched in self.tenants.items():
+                for idx, state in sched.executors.items():
+                    if state.is_busy:
+                        continue
+                    assignment = self.dispatch(tenant, idx, now)
+                    if assignment is not None:
+                        assignments.append(assignment)
+                        progress = True
+        return assignments
+
+    # -- preemption -------------------------------------------------------------
+
+    def idle_can_meet_deadline(self, job_id: str, now: float) -> bool:
+        """Whether some currently-idle executor meets the job's deadline.
+
+        Used by the simulator to decide, on arrival of a deadline job,
+        whether plain dispatch suffices or preemption should be attempted
+        first (an idle-but-slow executor can be worse than preempting a
+        fast one).  Jobs without a deadline trivially return ``True``.
+        """
+        job = self.jobs[job_id]
+        if job.deadline is None:
+            return True
+        for sched in self.tenants.values():
+            times = sched.processing_times(job)
+            for idx, ex_state in sched.executors.items():
+                if ex_state.is_busy:
+                    continue
+                proc = times.get(idx, float("inf"))
+                if proc != float("inf") and now + proc <= job.deadline:
+                    return True
+        return False
+
+    def try_preempt(self, job_id: str, now: float) -> Optional[Assignment]:
+        """Try to start an urgent backlog job by preempting a running one.
+
+        Evaluates the configured preemption rule for every (tenant,
+        executor) pair currently running a job the arrival could replace,
+        preempts the highest-scoring victim, and assigns the arrival there.
+        Returns the assignment (with ``preempted_job_id`` set), or ``None``
+        when preemption is disabled or no victim qualifies.
+        """
+        if self.preemption_rule is None:
+            return None
+        if job_id not in self._backlog:
+            return None
+        job = self.jobs[job_id]
+        if job.deadline is None:
+            return None
+        best: Optional[Tuple[float, str, int]] = None
+        for tenant, sched in self.tenants.items():
+            state_view = sched.scheduler_view(now)
+            view = self._backlog_view(tenant, job)
+            for idx, ex_state in sched.executors.items():
+                if not ex_state.is_busy:
+                    continue
+                if view.proc_times.get(idx, float("inf")) == float("inf"):
+                    continue
+                victim = sched.records[ex_state.current_job_id]
+                assert victim.start_time is not None
+                running_view = RunningJobView(
+                    job_id=victim.job.job_id,
+                    start_time=victim.start_time,
+                    scheduled_end=ex_state.busy_until,
+                    executor_index=idx,
+                    deadline=victim.job.deadline,
+                )
+                score = self.preemption_rule(view, running_view, state_view)
+                if score > 0 and (best is None or score > best[0]):
+                    best = (score, tenant, idx)
+        if best is None:
+            return None
+        _, tenant, idx = best
+        sched = self.tenants[tenant]
+        preempted = sched.preempt(idx, now)
+        self._backlog.remove(job_id)
+        self._forget_backlog_views(job_id)
+        self.placements[job_id] = tenant
+        sched.submit(job)
+        completion = sched.assign(idx, job, now)
+        return Assignment(tenant, idx, job_id, completion, preempted_job_id=preempted)
+
+    # -- completion -------------------------------------------------------------
+
+    def complete(self, tenant: str, executor_index: int, now: float) -> Optional[str]:
+        """Mark the tenant executor's running job as finished."""
+        return self.tenants[tenant].complete(executor_index, now)
+
+    # -- accounting -------------------------------------------------------------
+
+    def job_states(self) -> Dict[str, FillJobState]:
+        """The current lifecycle state of every submitted job.
+
+        Backlog jobs report ``QUEUED``; globally-rejected jobs report
+        ``REJECTED``; everything else reports its tenant record's state.
+        Useful for conservation checks: the returned mapping always has
+        exactly one entry per submitted job.
+        """
+        states: Dict[str, FillJobState] = {}
+        for jid in self._backlog:
+            states[jid] = FillJobState.QUEUED
+        for jid in self.rejected:
+            states[jid] = FillJobState.REJECTED
+        for tenant, sched in self.tenants.items():
+            for jid, record in sched.records.items():
+                if jid in states:
+                    raise RuntimeError(
+                        f"job {jid!r} double-booked (tenant {tenant!r} and elsewhere)"
+                    )
+                states[jid] = record.state
+        return states
+
+    def tenant_of(self, job_id: str) -> Optional[str]:
+        """Tenant a job was placed on (``None`` while still in the backlog)."""
+        return self.placements.get(job_id)

@@ -1,11 +1,18 @@
-"""Fill-job scheduling policies.
+"""Fill-job scheduling and preemption policies.
 
 The Fill Job Scheduler exposes its policy as a scoring function
 ``f(job, state, executor_index) -> score`` (Section 4.4): whenever a device
 finishes a fill job, the scheduler submits the queued job with the highest
 score for that device.  This module provides the policies evaluated in the
 paper (Shortest-Job-First and Makespan-Minimizing), plus FIFO,
-Earliest-Deadline-First and weighted composition for hierarchical policies.
+Earliest-Deadline-First, Least-Slack-First and weighted composition for
+hierarchical policies.
+
+For multi-tenant clusters the module also defines *preemption rules*: a
+rule ``f(arriving, running, state) -> score`` inspects an arriving
+deadline-constrained job and one running job and returns a positive score
+when interrupting the running job to start the arrival is worthwhile
+(see :class:`~repro.core.global_scheduler.GlobalScheduler`).
 """
 
 from __future__ import annotations
@@ -87,6 +94,23 @@ def edf_policy(job: JobView, state: SchedulerView, executor_index: int) -> float
     return 1.0 / (max(slack, 0.0) + _EPS)
 
 
+def slack_policy(job: JobView, state: SchedulerView, executor_index: int) -> float:
+    """Least-Slack-First: prioritise the job closest to missing its deadline.
+
+    Slack is ``deadline - now - processing_time_here``; unlike plain EDF
+    this accounts for how long the job still needs to run, so a long job
+    with a far deadline can outrank a short job with a nearer one.  Jobs
+    without a deadline score 0 (compose with a fallback policy).
+    """
+    if job.deadline is None:
+        return 0.0
+    proc_here = job.proc_times.get(executor_index, float("inf"))
+    if proc_here == float("inf"):
+        proc_here = job.min_proc_time
+    slack = job.deadline - state.now - proc_here
+    return 1.0 / (max(slack, 0.0) + _EPS)
+
+
 def compose_policies(
     *weighted: Tuple[float, SchedulingPolicy],
 ) -> SchedulingPolicy:
@@ -115,6 +139,8 @@ POLICIES: Dict[str, SchedulingPolicy] = {
     "makespan": makespan_policy,
     "edf": edf_policy,
     "edf+sjf": compose_policies((1_000.0, edf_policy), (1.0, sjf_policy)),
+    "slack": slack_policy,
+    "slack+sjf": compose_policies((1_000.0, slack_policy), (1.0, sjf_policy)),
 }
 
 
@@ -124,3 +150,86 @@ def get_policy(name: str) -> SchedulingPolicy:
         return POLICIES[name.lower()]
     except KeyError:
         raise KeyError(f"unknown policy {name!r}; known: {sorted(POLICIES)}") from None
+
+
+# -- preemption -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunningJobView:
+    """The information a preemption rule may inspect about a running job."""
+
+    job_id: str
+    start_time: float
+    scheduled_end: float
+    executor_index: int = 0
+    deadline: Optional[float] = None
+
+    def remaining_time(self, now: float) -> float:
+        """Seconds of the current run segment still ahead."""
+        return max(0.0, self.scheduled_end - now)
+
+    def progress(self, now: float) -> float:
+        """Fraction of the current run segment already executed."""
+        total = self.scheduled_end - self.start_time
+        if total <= 0:
+            return 1.0
+        return min(1.0, max(0.0, (now - self.start_time) / total))
+
+
+#: A preemption rule: given an arriving job, a running job and the scheduler
+#: state, return a score; positive means "preempt the running job in favour
+#: of the arrival", and among candidates the highest score wins.
+PreemptionRule = Callable[[JobView, RunningJobView, SchedulerView], float]
+
+
+def deadline_preemption_rule(
+    arriving: JobView, running: RunningJobView, state: SchedulerView
+) -> float:
+    """Preempt deadline-free (or slack-rich) work for an urgent arrival.
+
+    The arrival must carry a deadline that waiting for the running segment
+    would miss; the victim must either have no deadline or keep enough
+    slack to absorb being re-queued.  The score favours victims with the
+    most remaining run time (they block the device longest) and the least
+    progress (the least work is thrown away).
+    """
+    if arriving.deadline is None:
+        return 0.0
+    # Price the arrival on the executor it would actually take over.
+    proc_here = arriving.proc_times.get(running.executor_index, float("inf"))
+    if proc_here == float("inf"):
+        return 0.0
+    wait = running.remaining_time(state.now)
+    # Waiting out the running segment still meets the deadline: no need.
+    if state.now + wait + proc_here <= arriving.deadline:
+        return 0.0
+    # Preempting would not save the arrival either.
+    if state.now + proc_here > arriving.deadline:
+        return 0.0
+    if running.deadline is not None:
+        victim_slack = running.deadline - state.now - wait
+        arrival_slack = arriving.deadline - state.now - proc_here
+        # The victim resumes only after the arrival runs, so it must keep
+        # enough slack to absorb that re-queue delay -- and still be less
+        # urgent than the arrival.  Preempting a victim this would push
+        # past its own deadline just trades one miss for another.
+        if victim_slack - proc_here <= max(arrival_slack, 0.0):
+            return 0.0
+    return wait * (1.0 - running.progress(state.now)) + _EPS
+
+
+#: Registry of named preemption rules usable from scenario specs.
+PREEMPTION_RULES: Dict[str, PreemptionRule] = {
+    "deadline": deadline_preemption_rule,
+}
+
+
+def get_preemption_rule(name: str) -> PreemptionRule:
+    """Look up a preemption rule by name."""
+    try:
+        return PREEMPTION_RULES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown preemption rule {name!r}; known: {sorted(PREEMPTION_RULES)}"
+        ) from None

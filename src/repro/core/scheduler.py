@@ -1,11 +1,14 @@
 """The Fill Job Scheduler.
 
 The scheduler is the interface between the pipeline bubbles of the main job
-and the outside world (a higher-level cluster scheduler or a user submitting
+and the outside world (a higher-level cluster scheduler such as
+:class:`~repro.core.global_scheduler.GlobalScheduler`, or a user submitting
 fill jobs).  It knows every device's bubble cycle (through that device's
 executor), can therefore predict any fill job's processing time on any
 device, and assigns queued jobs to devices according to a user-defined
-scoring policy whenever a device becomes free (Section 4.4).
+scoring policy whenever a device becomes free (Section 4.4).  Running jobs
+can be preempted (:meth:`FillJobScheduler.preempt`): their partial progress
+is banked and the remainder re-queued.
 """
 
 from __future__ import annotations
@@ -40,6 +43,9 @@ class FillJob:
         Submission time in seconds (simulation clock).
     deadline:
         Optional absolute deadline.
+    tenant:
+        Name of the submitting tenant in multi-tenant simulations (``None``
+        for single-main-job runs and tenant-less backlogs).
     """
 
     job_id: str
@@ -48,6 +54,7 @@ class FillJob:
     num_samples: float
     arrival_time: float = 0.0
     deadline: Optional[float] = None
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         check_positive(self.num_samples, "num_samples")
@@ -84,7 +91,15 @@ class ExecutorState:
 
 @dataclass
 class JobRecord:
-    """Bookkeeping for a submitted job."""
+    """Bookkeeping for a submitted job.
+
+    ``flops_executed`` holds, while the job runs, the FLOPs scheduled for
+    the *current* run segment (plus any progress banked by earlier,
+    preempted segments); after completion it is the job's total executed
+    FLOPs.  Preemption banks the partial progress of the interrupted
+    segment into ``flops_banked`` / ``busy_banked_seconds`` and shrinks
+    ``samples_remaining`` so re-dispatch only schedules the leftover work.
+    """
 
     job: FillJob
     state: FillJobState = FillJobState.QUEUED
@@ -92,6 +107,13 @@ class JobRecord:
     start_time: Optional[float] = None
     completion_time: Optional[float] = None
     flops_executed: float = 0.0
+    flops_banked: float = 0.0
+    busy_banked_seconds: float = 0.0
+    samples_remaining: float = field(init=False, default=0.0)
+    num_preemptions: int = 0
+
+    def __post_init__(self) -> None:
+        self.samples_remaining = self.job.num_samples
 
     @property
     def jct(self) -> Optional[float]:
@@ -99,6 +121,15 @@ class JobRecord:
         if self.completion_time is None:
             return None
         return self.completion_time - self.job.arrival_time
+
+    @property
+    def met_deadline(self) -> Optional[bool]:
+        """Whether the job finished by its deadline (``None`` if undecided)."""
+        if self.job.deadline is None:
+            return None
+        if self.completion_time is None:
+            return None
+        return self.completion_time <= self.job.deadline
 
 
 class FillJobScheduler:
@@ -158,13 +189,20 @@ class FillJobScheduler:
         model = self.model_resolver(job.model_name)
         return self.executors[executor_index].executor.build_estimate(model, job.job_type)
 
-    def processing_times(self, job: FillJob) -> Dict[int, float]:
-        """Predicted processing time of ``job`` on every executor."""
+    def processing_times(
+        self, job: FillJob, *, num_samples: Optional[float] = None
+    ) -> Dict[int, float]:
+        """Predicted processing time of ``job`` on every executor.
+
+        ``num_samples`` overrides the sample count (used to price the
+        *remaining* work of a previously-preempted job).
+        """
+        samples = job.num_samples if num_samples is None else num_samples
         times: Dict[int, float] = {}
         for idx in self.executors:
             estimate = self.estimate_for(job, idx)
             times[idx] = (
-                float("inf") if estimate is None else estimate.processing_time(job.num_samples)
+                float("inf") if estimate is None else estimate.processing_time(samples)
             )
         return times
 
@@ -199,15 +237,19 @@ class FillJobScheduler:
 
     # -- assignment ---------------------------------------------------------------
 
-    def _job_view(self, job: FillJob) -> JobView:
+    def job_view(self, job: FillJob) -> JobView:
+        """The policy-facing view of a (possibly partially-run) job."""
+        record = self.records.get(job.job_id)
+        remaining = None if record is None else record.samples_remaining
         return JobView(
             job_id=job.job_id,
             arrival_time=job.arrival_time,
-            proc_times=self.processing_times(job),
+            proc_times=self.processing_times(job, num_samples=remaining),
             deadline=job.deadline,
         )
 
-    def _scheduler_view(self, now: float) -> SchedulerView:
+    def scheduler_view(self, now: float) -> SchedulerView:
+        """The policy-facing view of current executor occupancy."""
         return SchedulerView(
             now=now,
             rem_times={idx: st.remaining_time(now) for idx, st in self.executors.items()},
@@ -220,20 +262,31 @@ class FillJobScheduler:
             jobs = [j for j in jobs if j.arrival_time <= now]
         return jobs
 
-    def select_job(self, executor_index: int, now: float) -> Optional[FillJob]:
-        """Pick the queued job with the highest policy score for this device."""
-        state_view = self._scheduler_view(now)
+    def select_job_scored(
+        self, executor_index: int, now: float
+    ) -> "tuple[Optional[FillJob], float]":
+        """The best queued job for this device and its policy score.
+
+        Returns ``(None, -inf)`` when no queued job fits the device.  Used
+        directly by the global scheduler, which compares this score against
+        the global backlog's best.
+        """
+        state_view = self.scheduler_view(now)
         best_job: Optional[FillJob] = None
         best_score = -float("inf")
         for job in self.queued_jobs(now):
-            view = self._job_view(job)
+            view = self.job_view(job)
             if view.proc_times.get(executor_index, float("inf")) == float("inf"):
                 continue
             score = self.policy(view, state_view, executor_index)
             if score > best_score:
                 best_score = score
                 best_job = job
-        return best_job
+        return best_job, best_score
+
+    def select_job(self, executor_index: int, now: float) -> Optional[FillJob]:
+        """Pick the queued job with the highest policy score for this device."""
+        return self.select_job_scored(executor_index, now)[0]
 
     def assign(self, executor_index: int, job: FillJob, now: float) -> float:
         """Assign ``job`` to the executor; returns the scheduled completion time."""
@@ -246,13 +299,15 @@ class FillJobScheduler:
         estimate = self.estimate_for(job, executor_index)
         if estimate is None:
             raise RuntimeError(f"job {job.job_id!r} does not fit executor {executor_index}")
-        proc_time = estimate.processing_time(job.num_samples)
+        proc_time = estimate.processing_time(record.samples_remaining)
         completion = now + proc_time
         self._queue.remove(job.job_id)
         record.state = FillJobState.RUNNING
         record.assigned_executor = executor_index
         record.start_time = now
-        record.flops_executed = estimate.flops_for_samples(job.num_samples)
+        record.flops_executed = record.flops_banked + estimate.flops_for_samples(
+            record.samples_remaining
+        )
         ex_state.current_job_id = job.job_id
         ex_state.busy_until = completion
         return completion
@@ -266,6 +321,49 @@ class FillJobScheduler:
         record = self.records[job_id]
         record.state = FillJobState.COMPLETED
         record.completion_time = now
+        assert record.start_time is not None
+        record.flops_banked = record.flops_executed
+        record.busy_banked_seconds += max(0.0, now - record.start_time)
+        record.samples_remaining = 0.0
+        ex_state.current_job_id = None
+        ex_state.busy_until = now
+        return job_id
+
+    def preempt(self, executor_index: int, now: float) -> Optional[str]:
+        """Interrupt the executor's running job and re-queue its remainder.
+
+        The interrupted segment's partial progress (FLOPs, samples, busy
+        time, pro-rated by elapsed wall-clock) is banked on the job's
+        record, ``samples_remaining`` shrinks accordingly, and the job goes
+        back to ``QUEUED`` in this scheduler's queue.  Returns the
+        preempted job's id, or ``None`` when the executor was idle.
+        """
+        ex_state = self.executors[executor_index]
+        job_id = ex_state.current_job_id
+        if job_id is None:
+            return None
+        record = self.records[job_id]
+        assert record.start_time is not None
+        segment_duration = ex_state.busy_until - record.start_time
+        elapsed = max(0.0, now - record.start_time)
+        fraction = (
+            1.0
+            if segment_duration <= 0
+            else min(1.0, elapsed / segment_duration)
+        )
+        if fraction >= 1.0:
+            # Nothing left to preempt: the segment is due; finish it instead.
+            return self.complete(executor_index, now)
+        segment_flops = record.flops_executed - record.flops_banked
+        record.flops_banked += fraction * segment_flops
+        record.flops_executed = record.flops_banked
+        record.busy_banked_seconds += elapsed
+        record.samples_remaining = max(0.0, record.samples_remaining * (1.0 - fraction))
+        record.state = FillJobState.QUEUED
+        record.assigned_executor = None
+        record.start_time = None
+        record.num_preemptions += 1
+        self._queue.append(job_id)
         ex_state.current_job_id = None
         ex_state.busy_until = now
         return job_id

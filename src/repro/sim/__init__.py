@@ -6,11 +6,28 @@ seeded with profiles of the real main job; this package is that simulator.
 used to seed it, :mod:`repro.sim.simulator` runs fill-job arrivals and
 completions over the devices' bubble cycles, and :mod:`repro.sim.metrics`
 aggregates the utilization / JCT / makespan numbers the figures report.
+
+Beyond the paper, :mod:`repro.sim.multi_tenant` simulates N concurrent
+main jobs sharing one global fill-job backlog (routed by
+:class:`~repro.core.global_scheduler.GlobalScheduler`), and
+:mod:`repro.sim.scenario` loads declarative YAML/JSON scenario specs that
+the ``python -m repro`` CLI runs and sweeps.
 """
 
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.mainjob import AnalyticMainJob
-from repro.sim.metrics import FillJobMetrics, UtilizationReport, gpus_saved
+from repro.sim.metrics import (
+    FillJobMetrics,
+    UtilizationReport,
+    collect_fill_metrics,
+    gpus_saved,
+)
+from repro.sim.multi_tenant import (
+    MultiTenantResult,
+    MultiTenantSimulator,
+    Tenant,
+    TenantResult,
+)
 from repro.sim.simulator import ClusterSimulator, SimulationResult
 
 __all__ = [
@@ -20,7 +37,12 @@ __all__ = [
     "AnalyticMainJob",
     "FillJobMetrics",
     "UtilizationReport",
+    "collect_fill_metrics",
     "gpus_saved",
+    "MultiTenantResult",
+    "MultiTenantSimulator",
+    "Tenant",
+    "TenantResult",
     "ClusterSimulator",
     "SimulationResult",
 ]

@@ -28,7 +28,8 @@ class Event:
 
     Events order by ``(time, sequence)``; payload fields are excluded from
     ordering so identical timestamps resolve deterministically by insertion
-    order.
+    order.  ``tenant`` identifies which main job's executor the event
+    belongs to in multi-tenant simulations (``None`` in single-tenant runs).
     """
 
     time: float
@@ -36,6 +37,7 @@ class Event:
     kind: EventKind = field(compare=False)
     job_id: Optional[str] = field(compare=False, default=None)
     executor_index: Optional[int] = field(compare=False, default=None)
+    tenant: Optional[str] = field(compare=False, default=None)
 
 
 class EventQueue:
@@ -52,6 +54,7 @@ class EventQueue:
         *,
         job_id: Optional[str] = None,
         executor_index: Optional[int] = None,
+        tenant: Optional[str] = None,
     ) -> Event:
         """Schedule an event and return it."""
         if time < 0:
@@ -62,6 +65,7 @@ class EventQueue:
             kind=kind,
             job_id=job_id,
             executor_index=executor_index,
+            tenant=tenant,
         )
         heapq.heappush(self._heap, event)
         return event

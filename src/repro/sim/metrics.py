@@ -9,9 +9,12 @@ saved" estimate ``C * B * P`` from Section 6.2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.utils.validation import check_fraction, check_non_negative, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.scheduler import FillJobScheduler
 
 
 @dataclass(frozen=True)
@@ -26,6 +29,9 @@ class FillJobMetrics:
     average_jct: float
     makespan: float
     busy_device_seconds: float
+    deadlines_total: int = 0
+    deadlines_met: int = 0
+    num_preemptions: int = 0
 
     @property
     def completion_rate(self) -> float:
@@ -33,6 +39,48 @@ class FillJobMetrics:
         if self.jobs_submitted == 0:
             return 0.0
         return self.jobs_completed / self.jobs_submitted
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        """Fraction of deadline-carrying jobs that completed in time.
+
+        Jobs still queued or running when the horizon cut the run count as
+        misses: a deadline not met by the end of the observation window is
+        a miss from the submitter's point of view.
+        """
+        if self.deadlines_total == 0:
+            return 0.0
+        return self.deadlines_met / self.deadlines_total
+
+    @staticmethod
+    def merge(parts: Sequence["FillJobMetrics"]) -> "FillJobMetrics":
+        """Aggregate per-tenant metrics into cluster-wide totals.
+
+        Counters and FLOPs/samples/busy-seconds add up; the average JCT is
+        weighted by each part's completed-job count; the makespan is the
+        latest completion anywhere.
+        """
+        if not parts:
+            return FillJobMetrics(0, 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        completed = sum(p.jobs_completed for p in parts)
+        jct = (
+            sum(p.average_jct * p.jobs_completed for p in parts) / completed
+            if completed
+            else 0.0
+        )
+        return FillJobMetrics(
+            jobs_submitted=sum(p.jobs_submitted for p in parts),
+            jobs_completed=completed,
+            jobs_rejected=sum(p.jobs_rejected for p in parts),
+            total_flops=sum(p.total_flops for p in parts),
+            total_samples=sum(p.total_samples for p in parts),
+            average_jct=jct,
+            makespan=max(p.makespan for p in parts),
+            busy_device_seconds=sum(p.busy_device_seconds for p in parts),
+            deadlines_total=sum(p.deadlines_total for p in parts),
+            deadlines_met=sum(p.deadlines_met for p in parts),
+            num_preemptions=sum(p.num_preemptions for p in parts),
+        )
 
 
 @dataclass(frozen=True)
@@ -66,6 +114,86 @@ class UtilizationReport:
         if self.main_tflops_per_device == 0:
             return 0.0
         return self.fill_tflops_per_device / self.main_tflops_per_device
+
+
+def collect_fill_metrics(
+    scheduler: "FillJobScheduler", horizon: float
+) -> FillJobMetrics:
+    """Aggregate a scheduler's job records into :class:`FillJobMetrics`.
+
+    Completed jobs contribute their banked FLOPs / samples / busy time in
+    full; the job running on each executor when the horizon cuts the run
+    contributes the pro-rated progress of its current segment on top of
+    whatever earlier (preempted) segments already banked; preempted jobs
+    still waiting in a queue contribute only their banked progress.
+
+    Shared by the single-tenant :class:`~repro.sim.simulator.ClusterSimulator`
+    and the per-tenant accounting of
+    :class:`~repro.sim.multi_tenant.MultiTenantSimulator`.
+    """
+    from repro.core.scheduler import FillJobState
+
+    check_positive(horizon, "horizon")
+    total_flops = 0.0
+    total_samples = 0.0
+    busy_seconds = 0.0
+    completed = 0
+    rejected = 0
+    deadlines_total = 0
+    deadlines_met = 0
+    preemptions = 0
+    for record in scheduler.records.values():
+        job = record.job
+        preemptions += record.num_preemptions
+        # Rejected jobs with deadlines count as misses: from the
+        # submitter's point of view the deadline was not met.
+        if job.deadline is not None:
+            deadlines_total += 1
+        if record.state is FillJobState.REJECTED:
+            rejected += 1
+            continue
+        if record.state is FillJobState.COMPLETED:
+            completed += 1
+            total_flops += record.flops_executed
+            total_samples += job.num_samples
+            busy_seconds += record.busy_banked_seconds
+            if record.met_deadline:
+                deadlines_met += 1
+        elif record.state is FillJobState.RUNNING and record.start_time is not None:
+            # Pro-rate the progress of the segment cut off by the horizon.
+            assert record.assigned_executor is not None
+            scheduled_end = scheduler.executors[record.assigned_executor].busy_until
+            segment_duration = scheduled_end - record.start_time
+            segment_flops = record.flops_executed - record.flops_banked
+            fraction = 0.0
+            if segment_duration > 0:
+                fraction = max(
+                    0.0, min(1.0, (horizon - record.start_time) / segment_duration)
+                )
+            total_flops += record.flops_banked + fraction * segment_flops
+            samples_done = job.num_samples - record.samples_remaining
+            total_samples += samples_done + fraction * record.samples_remaining
+            busy_seconds += record.busy_banked_seconds + max(
+                0.0, min(horizon, scheduled_end) - record.start_time
+            )
+        else:
+            # Queued: only earlier preempted segments count.
+            total_flops += record.flops_banked
+            total_samples += job.num_samples - record.samples_remaining
+            busy_seconds += record.busy_banked_seconds
+    return FillJobMetrics(
+        jobs_submitted=len(scheduler.records),
+        jobs_completed=completed,
+        jobs_rejected=rejected,
+        total_flops=total_flops,
+        total_samples=total_samples,
+        average_jct=scheduler.average_jct(),
+        makespan=scheduler.makespan(),
+        busy_device_seconds=busy_seconds,
+        deadlines_total=deadlines_total,
+        deadlines_met=deadlines_met,
+        num_preemptions=preemptions,
+    )
 
 
 def gpus_saved(

@@ -1,0 +1,402 @@
+"""Multi-tenant cluster simulation: N main jobs, one shared fill-job backlog.
+
+The single-tenant :class:`~repro.sim.simulator.ClusterSimulator` reproduces
+the paper's setting of one pipeline-parallel main job.  Production clusters
+run *many* such jobs concurrently, each with its own pipeline configuration
+and therefore its own bubble structure, while fill jobs accumulate in one
+organisation-wide backlog.  This module simulates that setting:
+
+* each **tenant** is one main job, modelled by a
+  :class:`~repro.core.system.PipeFillSystem` (its analytic main job, bubble
+  cycles and per-device Fill Job Executors);
+* a :class:`~repro.core.global_scheduler.GlobalScheduler` routes the shared
+  backlog across all tenants' devices, optionally preempting running fill
+  jobs for deadline-constrained arrivals;
+* the event loop advances time between fill-job arrivals and completions
+  exactly as in the single-tenant simulator (the only points where state
+  changes), with events tagged by tenant;
+* results report per-tenant *and* aggregate fill throughput, deadline hit
+  rates and utilization.
+
+Quick example (two tenants sharing one backlog)::
+
+    from repro.core.system import PipeFillSystem
+    from repro.sim.multi_tenant import MultiTenantSimulator, Tenant
+
+    tenants = [
+        Tenant("llm-40b", PipeFillSystem(model_a, parallel_a), jobs=jobs_a),
+        Tenant("llm-5b", PipeFillSystem(model_b, parallel_b), jobs=jobs_b),
+    ]
+    result = MultiTenantSimulator(tenants).run(horizon_seconds=3600.0)
+    print(result.summary_table().to_ascii())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.global_scheduler import Assignment, GlobalScheduler
+from repro.core.policies import PreemptionRule, SchedulingPolicy, sjf_policy
+from repro.core.scheduler import FillJob, FillJobScheduler
+from repro.core.system import PipeFillSystem
+from repro.core.config import main_job_overhead_fraction
+from repro.sim.events import EventKind, EventQueue
+from repro.sim.metrics import (
+    FillJobMetrics,
+    UtilizationReport,
+    collect_fill_metrics,
+)
+from repro.utils.tables import Table
+
+
+@dataclass
+class Tenant:
+    """One main job participating in a multi-tenant simulation.
+
+    Parameters
+    ----------
+    name:
+        Unique tenant name (used in events, results and scenario files).
+    system:
+        The tenant's :class:`~repro.core.system.PipeFillSystem`: its main
+        job, bubble cycles and per-device executors.
+    jobs:
+        The fill jobs this tenant submits to the shared backlog.  They may
+        run on *any* tenant's devices; submission is tracked separately
+        from placement.
+    """
+
+    name: str
+    system: PipeFillSystem
+    jobs: Sequence[FillJob] = ()
+
+
+@dataclass(frozen=True)
+class TenantResult:
+    """Per-tenant outcome of a multi-tenant run (device-side accounting)."""
+
+    name: str
+    num_devices: int
+    horizon_seconds: float
+    fill_metrics: FillJobMetrics
+    utilization: UtilizationReport
+    jobs_submitted_by: int
+    scheduler: FillJobScheduler = field(repr=False, hash=False, compare=False)
+
+    @property
+    def fill_tflops_per_device(self) -> float:
+        """Recovered fill-job TFLOP/s per device of this tenant."""
+        return (
+            self.fill_metrics.total_flops
+            / self.horizon_seconds
+            / self.num_devices
+            / 1e12
+        )
+
+
+@dataclass(frozen=True)
+class MultiTenantResult:
+    """Outcome of one multi-tenant simulation run."""
+
+    horizon_seconds: float
+    tenants: Mapping[str, TenantResult]
+    aggregate: FillJobMetrics
+    backlog_remaining: int
+    jobs_rejected_global: int
+
+    @property
+    def num_devices(self) -> int:
+        """Total representative devices simulated across all tenants."""
+        return sum(t.num_devices for t in self.tenants.values())
+
+    @property
+    def fill_tflops_per_device(self) -> float:
+        """Cluster-wide recovered fill-job TFLOP/s per simulated device."""
+        return (
+            self.aggregate.total_flops
+            / self.horizon_seconds
+            / self.num_devices
+            / 1e12
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (used by the CLI's ``--json`` output)."""
+        from dataclasses import asdict
+
+        def metrics_dict(m: FillJobMetrics) -> dict:
+            d = asdict(m)
+            d["completion_rate"] = m.completion_rate
+            d["deadline_hit_rate"] = m.deadline_hit_rate
+            return d
+
+        return {
+            "horizon_seconds": self.horizon_seconds,
+            "num_devices": self.num_devices,
+            "fill_tflops_per_device": self.fill_tflops_per_device,
+            "backlog_remaining": self.backlog_remaining,
+            "jobs_rejected_global": self.jobs_rejected_global,
+            "aggregate": metrics_dict(self.aggregate),
+            "tenants": {
+                name: {
+                    "num_devices": t.num_devices,
+                    "jobs_submitted_by": t.jobs_submitted_by,
+                    "fill_tflops_per_device": t.fill_tflops_per_device,
+                    "main_tflops_per_device": t.utilization.main_tflops_per_device,
+                    "total_tflops_per_device": t.utilization.total_tflops_per_device,
+                    "bubble_ratio": t.utilization.bubble_ratio,
+                    "fill_metrics": metrics_dict(t.fill_metrics),
+                }
+                for name, t in self.tenants.items()
+            },
+        }
+
+    def summary_table(self) -> Table:
+        """Per-tenant rows plus an aggregate row, ready for printing."""
+        table = Table(
+            columns=[
+                "tenant",
+                "devices",
+                "jobs submitted",
+                "jobs run",
+                "completed",
+                "fill TFLOP/s per GPU",
+                "busy fraction",
+                "avg JCT (s)",
+                "deadline hit rate",
+            ],
+            title="Multi-tenant fill-job simulation",
+            formats={
+                "fill TFLOP/s per GPU": ".2f",
+                "busy fraction": ".1%",
+                "avg JCT (s)": ".1f",
+                "deadline hit rate": ".1%",
+            },
+        )
+        for result in self.tenants.values():
+            m = result.fill_metrics
+            table.add_row(
+                result.name,
+                result.num_devices,
+                result.jobs_submitted_by,
+                m.jobs_submitted,
+                m.jobs_completed,
+                result.fill_tflops_per_device,
+                m.busy_device_seconds / (self.horizon_seconds * result.num_devices),
+                m.average_jct,
+                m.deadline_hit_rate if m.deadlines_total else None,
+            )
+        agg = self.aggregate
+        table.add_row(
+            "TOTAL",
+            self.num_devices,
+            agg.jobs_submitted,
+            agg.jobs_submitted - self.backlog_remaining - self.jobs_rejected_global,
+            agg.jobs_completed,
+            self.fill_tflops_per_device,
+            agg.busy_device_seconds / (self.horizon_seconds * self.num_devices),
+            agg.average_jct,
+            agg.deadline_hit_rate if agg.deadlines_total else None,
+        )
+        return table
+
+
+class MultiTenantSimulator:
+    """Drives N concurrent main jobs over one shared fill-job backlog.
+
+    Parameters
+    ----------
+    tenants:
+        The participating main jobs; names must be unique.
+    policy:
+        Fill-job scheduling policy applied by the global scheduler.
+    preemption_rule:
+        Optional preemption rule (e.g.
+        :func:`~repro.core.policies.deadline_preemption_rule`); ``None``
+        disables preemption.
+    """
+
+    def __init__(
+        self,
+        tenants: Sequence[Tenant],
+        *,
+        policy: SchedulingPolicy = sjf_policy,
+        preemption_rule: Optional[PreemptionRule] = None,
+    ) -> None:
+        if not tenants:
+            raise ValueError("the multi-tenant simulator needs at least one tenant")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"tenant names must be unique, got {names}")
+        self.tenants: Dict[str, Tenant] = {t.name: t for t in tenants}
+        self.policy = policy
+        self.preemption_rule = preemption_rule
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _build_global_scheduler(self) -> GlobalScheduler:
+        schedulers = {
+            name: FillJobScheduler(tenant.system.executors, policy=self.policy)
+            for name, tenant in self.tenants.items()
+        }
+        return GlobalScheduler(
+            schedulers, policy=self.policy, preemption_rule=self.preemption_rule
+        )
+
+    def _arrival_stream(
+        self, extra_jobs: Iterable[FillJob]
+    ) -> List[FillJob]:
+        """All submitted jobs, tagged with their submitting tenant."""
+        stream: List[FillJob] = []
+        for name, tenant in self.tenants.items():
+            for job in tenant.jobs:
+                stream.append(job if job.tenant == name else replace(job, tenant=name))
+        stream.extend(extra_jobs)
+        ids = [j.job_id for j in stream]
+        if len(set(ids)) != len(ids):
+            raise ValueError("fill-job ids must be unique across all tenants")
+        return sorted(stream, key=lambda j: j.arrival_time)
+
+    @staticmethod
+    def _push_assignments(
+        queue: EventQueue, assignments: Iterable[Assignment]
+    ) -> None:
+        for a in assignments:
+            queue.push(
+                a.completion_time,
+                EventKind.JOB_COMPLETION,
+                job_id=a.job_id,
+                executor_index=a.executor_index,
+                tenant=a.tenant,
+            )
+
+    # -- main entry point --------------------------------------------------------
+
+    def run(
+        self,
+        *,
+        extra_jobs: Iterable[FillJob] = (),
+        horizon_seconds: Optional[float] = None,
+    ) -> MultiTenantResult:
+        """Simulate all tenants' arrival streams over the shared backlog.
+
+        Parameters
+        ----------
+        extra_jobs:
+            Additional tenant-less backlog jobs (e.g. an organisation-wide
+            batch queue) merged into the arrival stream.
+        horizon_seconds:
+            Stop the clock here; running jobs contribute pro-rated FLOPs.
+            Defaults to the time the last job completes.
+        """
+        global_sched = self._build_global_scheduler()
+        stream = self._arrival_stream(extra_jobs)
+        jobs_by_id = {job.job_id: job for job in stream}
+        queue = EventQueue()
+        for job in stream:
+            queue.push(job.arrival_time, EventKind.JOB_ARRIVAL, job_id=job.job_id)
+
+        now = 0.0
+        last_completion = 0.0
+        while queue:
+            event = queue.pop()
+            if horizon_seconds is not None and event.time > horizon_seconds:
+                now = horizon_seconds
+                break
+            now = event.time
+            if event.kind is EventKind.JOB_ARRIVAL:
+                assert event.job_id is not None
+                accepted = global_sched.submit(jobs_by_id[event.job_id])
+                # Urgent deadline arrivals that no idle executor can serve
+                # in time get a preemption attempt *before* plain dispatch
+                # would strand them on a too-slow idle device.
+                if accepted and not global_sched.idle_can_meet_deadline(
+                    event.job_id, now
+                ):
+                    preempting = global_sched.try_preempt(event.job_id, now)
+                    if preempting is not None:
+                        self._push_assignments(queue, [preempting])
+                # Fills every remaining idle executor, including re-queued
+                # preemption victims.
+                self._push_assignments(queue, global_sched.dispatch_idle(now))
+            elif event.kind is EventKind.JOB_COMPLETION:
+                assert event.tenant is not None and event.executor_index is not None
+                sched = global_sched.tenants[event.tenant]
+                state = sched.executors[event.executor_index]
+                # Stale events: the executor was preempted and re-targeted
+                # (different job, or the same job re-dispatched with a later
+                # completion) since this event was scheduled.
+                if state.current_job_id != event.job_id or state.busy_until > now + 1e-9:
+                    continue
+                global_sched.complete(event.tenant, event.executor_index, now)
+                last_completion = now
+                self._push_assignments(queue, global_sched.dispatch_idle(now))
+
+        horizon = horizon_seconds if horizon_seconds is not None else max(now, last_completion)
+        if horizon <= 0:
+            horizon = max(last_completion, 1e-9)
+
+        return self._collect(global_sched, stream, horizon)
+
+    # -- result assembly ---------------------------------------------------------
+
+    def _collect(
+        self,
+        global_sched: GlobalScheduler,
+        stream: Sequence[FillJob],
+        horizon: float,
+    ) -> MultiTenantResult:
+        submitted_by: Dict[str, int] = {name: 0 for name in self.tenants}
+        for job in stream:
+            if job.tenant in submitted_by:
+                submitted_by[job.tenant] += 1
+
+        tenant_results: Dict[str, TenantResult] = {}
+        per_tenant_metrics: List[FillJobMetrics] = []
+        for name, tenant in self.tenants.items():
+            sched = global_sched.tenants[name]
+            metrics = collect_fill_metrics(sched, horizon)
+            per_tenant_metrics.append(metrics)
+            num_devices = len(sched.executors)
+            system = tenant.system
+            overhead = main_job_overhead_fraction(system.config.fill_fraction)
+            utilization = UtilizationReport(
+                num_devices=num_devices,
+                horizon_seconds=horizon,
+                main_tflops_per_device=system.main_job.tflops_per_device
+                / (1.0 + overhead),
+                fill_tflops_per_device=metrics.total_flops / horizon / num_devices / 1e12,
+                bubble_ratio=min(1.0, system.main_job.bubble_ratio * (1.0 + overhead)),
+                main_job_slowdown=overhead,
+                fill_metrics=metrics,
+            )
+            tenant_results[name] = TenantResult(
+                name=name,
+                num_devices=num_devices,
+                horizon_seconds=horizon,
+                fill_metrics=metrics,
+                utilization=utilization,
+                jobs_submitted_by=submitted_by[name],
+                scheduler=sched,
+            )
+
+        merged = FillJobMetrics.merge(per_tenant_metrics)
+        backlog = global_sched.backlog_jobs()
+        # Deadline jobs that never reached a tenant -- still in the backlog
+        # or globally rejected -- are misses from the submitter's view.
+        unplaced_deadlines = sum(1 for j in backlog if j.deadline is not None) + sum(
+            1 for j in global_sched.rejected.values() if j.deadline is not None
+        )
+        aggregate = replace(
+            merged,
+            jobs_submitted=len(global_sched.jobs),
+            jobs_rejected=merged.jobs_rejected + len(global_sched.rejected),
+            deadlines_total=merged.deadlines_total + unplaced_deadlines,
+        )
+        return MultiTenantResult(
+            horizon_seconds=horizon,
+            tenants=tenant_results,
+            aggregate=aggregate,
+            backlog_remaining=len(backlog),
+            jobs_rejected_global=len(global_sched.rejected),
+        )

@@ -1,0 +1,371 @@
+"""Declarative scenario specs for multi-tenant cluster simulations.
+
+A *scenario* is a YAML or JSON file describing everything one simulation
+run needs: the tenants (each a pipeline-parallel main job plus the fill-job
+stream it submits), the global scheduling policy, the preemption rule and
+the horizon.  ``python -m repro run scenarios/multi_tenant.yaml`` loads a
+spec with :func:`load_scenario` and executes it with :func:`run_scenario`;
+``python -m repro sweep`` re-runs a spec across a parameter grid.
+
+The full field-by-field schema is documented in ``docs/scenarios.md``; the
+shape is::
+
+    name: two-tenant-demo
+    horizon_seconds: 3600
+    policy: sjf                  # any repro.core.policies.POLICIES key
+    preemption: deadline         # optional PREEMPTION_RULES key
+    seed: 0
+    tenants:
+      - name: llm-40b-8k
+        model: gpt-40b           # main-job model registry name
+        schedule: gpipe          # or 1f1b
+        parallel:
+          tensor_parallel: 8
+          pipeline_stages: 16
+          data_parallel: 64
+          microbatch_size: 2
+          global_batch_size: 1024
+        workload:
+          arrival_rate_per_hour: 200
+          models: [bert-base]    # optional Table 1 subset
+          deadline_fraction: 0.3 # optional
+    sweep:                       # optional, used by `repro sweep`
+      parameter: policy
+      values: [sjf, edf+sjf]
+
+Unknown keys raise immediately with the offending key name, so typos in a
+scenario file fail loudly instead of silently running defaults.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.core.config import PipeFillConfig
+from repro.core.policies import get_policy, get_preemption_rule
+from repro.core.system import PipeFillSystem
+from repro.models.configs import JobType
+from repro.models.registry import build_model
+from repro.pipeline.parallelism import ParallelConfig
+from repro.sim.multi_tenant import MultiTenantResult, MultiTenantSimulator, Tenant
+from repro.utils.units import GIB
+from repro.utils.validation import check_positive
+from repro.workloads.generator import TenantWorkloadSpec, build_tenant_fill_job_traces
+
+
+class ScenarioError(ValueError):
+    """A scenario file is malformed (bad key, type or value)."""
+
+
+def _require_mapping(raw: Any, where: str) -> Mapping[str, Any]:
+    """Coerce a possibly-empty YAML block into a mapping or fail loudly."""
+    if raw is None:
+        return {}
+    if not isinstance(raw, Mapping):
+        raise ScenarioError(f"{where} must be a mapping, got {type(raw).__name__}")
+    return raw
+
+
+def _require_keys(raw: Mapping[str, Any], allowed: Sequence[str], where: str) -> None:
+    unknown = set(raw) - set(allowed)
+    if unknown:
+        raise ScenarioError(
+            f"unknown key(s) {sorted(unknown)} in {where}; allowed: {sorted(allowed)}"
+        )
+
+
+def workload_from_dict(raw: Mapping[str, Any], *, where: str) -> TenantWorkloadSpec:
+    """Parse a tenant's ``workload`` block into a
+    :class:`~repro.workloads.generator.TenantWorkloadSpec` (the tenant's
+    name is filled in later from the enclosing tenant block)."""
+    raw = _require_mapping(raw, where)
+    _require_keys(
+        raw,
+        [
+            "arrival_rate_per_hour",
+            "models",
+            "job_type",
+            "deadline_fraction",
+            "deadline_slack_factor",
+            "seed",
+        ],
+        where,
+    )
+    job_type = raw.get("job_type")
+    if job_type is not None:
+        try:
+            job_type = JobType(job_type)
+        except ValueError:
+            raise ScenarioError(
+                f"bad job_type {job_type!r} in {where}; "
+                f"use one of {[t.value for t in JobType]}"
+            ) from None
+    return TenantWorkloadSpec(
+        arrival_rate_per_hour=float(raw.get("arrival_rate_per_hour", 120.0)),
+        models=raw.get("models"),
+        job_type=job_type,
+        deadline_fraction=float(raw.get("deadline_fraction", 0.0)),
+        deadline_slack_factor=float(raw.get("deadline_slack_factor", 4.0)),
+        seed=raw.get("seed"),
+    )
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: a main job's configuration plus its workload stream."""
+
+    name: str
+    model: str = "gpt-40b"
+    schedule: str = "gpipe"
+    parallel: Mapping[str, int] = field(
+        default_factory=lambda: {
+            "tensor_parallel": 8,
+            "pipeline_stages": 16,
+            "data_parallel": 64,
+            "microbatch_size": 2,
+            "global_batch_size": 1024,
+        }
+    )
+    devices_per_stage: int = 1
+    fill_fraction: Optional[float] = None
+    offload_main_job: bool = False
+    bubble_free_memory_gib: Optional[float] = None
+    workload: TenantWorkloadSpec = field(default_factory=TenantWorkloadSpec)
+
+    @staticmethod
+    def from_dict(raw: Mapping[str, Any]) -> "TenantSpec":
+        raw = _require_mapping(raw, "tenant block")
+        name = raw.get("name")
+        if not name:
+            raise ScenarioError("every tenant needs a non-empty 'name'")
+        where = f"tenant {name!r}"
+        _require_keys(
+            raw,
+            [
+                "name",
+                "model",
+                "schedule",
+                "parallel",
+                "devices_per_stage",
+                "fill_fraction",
+                "offload_main_job",
+                "bubble_free_memory_gib",
+                "workload",
+            ],
+            where,
+        )
+        parallel = _require_mapping(raw.get("parallel"), f"{where}.parallel")
+        _require_keys(
+            parallel,
+            [
+                "tensor_parallel",
+                "pipeline_stages",
+                "data_parallel",
+                "microbatch_size",
+                "global_batch_size",
+            ],
+            f"{where}.parallel",
+        )
+        defaults = TenantSpec(name=name)
+        return TenantSpec(
+            name=name,
+            model=raw.get("model", defaults.model),
+            schedule=raw.get("schedule", defaults.schedule),
+            parallel={**defaults.parallel, **parallel},
+            devices_per_stage=int(raw.get("devices_per_stage", 1)),
+            fill_fraction=raw.get("fill_fraction"),
+            offload_main_job=bool(raw.get("offload_main_job", False)),
+            bubble_free_memory_gib=raw.get("bubble_free_memory_gib"),
+            workload=workload_from_dict(
+                raw.get("workload"), where=f"{where}.workload"
+            ),
+        )
+
+    def build_parallel(self) -> ParallelConfig:
+        """The tenant's :class:`~repro.pipeline.parallelism.ParallelConfig`."""
+        return ParallelConfig(**{k: int(v) for k, v in self.parallel.items()})
+
+    def build_system(self) -> PipeFillSystem:
+        """Instantiate the tenant's main job, bubble cycles and executors."""
+        config = PipeFillConfig(offload_main_job=self.offload_main_job)
+        if self.fill_fraction is not None:
+            config = config.with_fill_fraction(float(self.fill_fraction))
+        free_bytes = (
+            None
+            if self.bubble_free_memory_gib is None
+            else float(self.bubble_free_memory_gib) * GIB
+        )
+        return PipeFillSystem(
+            build_model(self.model),
+            self.build_parallel(),
+            schedule=self.schedule,
+            config=config,
+            devices_per_stage=self.devices_per_stage,
+            bubble_free_memory_bytes=free_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The optional ``sweep`` block: one dotted parameter path and values."""
+
+    parameter: str
+    values: Sequence[Any]
+
+    @staticmethod
+    def from_dict(raw: Mapping[str, Any]) -> "SweepSpec":
+        raw = _require_mapping(raw, "sweep")
+        _require_keys(raw, ["parameter", "values"], "sweep")
+        parameter = raw.get("parameter")
+        values = raw.get("values")
+        if not parameter or not isinstance(values, (list, tuple)) or not values:
+            raise ScenarioError("sweep needs a 'parameter' and a non-empty 'values' list")
+        return SweepSpec(parameter=str(parameter), values=list(values))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A fully-validated multi-tenant simulation scenario."""
+
+    name: str
+    tenants: Sequence[TenantSpec]
+    description: str = ""
+    horizon_seconds: float = 3600.0
+    policy: str = "sjf"
+    preemption: Optional[str] = None
+    seed: int = 0
+    sweep: Optional[SweepSpec] = None
+
+    def __post_init__(self) -> None:
+        check_positive(self.horizon_seconds, "horizon_seconds")
+        if not self.tenants:
+            raise ScenarioError("a scenario needs at least one tenant")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ScenarioError(f"tenant names must be unique, got {names}")
+        try:
+            get_policy(self.policy)  # validate eagerly
+            if self.preemption is not None:
+                get_preemption_rule(self.preemption)
+        except KeyError as exc:
+            raise ScenarioError(exc.args[0]) from None
+
+    @staticmethod
+    def from_dict(raw: Mapping[str, Any]) -> "ScenarioSpec":
+        _require_keys(
+            raw,
+            [
+                "name",
+                "description",
+                "horizon_seconds",
+                "policy",
+                "preemption",
+                "seed",
+                "tenants",
+                "sweep",
+            ],
+            "scenario",
+        )
+        tenants_raw = raw.get("tenants")
+        if not isinstance(tenants_raw, (list, tuple)):
+            raise ScenarioError("'tenants' must be a list of tenant blocks")
+        sweep = raw.get("sweep")
+        return ScenarioSpec(
+            name=str(raw.get("name", "unnamed-scenario")),
+            description=str(raw.get("description", "")),
+            horizon_seconds=float(raw.get("horizon_seconds", 3600.0)),
+            policy=str(raw.get("policy", "sjf")),
+            preemption=raw.get("preemption"),
+            seed=int(raw.get("seed", 0)),
+            tenants=tuple(TenantSpec.from_dict(t) for t in tenants_raw),
+            sweep=None if sweep is None else SweepSpec.from_dict(sweep),
+        )
+
+
+# -- loading -----------------------------------------------------------------------
+
+
+def _parse_text(text: str, *, suffix: str) -> Dict[str, Any]:
+    if suffix in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError as exc:  # pragma: no cover - yaml ships with the image
+            raise ScenarioError(
+                "PyYAML is not installed; use a .json scenario instead"
+            ) from exc
+        data = yaml.safe_load(text)
+    elif suffix == ".json":
+        data = json.loads(text)
+    else:
+        raise ScenarioError(f"unsupported scenario extension {suffix!r} (use .yaml/.json)")
+    if not isinstance(data, dict):
+        raise ScenarioError("a scenario file must contain a single mapping at top level")
+    return data
+
+
+def load_scenario_dict(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a scenario file into its raw (unvalidated) dictionary."""
+    path = Path(path)
+    return _parse_text(path.read_text(), suffix=path.suffix.lower())
+
+
+def load_scenario(path: Union[str, Path]) -> ScenarioSpec:
+    """Load and validate a YAML/JSON scenario file."""
+    return ScenarioSpec.from_dict(load_scenario_dict(path))
+
+
+def set_by_path(raw: Dict[str, Any], path: str, value: Any) -> None:
+    """Set ``raw[a][b][2][c] = value`` given the dotted path ``"a.b.2.c"``.
+
+    Integer segments index lists; the final segment may create a new
+    mapping key.  Used by sweeps to override one scenario parameter.
+    """
+    segments = path.split(".")
+    node: Any = raw
+    for segment in segments[:-1]:
+        if isinstance(node, list):
+            node = node[int(segment)]
+        elif isinstance(node, dict):
+            if segment not in node:
+                node[segment] = {}
+            node = node[segment]
+        else:
+            raise ScenarioError(f"cannot descend into {segment!r} along path {path!r}")
+    last = segments[-1]
+    if isinstance(node, list):
+        node[int(last)] = value
+    elif isinstance(node, dict):
+        node[last] = value
+    else:
+        raise ScenarioError(f"cannot set {last!r} along path {path!r}")
+
+
+# -- running -----------------------------------------------------------------------
+
+
+def build_tenants(spec: ScenarioSpec) -> List[Tenant]:
+    """Instantiate every tenant's system and its fill-job arrival stream."""
+    streams = build_tenant_fill_job_traces(
+        spec.horizon_seconds,
+        [replace(t.workload, name=t.name) for t in spec.tenants],
+        seed=spec.seed,
+    )
+    return [
+        Tenant(name=t.name, system=t.build_system(), jobs=streams[t.name])
+        for t in spec.tenants
+    ]
+
+
+def run_scenario(spec: ScenarioSpec) -> MultiTenantResult:
+    """Build and simulate a scenario end-to-end."""
+    simulator = MultiTenantSimulator(
+        build_tenants(spec),
+        policy=get_policy(spec.policy),
+        preemption_rule=(
+            None if spec.preemption is None else get_preemption_rule(spec.preemption)
+        ),
+    )
+    return simulator.run(horizon_seconds=spec.horizon_seconds)

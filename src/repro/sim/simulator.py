@@ -12,19 +12,22 @@ data-parallel replicas are statistically identical; the simulator therefore
 works on a *representative* set of devices (by default one device per
 pipeline stage) and reports per-GPU averages, which extrapolate directly to
 the full cluster.
+
+For clusters running several concurrent main jobs over one shared fill-job
+backlog, see :class:`~repro.sim.multi_tenant.MultiTenantSimulator`, which
+generalises this event loop across tenants.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Iterable, List, Mapping, Optional
 
 from repro.core.executor import FillJobExecutor
 from repro.core.policies import SchedulingPolicy, sjf_policy
-from repro.core.scheduler import FillJob, FillJobScheduler, FillJobState
+from repro.core.scheduler import FillJob, FillJobScheduler
 from repro.sim.events import EventKind, EventQueue
-from repro.sim.metrics import FillJobMetrics
-from repro.utils.validation import check_positive
+from repro.sim.metrics import FillJobMetrics, collect_fill_metrics
 
 
 @dataclass(frozen=True)
@@ -138,9 +141,10 @@ class ClusterSimulator:
             elif event.kind is EventKind.JOB_COMPLETION:
                 assert event.executor_index is not None
                 state = scheduler.executors[event.executor_index]
-                # The executor may have been re-targeted by an earlier event
-                # (should not happen with serial execution, but stay safe).
-                if state.current_job_id != event.job_id:
+                # The executor may have been re-targeted since this event was
+                # scheduled (e.g. the job was preempted and re-dispatched), in
+                # which case the event is stale and must be ignored.
+                if state.current_job_id != event.job_id or state.busy_until > now + 1e-9:
                     continue
                 scheduler.complete(event.executor_index, now)
                 last_completion = now
@@ -150,56 +154,10 @@ class ClusterSimulator:
         if horizon <= 0:
             horizon = max(last_completion, 1e-9)
 
-        metrics = self._collect_metrics(scheduler, jobs_by_id, horizon)
+        metrics = collect_fill_metrics(scheduler, horizon)
         return SimulationResult(
             horizon_seconds=horizon,
             num_devices=len(self.executors),
             fill_metrics=metrics,
             scheduler=scheduler,
-        )
-
-    # -- metrics -----------------------------------------------------------------------
-
-    def _collect_metrics(
-        self,
-        scheduler: FillJobScheduler,
-        jobs_by_id: Mapping[str, FillJob],
-        horizon: float,
-    ) -> FillJobMetrics:
-        check_positive(horizon, "horizon")
-        total_flops = 0.0
-        total_samples = 0.0
-        busy_seconds = 0.0
-        completed = 0
-        rejected = 0
-        for record in scheduler.records.values():
-            job = jobs_by_id[record.job.job_id]
-            if record.state is FillJobState.REJECTED:
-                rejected += 1
-                continue
-            if record.state is FillJobState.COMPLETED:
-                completed += 1
-                total_flops += record.flops_executed
-                total_samples += job.num_samples
-                assert record.start_time is not None and record.completion_time is not None
-                busy_seconds += min(record.completion_time, horizon) - record.start_time
-            elif record.state is FillJobState.RUNNING and record.start_time is not None:
-                # Pro-rate the progress of jobs cut off by the horizon.
-                assert record.assigned_executor is not None
-                scheduled_end = scheduler.executors[record.assigned_executor].busy_until
-                total_duration = scheduled_end - record.start_time
-                if total_duration > 0:
-                    fraction = max(0.0, min(1.0, (horizon - record.start_time) / total_duration))
-                    total_flops += record.flops_executed * fraction
-                    total_samples += job.num_samples * fraction
-                    busy_seconds += max(0.0, min(horizon, scheduled_end) - record.start_time)
-        return FillJobMetrics(
-            jobs_submitted=len(scheduler.records),
-            jobs_completed=completed,
-            jobs_rejected=rejected,
-            total_flops=total_flops,
-            total_samples=total_samples,
-            average_jct=scheduler.average_jct(),
-            makespan=scheduler.makespan(),
-            busy_device_seconds=busy_seconds,
         )

@@ -18,7 +18,12 @@ from repro.workloads.trace import (
     TraceGenerator,
     TraceFilter,
 )
-from repro.workloads.generator import FillJobTraceBuilder, build_fill_job_trace
+from repro.workloads.generator import (
+    FillJobTraceBuilder,
+    TenantWorkloadSpec,
+    build_fill_job_trace,
+    build_tenant_fill_job_traces,
+)
 
 __all__ = [
     "FillJobCategory",
@@ -31,5 +36,7 @@ __all__ = [
     "TraceGenerator",
     "TraceFilter",
     "FillJobTraceBuilder",
+    "TenantWorkloadSpec",
     "build_fill_job_trace",
+    "build_tenant_fill_job_traces",
 ]

@@ -11,7 +11,7 @@ throughput.  The result is a list of
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.scheduler import FillJob
@@ -159,15 +159,66 @@ def build_fill_job_trace(
     jobs = builder.generate(duration_seconds, trace_generator=trace_generator, rng=seed)
     if job_type is not None:
         jobs = [
-            FillJob(
-                job_id=j.job_id,
-                model_name=j.model_name,
-                job_type=job_type,
-                num_samples=j.num_samples,
-                arrival_time=j.arrival_time,
-                deadline=j.deadline,
-            )
+            replace(j, job_type=job_type)
             for j in jobs
             if job_type in category_for_model(j.model_name).job_types()
         ]
     return jobs
+
+
+@dataclass(frozen=True)
+class TenantWorkloadSpec:
+    """The fill-job arrival stream one tenant contributes to the backlog.
+
+    Parameters mirror :func:`build_fill_job_trace`; every tenant gets an
+    independent (but deterministic) random stream derived from the base
+    seed, and its job ids are prefixed with the tenant name so streams can
+    be merged without collisions.  ``name`` may be left empty while the
+    spec travels inside a scenario tenant block (which carries the name)
+    but must be set before :func:`build_tenant_fill_job_traces`.
+    """
+
+    name: str = ""
+    arrival_rate_per_hour: float = 120.0
+    models: Optional[Sequence[str]] = None
+    job_type: Optional[JobType] = None
+    deadline_fraction: float = 0.0
+    deadline_slack_factor: float = 4.0
+    seed: Optional[int] = None
+
+
+def build_tenant_fill_job_traces(
+    duration_seconds: float,
+    specs: Sequence[TenantWorkloadSpec],
+    *,
+    seed: int = 0,
+) -> Dict[str, List[FillJob]]:
+    """Generate one tenant-tagged fill-job stream per spec.
+
+    Returns ``{tenant_name: jobs}``; each job carries ``tenant`` and a
+    ``"<tenant>/"``-prefixed id.  Specs without an explicit seed derive one
+    from the base ``seed`` and their position, so adding a tenant does not
+    perturb the other tenants' streams.
+    """
+    names = [spec.name for spec in specs]
+    if not all(names):
+        raise ValueError("every tenant workload spec needs a non-empty name")
+    if len(set(names)) != len(names):
+        raise ValueError(f"tenant names must be unique, got {names}")
+    streams: Dict[str, List[FillJob]] = {}
+    for index, spec in enumerate(specs):
+        tenant_seed = spec.seed if spec.seed is not None else seed + 7919 * (index + 1)
+        jobs = build_fill_job_trace(
+            duration_seconds,
+            arrival_rate_per_hour=spec.arrival_rate_per_hour,
+            models=spec.models,
+            job_type=spec.job_type,
+            deadline_fraction=spec.deadline_fraction,
+            deadline_slack_factor=spec.deadline_slack_factor,
+            seed=tenant_seed,
+        )
+        streams[spec.name] = [
+            replace(job, job_id=f"{spec.name}/{job.job_id}", tenant=spec.name)
+            for job in jobs
+        ]
+    return streams

@@ -1,0 +1,178 @@
+"""Tests for scenario-spec loading/validation and the ``python -m repro`` CLI."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.sim.scenario import (
+    ScenarioError,
+    ScenarioSpec,
+    load_scenario,
+    run_scenario,
+    set_by_path,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SMOKE_SCENARIO = REPO_ROOT / "scenarios" / "smoke.yaml"
+
+MINIMAL = {
+    "name": "minimal",
+    "horizon_seconds": 600,
+    "tenants": [
+        {
+            "name": "t0",
+            "model": "gpt-5b",
+            "parallel": {
+                "tensor_parallel": 1,
+                "pipeline_stages": 16,
+                "data_parallel": 1,
+                "microbatch_size": 2,
+                "global_batch_size": 16,
+            },
+            "workload": {"arrival_rate_per_hour": 60, "models": ["bert-base"]},
+        }
+    ],
+}
+
+
+class TestScenarioSpec:
+    def test_minimal_spec_parses(self):
+        spec = ScenarioSpec.from_dict(MINIMAL)
+        assert spec.name == "minimal"
+        assert spec.policy == "sjf"
+        assert len(spec.tenants) == 1
+        assert spec.tenants[0].workload.models == ["bert-base"]
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ScenarioError, match="typo_key"):
+            ScenarioSpec.from_dict({**MINIMAL, "typo_key": 1})
+
+    def test_unknown_tenant_key_rejected(self):
+        bad = json.loads(json.dumps(MINIMAL))
+        bad["tenants"][0]["gpus"] = 128
+        with pytest.raises(ScenarioError, match="gpus"):
+            ScenarioSpec.from_dict(bad)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown policy"):
+            ScenarioSpec.from_dict({**MINIMAL, "policy": "magic"})
+
+    def test_unknown_preemption_rule_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown preemption"):
+            ScenarioSpec.from_dict({**MINIMAL, "preemption": "always"})
+
+    def test_bad_job_type_rejected(self):
+        bad = json.loads(json.dumps(MINIMAL))
+        bad["tenants"][0]["workload"]["job_type"] = "speculative"
+        with pytest.raises(ScenarioError, match="job_type"):
+            ScenarioSpec.from_dict(bad)
+
+    def test_empty_yaml_blocks_fail_cleanly(self, tmp_path):
+        # `workload:` with nothing under it parses to None; the loader must
+        # treat it as empty rather than crash.
+        scenario = tmp_path / "empty_block.yaml"
+        scenario.write_text(
+            "name: e\n"
+            "tenants:\n"
+            "  - name: t0\n"
+            "    model: gpt-5b\n"
+            "    parallel:\n"
+            "      tensor_parallel: 1\n"
+            "      pipeline_stages: 16\n"
+            "      data_parallel: 1\n"
+            "      microbatch_size: 2\n"
+            "      global_batch_size: 16\n"
+            "    workload:\n"
+        )
+        spec = load_scenario(scenario)
+        assert spec.tenants[0].workload.arrival_rate_per_hour == 120.0
+
+    def test_non_mapping_block_rejected(self):
+        bad = json.loads(json.dumps(MINIMAL))
+        bad["tenants"][0]["workload"] = ["not", "a", "mapping"]
+        with pytest.raises(ScenarioError, match="mapping"):
+            ScenarioSpec.from_dict(bad)
+
+    def test_duplicate_tenant_names_rejected(self):
+        bad = json.loads(json.dumps(MINIMAL))
+        bad["tenants"].append(bad["tenants"][0])
+        with pytest.raises(ScenarioError, match="unique"):
+            ScenarioSpec.from_dict(bad)
+
+    def test_all_shipped_scenarios_validate(self):
+        scenario_dir = REPO_ROOT / "scenarios"
+        paths = sorted(scenario_dir.glob("*.yaml"))
+        assert len(paths) >= 3
+        for path in paths:
+            spec = load_scenario(path)
+            assert spec.tenants
+
+    def test_set_by_path(self):
+        raw = json.loads(json.dumps(MINIMAL))
+        set_by_path(raw, "policy", "edf+sjf")
+        set_by_path(raw, "tenants.0.workload.arrival_rate_per_hour", 240)
+        assert raw["policy"] == "edf+sjf"
+        assert raw["tenants"][0]["workload"]["arrival_rate_per_hour"] == 240
+
+    def test_run_scenario_returns_result(self):
+        spec = ScenarioSpec.from_dict(MINIMAL)
+        result = run_scenario(spec)
+        assert result.horizon_seconds == 600
+        assert result.aggregate.jobs_submitted >= 1
+        assert "t0" in result.tenants
+
+
+class TestCli:
+    def test_run_smoke_scenario(self, capsys, tmp_path):
+        out_json = tmp_path / "result.json"
+        exit_code = main(["run", str(SMOKE_SCENARIO), "--json", str(out_json)])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "Multi-tenant fill-job simulation" in captured.out
+        assert "TOTAL" in captured.out
+        payload = json.loads(out_json.read_text())
+        assert payload["scenario"] == "smoke"
+        assert payload["aggregate"]["jobs_completed"] > 0
+        assert payload["tenants"]["llm-5b-16"]["fill_tflops_per_device"] > 0
+
+    def test_run_missing_scenario_errors(self, capsys):
+        exit_code = main(["run", "scenarios/does-not-exist.yaml"])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_invalid_spec_errors(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({**MINIMAL, "mystery": True}))
+        exit_code = main(["run", str(bad)])
+        assert exit_code == 2
+        assert "mystery" in capsys.readouterr().err
+
+    def test_sweep_inline_parameter(self, capsys, tmp_path):
+        scenario = tmp_path / "mini.json"
+        scenario.write_text(json.dumps(MINIMAL))
+        exit_code = main(
+            [
+                "sweep",
+                str(scenario),
+                "--parameter",
+                "policy",
+                "--values",
+                "sjf,fifo",
+                "--workers",
+                "1",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "sjf" in out and "fifo" in out
+
+    def test_sweep_without_grid_errors(self, capsys, tmp_path):
+        scenario = tmp_path / "mini.json"
+        scenario.write_text(json.dumps(MINIMAL))
+        exit_code = main(["sweep", str(scenario)])
+        assert exit_code == 2
+        assert "sweep" in capsys.readouterr().err
