@@ -1,0 +1,27 @@
+"""Performance benchmark harness for the cluster simulator.
+
+``python -m repro bench`` runs the sized workloads defined in
+:mod:`repro.bench.workloads` through :mod:`repro.bench.harness` and writes
+``BENCH_<size>.json`` trajectory files; see ``docs/performance.md``.
+"""
+
+from repro.bench.harness import (
+    BenchCase,
+    CaseTiming,
+    cases_for,
+    run_bench,
+    run_case,
+    write_bench_json,
+)
+from repro.bench.workloads import SIZES, BenchSize
+
+__all__ = [
+    "BenchCase",
+    "BenchSize",
+    "CaseTiming",
+    "SIZES",
+    "cases_for",
+    "run_bench",
+    "run_case",
+    "write_bench_json",
+]

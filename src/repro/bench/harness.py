@@ -1,0 +1,247 @@
+"""The `repro bench` performance harness.
+
+Runs sized single- and multi-tenant simulator workloads (see
+:mod:`repro.bench.workloads`), measures wall-clock time and processed
+events, and writes a machine-readable ``BENCH_<size>.json`` so performance
+can be tracked across PRs.
+
+Each case can also be run in *baseline* mode (``--baseline``): the
+schedulers' memoised processing times, views and sweep prunings are
+disabled (``use_cache=False``), and estimates come from scheduler-private
+per-executor memos instead of the process-wide shared caches -- the
+pre-optimization semantics, where every executor pays its own plan-search
+warm-up and every dispatch sweep rebuilds every job view.  (The baseline
+still benefits from this PR's faster plan construction, so the reported
+speedup *understates* the gap to the true pre-PR code path.)  The harness
+asserts that both modes produce identical simulation results (same
+digest) and reports the speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.core.executor import clear_shared_caches
+from repro.sim.multi_tenant import MultiTenantSimulator
+from repro.sim.simulator import ClusterSimulator
+from repro.bench.workloads import (
+    SIZES,
+    BenchSize,
+    arrival_window_seconds,
+    build_bench_jobs,
+    build_bench_system,
+    build_multi_tenant,
+)
+
+
+@dataclass(frozen=True)
+class CaseTiming:
+    """Measured outcome of one benchmark case in one mode."""
+
+    setup_seconds: float
+    run_seconds: float
+    events_processed: int
+    jobs_submitted: int
+    jobs_completed: int
+    result_digest: str
+
+    @property
+    def events_per_second(self) -> float:
+        if self.run_seconds <= 0:
+            return 0.0
+        return self.events_processed / self.run_seconds
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "setup_seconds": round(self.setup_seconds, 4),
+            "run_seconds": round(self.run_seconds, 4),
+            "events_processed": self.events_processed,
+            "events_per_second": round(self.events_per_second, 2),
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_completed": self.jobs_completed,
+            "result_digest": self.result_digest,
+        }
+
+
+@dataclass
+class BenchCase:
+    """One named workload of a benchmark size."""
+
+    name: str
+    size: BenchSize
+    multi_tenant: bool
+    preemption: bool
+    num_executors: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        per_tenant = self.size.executors_per_tenant
+        self.num_executors = (
+            per_tenant * self.size.num_tenants if self.multi_tenant else per_tenant
+        )
+
+
+def cases_for(size: BenchSize) -> List[BenchCase]:
+    """The workloads `repro bench` runs for one size."""
+    return [
+        BenchCase("single_tenant", size, multi_tenant=False, preemption=False),
+        BenchCase("multi_tenant", size, multi_tenant=True, preemption=False),
+        BenchCase("multi_tenant_preempt", size, multi_tenant=True, preemption=True),
+    ]
+
+
+def _digest(payload: Any) -> str:
+    """Stable short digest of a JSON-serialisable result summary."""
+    import hashlib
+
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def run_case(case: BenchCase, *, use_cache: bool = True, seed: int = 0) -> CaseTiming:
+    """Build and run one benchmark case, cold (shared caches cleared).
+
+    The setup phase (model/system construction plus workload generation)
+    is timed separately from the simulation run; first-touch plan searches
+    happen inside the run, exactly as they do in a real scenario run.
+    """
+    clear_shared_caches()
+    t0 = time.perf_counter()
+    if case.multi_tenant:
+        from repro.core.policies import compose_policies, sjf_policy, slack_policy
+        from repro.core.policies import deadline_preemption_rule
+
+        deadline_fraction = 0.3 if case.preemption else 0.0
+        tenants = build_multi_tenant(
+            case.size, deadline_fraction=deadline_fraction, seed=seed
+        )
+        policy = (
+            compose_policies((1_000.0, slack_policy), (1.0, sjf_policy))
+            if case.preemption
+            else sjf_policy
+        )
+        simulator = MultiTenantSimulator(
+            tenants,
+            policy=policy,
+            preemption_rule=deadline_preemption_rule if case.preemption else None,
+            use_cache=use_cache,
+        )
+        horizon = arrival_window_seconds(case.size, case.num_executors)
+        t1 = time.perf_counter()
+        result = simulator.run(horizon_seconds=horizon)
+        t2 = time.perf_counter()
+        agg = result.aggregate
+        # Digest the full result (per-tenant sections included), so a cache
+        # bug that only moves work between tenants while aggregates tie
+        # still flips `identical_results`.
+        summary = result.to_dict()
+        events = result.events_processed
+        submitted, completed = agg.jobs_submitted, agg.jobs_completed
+    else:
+        system = build_bench_system(case.size)
+        jobs = build_bench_jobs(
+            case.size, num_executors=case.num_executors, seed=seed
+        )
+        simulator = ClusterSimulator(system.executors, use_cache=use_cache)
+        horizon = arrival_window_seconds(case.size, case.num_executors)
+        t1 = time.perf_counter()
+        result = simulator.run(jobs, horizon_seconds=horizon)
+        t2 = time.perf_counter()
+        metrics = result.fill_metrics
+        summary = {
+            "jobs_submitted": metrics.jobs_submitted,
+            "jobs_completed": metrics.jobs_completed,
+            "total_flops": metrics.total_flops,
+            "total_samples": metrics.total_samples,
+            "average_jct": metrics.average_jct,
+            "makespan": metrics.makespan,
+            "busy_device_seconds": metrics.busy_device_seconds,
+            "events_processed": result.events_processed,
+            # Per-job outcome trace: catches divergence that aggregate
+            # metrics would mask (e.g. two equal-length jobs swapping
+            # executors).
+            "completions": sorted(
+                (r.job.job_id, r.assigned_executor, round(r.completion_time or 0.0, 9))
+                for r in result.scheduler.completed_records()
+            ),
+        }
+        events = result.events_processed
+        submitted, completed = metrics.jobs_submitted, metrics.jobs_completed
+
+    return CaseTiming(
+        setup_seconds=t1 - t0,
+        run_seconds=t2 - t1,
+        events_processed=events,
+        jobs_submitted=submitted,
+        jobs_completed=completed,
+        result_digest=_digest(summary),
+    )
+
+
+def run_bench(
+    size_name: str,
+    *,
+    baseline: bool = False,
+    seed: int = 0,
+    progress=None,
+) -> Dict[str, Any]:
+    """Run every case of one benchmark size; returns the JSON payload.
+
+    With ``baseline=True`` each case is additionally run in the
+    brute-force (``use_cache=False``) mode and the payload carries the
+    measured speedup plus an ``identical_results`` flag comparing the two
+    modes' result digests.
+    """
+    try:
+        size = SIZES[size_name]
+    except KeyError:
+        raise KeyError(f"unknown bench size {size_name!r}; known: {sorted(SIZES)}") from None
+
+    case_payloads: List[Dict[str, Any]] = []
+    for case in cases_for(size):
+        if progress is not None:
+            progress(f"  {case.name}: {size.num_jobs} jobs, {case.num_executors} executors")
+        optimized = run_case(case, use_cache=True, seed=seed)
+        entry: Dict[str, Any] = {
+            "name": case.name,
+            "num_jobs": size.num_jobs,
+            "num_executors": case.num_executors,
+            "preemption": case.preemption,
+            "optimized": optimized.to_dict(),
+        }
+        if baseline:
+            if progress is not None:
+                progress(f"  {case.name}: baseline (no-cache) run ...")
+            brute = run_case(case, use_cache=False, seed=seed)
+            entry["baseline"] = brute.to_dict()
+            entry["speedup"] = (
+                round(brute.run_seconds / optimized.run_seconds, 2)
+                if optimized.run_seconds > 0
+                else None
+            )
+            entry["identical_results"] = (
+                brute.result_digest == optimized.result_digest
+            )
+        case_payloads.append(entry)
+
+    return {
+        "schema": "repro-bench/v1",
+        "size": size.name,
+        "num_jobs": size.num_jobs,
+        "created_unix": int(time.time()),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cases": case_payloads,
+    }
+
+
+def write_bench_json(payload: Dict[str, Any], output: Optional[str] = None) -> Path:
+    """Write the payload to ``BENCH_<size>.json`` (or ``output``)."""
+    path = Path(output) if output else Path(f"BENCH_{payload['size']}.json")
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,197 @@
+"""Sized synthetic workloads for the performance benchmark harness.
+
+Each benchmark *size* fixes a number of fill jobs and a cluster shape
+(number of executors, i.e. representative devices).  Workload generation is
+deterministic, cheap (no trace machinery) and sized so the cluster runs at
+high-but-stable load: arrivals are spread over a window matched to the
+cluster's approximate service capacity, which keeps the backlog realistic
+instead of unboundedly growing or trivially empty.
+
+The generated jobs use the shipped Table 1 fill-job models and the same
+GPU-seconds -> samples conversion as the trace pipeline, so benchmark runs
+exercise exactly the code paths of real scenario runs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.scheduler import FillJob
+from repro.core.system import PipeFillSystem
+from repro.hardware.device import DeviceSpec, V100_16GB
+from repro.models.configs import JobType
+from repro.models.profiles import isolated_throughput
+from repro.models.registry import build_model
+from repro.pipeline.parallelism import ParallelConfig
+from repro.sim.multi_tenant import Tenant
+from repro.workloads.fill_jobs import category_for_model
+
+#: Mean exclusive-GPU seconds of a generated fill job (log-uniform draw
+#: between ``_MIN_GPU_SECONDS`` and ``_MAX_GPU_SECONDS``).
+_MIN_GPU_SECONDS = 30.0
+_MAX_GPU_SECONDS = 600.0
+#: Approximate slowdown of bubble execution vs exclusive execution, used
+#: only to size the arrival window.  Jobs only run during bubbles, so the
+#: wall-clock slowdown compounds the in-bubble slowdown (Section 6.2's
+#: 2-3x) with the bubble fraction of the cycle.
+_ASSUMED_SLOWDOWN = 6.0
+#: Target utilization of the arrival stream relative to estimated capacity.
+_TARGET_LOAD = 0.85
+
+_BENCH_MODELS: Tuple[str, ...] = ("bert-base", "efficientnet", "bert-large", "swin-large")
+
+
+@dataclass(frozen=True)
+class BenchSize:
+    """One benchmark size: job count plus cluster shape.
+
+    ``pipeline_stages * devices_per_stage`` is the executor count of one
+    tenant; multi-tenant cases run ``num_tenants`` such main jobs side by
+    side over one shared backlog.
+    """
+
+    name: str
+    num_jobs: int
+    pipeline_stages: int
+    devices_per_stage: int
+    num_tenants: int = 2
+
+    @property
+    def executors_per_tenant(self) -> int:
+        return self.pipeline_stages * self.devices_per_stage
+
+
+#: The sized workloads `repro bench` knows about.
+SIZES: Dict[str, BenchSize] = {
+    "smoke": BenchSize("smoke", num_jobs=200, pipeline_stages=8, devices_per_stage=1),
+    "small": BenchSize("small", num_jobs=1_000, pipeline_stages=16, devices_per_stage=1),
+    "medium": BenchSize("medium", num_jobs=10_000, pipeline_stages=16, devices_per_stage=4),
+    "large": BenchSize("large", num_jobs=100_000, pipeline_stages=16, devices_per_stage=16),
+}
+
+
+def build_bench_system(
+    size: BenchSize, *, model: str = "gpt-5b", seed_offset: int = 0
+) -> PipeFillSystem:
+    """One tenant's main job sized to the benchmark's cluster shape.
+
+    ``seed_offset`` varies the data-parallel width slightly so multiple
+    tenants do not end up with byte-identical bubble cycles (which would
+    make the shared estimate cache hide all per-tenant planning cost).
+    """
+    parallel = ParallelConfig(
+        tensor_parallel=1,
+        pipeline_stages=size.pipeline_stages,
+        data_parallel=2 + seed_offset,
+        microbatch_size=2,
+        global_batch_size=(2 + seed_offset) * size.pipeline_stages * 2,
+    )
+    return PipeFillSystem(
+        build_model(model),
+        parallel,
+        devices_per_stage=size.devices_per_stage,
+    )
+
+
+def _job_type_for(model_name: str, rng: random.Random) -> JobType:
+    types = category_for_model(model_name).job_types()
+    if len(types) == 1:
+        return types[0]
+    return JobType.TRAINING if rng.random() < 0.5 else JobType.BATCH_INFERENCE
+
+
+def arrival_window_seconds(size: BenchSize, num_executors: int) -> float:
+    """Arrival window that loads ``num_executors`` at ``_TARGET_LOAD``."""
+    mean_gpu_seconds = math.sqrt(_MIN_GPU_SECONDS * _MAX_GPU_SECONDS)  # log-mean
+    mean_fill_seconds = mean_gpu_seconds * _ASSUMED_SLOWDOWN
+    service_rate = num_executors / mean_fill_seconds  # jobs per second
+    return size.num_jobs / (service_rate * _TARGET_LOAD)
+
+
+def build_bench_jobs(
+    size: BenchSize,
+    *,
+    num_executors: int,
+    deadline_fraction: float = 0.0,
+    deadline_slack_factor: float = 6.0,
+    seed: int = 0,
+    device: DeviceSpec = V100_16GB,
+) -> List[FillJob]:
+    """Deterministic fill-job stream for one benchmark case.
+
+    Jobs draw a log-uniform exclusive-GPU duration, convert it to samples
+    through the model's isolated throughput (the trace pipeline's
+    conversion), and arrive uniformly over a window matched to the
+    cluster's service capacity.
+    """
+    rng = random.Random(seed)
+    window = arrival_window_seconds(size, num_executors)
+    throughput_cache: Dict[Tuple[str, JobType], float] = {}
+    jobs: List[FillJob] = []
+    log_lo, log_hi = math.log(_MIN_GPU_SECONDS), math.log(_MAX_GPU_SECONDS)
+    for i in range(size.num_jobs):
+        model_name = _BENCH_MODELS[i % len(_BENCH_MODELS)]
+        job_type = _job_type_for(model_name, rng)
+        key = (model_name, job_type)
+        if key not in throughput_cache:
+            throughput_cache[key] = isolated_throughput(
+                build_model(model_name), job_type, device
+            )
+        throughput = throughput_cache[key]
+        gpu_seconds = math.exp(rng.uniform(log_lo, log_hi))
+        num_samples = max(1.0, gpu_seconds * throughput)
+        arrival = rng.uniform(0.0, window)
+        deadline: Optional[float] = None
+        if deadline_fraction > 0.0 and rng.random() < deadline_fraction:
+            deadline = arrival + deadline_slack_factor * gpu_seconds * _ASSUMED_SLOWDOWN
+        jobs.append(
+            FillJob(
+                job_id=f"bench-{i}",
+                model_name=model_name,
+                job_type=job_type,
+                num_samples=num_samples,
+                arrival_time=arrival,
+                deadline=deadline,
+            )
+        )
+    return jobs
+
+
+def split_jobs_by_tenant(
+    jobs: Sequence[FillJob], tenant_names: Sequence[str]
+) -> Dict[str, List[FillJob]]:
+    """Round-robin the stream across tenants (the submitting side only;
+    placement is still the global scheduler's decision)."""
+    streams: Dict[str, List[FillJob]] = {name: [] for name in tenant_names}
+    for i, job in enumerate(jobs):
+        streams[tenant_names[i % len(tenant_names)]].append(job)
+    return streams
+
+
+def build_multi_tenant(
+    size: BenchSize,
+    *,
+    deadline_fraction: float = 0.0,
+    seed: int = 0,
+) -> List[Tenant]:
+    """The tenants (systems plus per-tenant job streams) for one case."""
+    tenant_names = [f"bench-tenant-{i}" for i in range(size.num_tenants)]
+    num_executors = size.executors_per_tenant * size.num_tenants
+    jobs = build_bench_jobs(
+        size,
+        num_executors=num_executors,
+        deadline_fraction=deadline_fraction,
+        seed=seed,
+    )
+    streams = split_jobs_by_tenant(jobs, tenant_names)
+    return [
+        Tenant(
+            name=name,
+            system=build_bench_system(size, seed_offset=i),
+            jobs=streams[name],
+        )
+        for i, name in enumerate(tenant_names)
+    ]

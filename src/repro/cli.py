@@ -24,6 +24,14 @@ Three commands cover the common workflows:
 
         python -m repro report --output EXPERIMENTS.md --only "Figure 9"
 
+``bench``
+    Run the sized simulator performance benchmarks and write a
+    machine-readable ``BENCH_<size>.json`` trajectory file (see
+    ``docs/performance.md``)::
+
+        python -m repro bench --size smoke --json
+        python -m repro bench --size medium --baseline
+
 Scenario files are documented in ``docs/scenarios.md``; every command
 exits non-zero with a one-line error for malformed specs.
 """
@@ -207,6 +215,76 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- bench -------------------------------------------------------------------------
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_bench, write_bench_json
+    from repro.bench.workloads import SIZES
+
+    sizes = args.size or ["smoke"]
+    stdout_only = args.output == "-"
+    if stdout_only:
+        # Keep the sibling commands' "- means stdout" convention: print the
+        # JSON payload and skip the BENCH_<size>.json file.
+        args.output, args.json = None, True
+    if args.output and len(sizes) > 1:
+        print(
+            "error: --output names a single file; use one --size per "
+            "invocation (the default writes one BENCH_<size>.json per size)",
+            file=sys.stderr,
+        )
+        return 2
+    say = (lambda *a, **k: None) if args.json else print
+    payloads = []
+    for size in sizes:
+        say(f"bench {size}: {SIZES[size].num_jobs} fill jobs")
+        payload = run_bench(size, baseline=args.baseline, seed=args.seed, progress=say)
+        payloads.append(payload)
+        if not stdout_only:
+            path = write_bench_json(payload, args.output)
+            say(f"wrote {path}")
+        table = Table(
+            columns=[
+                "case",
+                "jobs",
+                "executors",
+                "events",
+                "wall-clock (s)",
+                "events/sec",
+            ]
+            + (["speedup vs no-cache", "identical"] if args.baseline else []),
+            title=f"repro bench --size {size}",
+            formats={"wall-clock (s)": ".3f", "events/sec": ".0f"},
+        )
+        for case in payload["cases"]:
+            opt = case["optimized"]
+            row = [
+                case["name"],
+                case["num_jobs"],
+                case["num_executors"],
+                opt["events_processed"],
+                opt["run_seconds"],
+                opt["events_per_second"],
+            ]
+            if args.baseline:
+                row += [
+                    f'{case["speedup"]}x' if case["speedup"] is not None else "-",
+                    "yes" if case["identical_results"] else "NO",
+                ]
+            table.add_row(*row)
+        say(table.to_ascii())
+    if args.json:
+        # One parseable document regardless of how many sizes ran.
+        _write_json(
+            payloads[0]
+            if len(payloads) == 1
+            else {"schema": "repro-bench/v1", "benches": payloads},
+            "-",
+        )
+    return 0
+
+
 # -- entry point -------------------------------------------------------------------
 
 
@@ -254,6 +332,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only this experiment id (repeatable), e.g. --only 'Figure 9'",
     )
     report_p.set_defaults(func=cmd_report)
+
+    bench_p = sub.add_parser(
+        "bench", help="run the simulator performance benchmarks"
+    )
+    from repro.bench.workloads import SIZES as _BENCH_SIZES
+
+    bench_p.add_argument(
+        "--size",
+        action="append",
+        choices=list(_BENCH_SIZES),
+        help="benchmark size (repeatable; default: smoke)",
+    )
+    bench_p.add_argument(
+        "--baseline",
+        action="store_true",
+        help="also run the brute-force no-cache mode and report the speedup",
+    )
+    bench_p.add_argument(
+        "--seed", type=int, default=0, help="workload generation seed"
+    )
+    bench_p.add_argument(
+        "--output",
+        metavar="PATH",
+        help="output file (default: BENCH_<size>.json in the working directory)",
+    )
+    bench_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the benchmark payload as JSON on stdout (silences the table)",
+    )
+    bench_p.set_defaults(func=cmd_bench)
     return parser
 
 

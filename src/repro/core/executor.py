@@ -37,6 +37,66 @@ from repro.models.profiles import ModelProfile, best_profile, profile_model
 from repro.pipeline.bubbles import BubbleCycle
 from repro.utils.validation import check_positive
 
+# -- shared estimate caches ----------------------------------------------------
+#
+# An estimate depends only on (bubble cycle, device, PipeFill config,
+# efficiency model, model, job type) -- never on scheduler state -- so
+# executors constructed with identical inputs (every device of a stage, every
+# run over the same system) can share one memo instead of each re-running the
+# profile + Algorithm-1 plan search.  Cycle, device and config are frozen
+# dataclasses keyed by value.  The efficiency model holds dicts and the
+# model spec would be expensive to hash on the estimate hot path, so both
+# are keyed by identity: the efficiency id is resolved once per executor and
+# pinned, and every cached entry stores the model spec it was computed for
+# (the strong reference keeps that id from ever being reused, so two
+# *different* specs -- even ones sharing a registry name -- can never
+# collide, while the registry's one-canonical-spec-per-name behaviour still
+# shares entries across runs).
+
+#: One cached estimate: the model it was computed for plus the result.
+_EstimateEntry = Tuple[ModelSpec, Optional["FillExecutionEstimate"]]
+
+_PINNED_EFFICIENCY: Dict[int, EfficiencyModel] = {}
+_SHARED_ESTIMATES: Dict[tuple, Dict[Tuple[int, JobType], "_EstimateEntry"]] = {}
+_SHARED_ISOLATED: Dict[tuple, Dict[Tuple[int, JobType], Tuple[ModelSpec, float]]] = {}
+_SHARED_PROFILES: Dict[tuple, Dict[tuple, ModelProfile]] = {}
+
+#: Crude growth bounds: when this many distinct (cycle, device, config,
+#: efficiency) namespaces accumulate (a long-lived process iterating many
+#: systems in one process), the shared maps are flushed wholesale; and a
+#: single namespace fed distinct spec objects (a non-memoizing model
+#: resolver) is cleared once it holds this many entries.  Executors
+#: constructed earlier keep their (now orphaned) namespace dicts and stay
+#: correct; only future sharing restarts cold.
+_MAX_SHARED_NAMESPACES = 128
+_MAX_NAMESPACE_ENTRIES = 4096
+
+
+def _efficiency_id(efficiency: EfficiencyModel) -> int:
+    key = id(efficiency)
+    _PINNED_EFFICIENCY.setdefault(key, efficiency)
+    return key
+
+
+def _flush_if_oversized() -> None:
+    if len(_SHARED_ESTIMATES) > _MAX_SHARED_NAMESPACES:
+        _SHARED_ESTIMATES.clear()
+        _SHARED_ISOLATED.clear()
+        _SHARED_PROFILES.clear()
+        _PINNED_EFFICIENCY.clear()
+
+
+def clear_shared_caches() -> None:
+    """Drop all process-wide estimate/profile memos (benchmarks use this to
+    measure cold-start plan-search cost; tests use it for isolation)."""
+    from repro.models.registry import clear_model_cache
+
+    _SHARED_ESTIMATES.clear()
+    _SHARED_ISOLATED.clear()
+    _SHARED_PROFILES.clear()
+    _PINNED_EFFICIENCY.clear()
+    clear_model_cache()
+
 
 @dataclass(frozen=True)
 class FillExecutionEstimate:
@@ -138,8 +198,22 @@ class FillJobExecutor:
         self.device = device
         self.config = config or PipeFillConfig()
         self.efficiency = efficiency
-        self._estimate_cache: Dict[Tuple[str, JobType], Optional[FillExecutionEstimate]] = {}
-        self._isolated_cache: Dict[Tuple[str, JobType], float] = {}
+        # Estimates are pure functions of the constructor inputs, so the
+        # caches are shared process-wide between executors built with the
+        # same (cycle, device, config, efficiency) -- see module docs above.
+        _flush_if_oversized()
+        eff_id = _efficiency_id(efficiency)
+        estimate_key = (cycle, device, self.config, eff_id)
+        device_key = (device, eff_id)
+        self._estimate_cache: Dict[Tuple[int, JobType], _EstimateEntry] = (
+            _SHARED_ESTIMATES.setdefault(estimate_key, {})
+        )
+        self._isolated_cache: Dict[Tuple[int, JobType], Tuple[ModelSpec, float]] = (
+            _SHARED_ISOLATED.setdefault(device_key, {})
+        )
+        self._profile_cache: Dict[tuple, ModelProfile] = _SHARED_PROFILES.setdefault(
+            device_key, {}
+        )
 
     # -- memory ---------------------------------------------------------------
 
@@ -151,8 +225,11 @@ class FillJobExecutor:
     # -- estimation ------------------------------------------------------------
 
     def _isolated_throughput(self, model: ModelSpec, job_type: JobType) -> float:
-        key = (model.name, job_type)
-        if key not in self._isolated_cache:
+        key = (id(model), job_type)
+        entry = self._isolated_cache.get(key)
+        # The entry pins the spec it was computed for, so a hit can only
+        # ever be the same object (an id cannot be reused while pinned).
+        if entry is None or entry[0] is not model:
             profile = best_profile(
                 model,
                 job_type,
@@ -160,17 +237,43 @@ class FillJobExecutor:
                 device=self.device,
                 efficiency_model=self.efficiency,
             )
-            self._isolated_cache[key] = (
-                0.0 if profile is None else profile.throughput_samples_per_s
+            entry = (model, 0.0 if profile is None else profile.throughput_samples_per_s)
+            if len(self._isolated_cache) >= _MAX_NAMESPACE_ENTRIES:
+                self._isolated_cache.clear()
+            self._isolated_cache[key] = entry
+        return entry[1]
+
+    def _profile(
+        self,
+        model: ModelSpec,
+        job_type: JobType,
+        exec_config: ExecutionConfig,
+        *,
+        use_cache: bool = True,
+    ) -> ModelProfile:
+        """Memoised :func:`profile_model` (profiles do not depend on the cycle)."""
+        if not use_cache:
+            return profile_model(model, job_type, exec_config, self.device, self.efficiency)
+        key = (model, job_type, exec_config)
+        profile = self._profile_cache.get(key)
+        if profile is None:
+            profile = profile_model(
+                model, job_type, exec_config, self.device, self.efficiency
             )
-        return self._isolated_cache[key]
+            if len(self._profile_cache) >= _MAX_NAMESPACE_ENTRIES:
+                self._profile_cache.clear()
+            self._profile_cache[key] = profile
+        return profile
 
     def _evaluate_config(
-        self, model: ModelSpec, job_type: JobType, exec_config: ExecutionConfig
+        self,
+        model: ModelSpec,
+        job_type: JobType,
+        exec_config: ExecutionConfig,
+        *,
+        use_cache: bool = True,
     ) -> Optional[FillExecutionEstimate]:
-        profile = profile_model(
-            model, job_type, exec_config, self.device, self.efficiency
-        )
+        profile = self._profile(model, job_type, exec_config, use_cache=use_cache)
         if profile.device_footprint_bytes > self.usable_memory_bytes:
             return None
         try:
@@ -219,15 +322,20 @@ class FillJobExecutor:
         Returns ``None`` when no configuration fits the bubbles (the
         scheduler then places the job elsewhere or rejects it).
         """
-        key = (model.name, job_type)
+        key = (id(model), job_type)
         default_configs = configs is None
-        if use_cache and default_configs and key in self._estimate_cache:
-            return self._estimate_cache[key]
+        if use_cache and default_configs:
+            entry = self._estimate_cache.get(key)
+            # Entries pin their spec, so a hit is always the same object.
+            if entry is not None and entry[0] is model:
+                return entry[1]
         if configs is None:
             configs = candidate_configs(job_type)
         best: Optional[FillExecutionEstimate] = None
         for exec_config in configs:
-            estimate = self._evaluate_config(model, job_type, exec_config)
+            estimate = self._evaluate_config(
+                model, job_type, exec_config, use_cache=use_cache
+            )
             if estimate is None:
                 continue
             if (
@@ -237,7 +345,9 @@ class FillJobExecutor:
             ):
                 best = estimate
         if use_cache and default_configs:
-            self._estimate_cache[key] = best
+            if len(self._estimate_cache) >= _MAX_NAMESPACE_ENTRIES:
+                self._estimate_cache.clear()
+            self._estimate_cache[key] = (model, best)
         return best
 
     def processing_time(

@@ -39,6 +39,7 @@ from repro.core.policies import (
     sjf_policy,
 )
 from repro.core.scheduler import FillJob, FillJobScheduler, FillJobState
+from repro.utils.ordered import OrderedIdSet
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,11 @@ class GlobalScheduler:
     preemption_rule:
         Optional rule enabling deadline-driven preemption; ``None``
         disables preemption entirely.
+    use_cache:
+        When true (the default) backlog job views are memoised per
+        (tenant, job) and dispatch sweeps skip executors already proven
+        workless; disabling it re-scores everything from scratch on every
+        call (the brute-force reference mode for equivalence tests).
     """
 
     def __init__(
@@ -75,17 +81,19 @@ class GlobalScheduler:
         *,
         policy: SchedulingPolicy = sjf_policy,
         preemption_rule: Optional[PreemptionRule] = None,
+        use_cache: bool = True,
     ) -> None:
         if not tenants:
             raise ValueError("the global scheduler needs at least one tenant")
         self.tenants: Dict[str, FillJobScheduler] = dict(tenants)
         self.policy = policy
         self.preemption_rule = preemption_rule
+        self.use_cache = use_cache
         self.jobs: Dict[str, FillJob] = {}
         self.rejected: Dict[str, FillJob] = {}
         #: Tenant a job is (or was) resident on, once dispatched there.
         self.placements: Dict[str, str] = {}
-        self._backlog: List[str] = []
+        self._backlog = OrderedIdSet()
         # A backlog job's view on a tenant never changes while it waits
         # (proc times depend only on the executors' cycles and the full
         # sample count), so it is computed once per (tenant, job) instead
@@ -98,13 +106,14 @@ class GlobalScheduler:
         """Add a job to the global backlog.
 
         Returns ``False`` (and records the job as rejected) when no
-        executor of any tenant can ever run it.
+        executor of any tenant can ever run it.  Feasibility short-circuits
+        at the first executor anywhere that can run the job.
         """
         if job.job_id in self.jobs:
             raise ValueError(f"job id {job.job_id!r} already submitted")
         self.jobs[job.job_id] = job
         for sched in self.tenants.values():
-            if any(t != float("inf") for t in sched.processing_times(job).values()):
+            if sched.fits_any(job):
                 self._backlog.append(job.job_id)
                 return True
         self.rejected[job.job_id] = job
@@ -129,12 +138,21 @@ class GlobalScheduler:
                 proc_times=self.tenants[tenant].processing_times(job),
                 deadline=job.deadline,
             )
-            self._view_cache[key] = view
+            if self.use_cache:
+                self._view_cache[key] = view
         return view
 
-    def _forget_backlog_views(self, job_id: str) -> None:
-        for tenant in self.tenants:
+    def _forget_backlog_views(self, job_id: str, *, keep_tenant: Optional[str] = None) -> None:
+        """Drop a placed job's cached backlog views.
+
+        The tenant the job was placed on keeps its full-sample times memo
+        (deadline checks still consult it); every other tenant will never
+        see the job again, so their memos are dropped too.
+        """
+        for tenant, sched in self.tenants.items():
             self._view_cache.pop((tenant, job_id), None)
+            if tenant != keep_tenant:
+                sched.forget_job(job_id)
 
     def _best_backlog_job(
         self, tenant: str, executor_index: int, now: float
@@ -184,7 +202,7 @@ class GlobalScheduler:
             return None
         if backlog_job is not None and (local_job is None or backlog_score > local_score):
             self._backlog.remove(backlog_job.job_id)
-            self._forget_backlog_views(backlog_job.job_id)
+            self._forget_backlog_views(backlog_job.job_id, keep_tenant=tenant)
             self.placements[backlog_job.job_id] = tenant
             sched.submit(backlog_job)
             completion = sched.assign(executor_index, backlog_job, now)
@@ -194,19 +212,38 @@ class GlobalScheduler:
         return Assignment(tenant, executor_index, local_job.job_id, completion)
 
     def dispatch_idle(self, now: float) -> List[Assignment]:
-        """Dispatch onto every idle executor of every tenant until stable."""
+        """Dispatch onto every idle executor of every tenant until stable.
+
+        Iterates only currently-idle executors, and marks executors that
+        found no runnable job as *exhausted* for the remainder of the
+        sweep: within one sweep jobs only ever leave the backlog and the
+        tenant queues, so a workless executor cannot gain work until the
+        next event.  Both prunings leave the assignment sequence (and hence
+        the simulation results) unchanged.
+        """
         assignments: List[Assignment] = []
+        use_fast_path = self.use_cache
+        exhausted: set = set()
         progress = True
         while progress:
             progress = False
             for tenant, sched in self.tenants.items():
-                for idx, state in sched.executors.items():
-                    if state.is_busy:
+                if use_fast_path and not self._backlog and not sched.has_queued_jobs():
+                    continue
+                indices = (
+                    sched.idle_executor_indices()
+                    if use_fast_path
+                    else [i for i, s in sched.executors.items() if not s.is_busy]
+                )
+                for idx in indices:
+                    if (tenant, idx) in exhausted:
                         continue
                     assignment = self.dispatch(tenant, idx, now)
                     if assignment is not None:
                         assignments.append(assignment)
                         progress = True
+                    elif use_fast_path:
+                        exhausted.add((tenant, idx))
         return assignments
 
     # -- preemption -------------------------------------------------------------
@@ -222,8 +259,10 @@ class GlobalScheduler:
         job = self.jobs[job_id]
         if job.deadline is None:
             return True
-        for sched in self.tenants.values():
-            times = sched.processing_times(job)
+        for tenant, sched in self.tenants.items():
+            # The cached backlog view holds exactly the full-sample
+            # processing times this check needs.
+            times = self._backlog_view(tenant, job).proc_times
             for idx, ex_state in sched.executors.items():
                 if ex_state.is_busy:
                     continue
@@ -275,7 +314,7 @@ class GlobalScheduler:
         sched = self.tenants[tenant]
         preempted = sched.preempt(idx, now)
         self._backlog.remove(job_id)
-        self._forget_backlog_views(job_id)
+        self._forget_backlog_views(job_id, keep_tenant=tenant)
         self.placements[job_id] = tenant
         sched.submit(job)
         completion = sched.assign(idx, job, now)

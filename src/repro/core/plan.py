@@ -141,7 +141,13 @@ def _replication_count(
     """
     if graph_duration <= 0:
         raise PlanError("fill-job graph has zero duration")
-    count = 1
+    # Jump straight below the fixpoint, then settle with the exact loop
+    # condition: any start ``s >= 1`` with ``s * dur < sum(B)`` reaches the
+    # same count as starting from 1, and the jump keeps this O(1) even when
+    # thousands of replicas fit.
+    count = max(1, int(total_usable_bubble / graph_duration) - 2)
+    if count * graph_duration >= total_usable_bubble:
+        count = 1
     while (count + 1) * graph_duration < total_usable_bubble:
         count += 1
     return count
@@ -207,10 +213,12 @@ def plan_fill_job(
     replicated = ComputationalGraph.concatenate([graph] * iterations)
 
     partitions: List[GraphPartition] = []
-    remaining: List[GraphNode] = list(replicated.nodes)
+    nodes = replicated.nodes
+    num_nodes = len(nodes)
+    next_node = 0  # index of the first not-yet-packed node
     bubble_idx = 0
     empty_streak = 0
-    while remaining:
+    while next_node < num_nodes:
         cycle_index = bubble_idx // len(bubbles)
         if cycle_index >= max_cycles:
             raise PlanError(
@@ -220,18 +228,17 @@ def plan_fill_job(
         i = bubble_idx % len(bubbles)
         capacity = usable_durations[i]
         mem_cap = usable_memory[i]
-        packed: List[GraphNode] = []
+        start = next_node
         packed_duration = 0.0
         while (
-            remaining
-            and packed_duration + remaining[0].duration <= capacity
-            and remaining[0].memory_bytes <= mem_cap
+            next_node < num_nodes
+            and packed_duration + nodes[next_node].duration <= capacity
+            and nodes[next_node].memory_bytes <= mem_cap
         ):
-            node = remaining.pop(0)
-            packed.append(node)
-            packed_duration += node.duration
+            packed_duration += nodes[next_node].duration
+            next_node += 1
         partition = GraphPartition(
-            bubble_index=i, cycle_index=cycle_index, nodes=tuple(packed)
+            bubble_index=i, cycle_index=cycle_index, nodes=nodes[start:next_node]
         )
         partitions.append(partition)
         if partition.is_empty:

@@ -18,6 +18,7 @@ when interrupting the running job to start the arrival is worthwhile
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.utils.validation import check_non_negative
@@ -38,9 +39,14 @@ class JobView:
     proc_times: Mapping[int, float]
     deadline: Optional[float] = None
 
-    @property
+    @cached_property
     def min_proc_time(self) -> float:
-        """Fastest predicted processing time across all executors."""
+        """Fastest predicted processing time across all executors.
+
+        Cached on the (frozen, immutable) view: policies consult it once
+        per scored (job, executor) pair, and schedulers reuse views across
+        whole dispatch sweeps.
+        """
         finite = [t for t in self.proc_times.values() if t != float("inf")]
         return min(finite) if finite else float("inf")
 

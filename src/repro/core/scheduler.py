@@ -22,6 +22,7 @@ from repro.core.policies import JobView, SchedulerView, SchedulingPolicy, sjf_po
 from repro.models.base import ModelSpec
 from repro.models.configs import JobType
 from repro.models.registry import build_model
+from repro.utils.ordered import OrderedIdSet
 from repro.utils.validation import check_non_negative, check_positive
 
 
@@ -146,6 +147,13 @@ class FillJobScheduler:
     model_resolver:
         Maps a job's ``model_name`` to a :class:`ModelSpec`; defaults to the
         package model registry.
+    use_cache:
+        When true (the default) the scheduler memoises per-job processing
+        times and policy views and the executors share their estimate
+        caches process-wide; disabling it rebuilds every view and dict per
+        call and replaces the shared estimate caches with scheduler-private
+        per-executor memos (the pre-optimisation semantics) -- the
+        brute-force reference mode the equivalence tests compare against.
     """
 
     def __init__(
@@ -154,6 +162,7 @@ class FillJobScheduler:
         *,
         policy: SchedulingPolicy = sjf_policy,
         model_resolver: Callable[[str], ModelSpec] = build_model,
+        use_cache: bool = True,
     ) -> None:
         if not executors:
             raise ValueError("the scheduler needs at least one executor")
@@ -163,8 +172,25 @@ class FillJobScheduler:
         }
         self.policy = policy
         self.model_resolver = model_resolver
+        self.use_cache = use_cache
         self.records: Dict[str, JobRecord] = {}
-        self._queue: List[str] = []
+        self._queue = OrderedIdSet()
+        # Executor indices in declaration order (dispatch iterates them in
+        # this order), and the subset currently without a running job.
+        self._executor_order: List[int] = list(self.executors)
+        self._idle = set(self._executor_order)
+        # Per-job memos, valid only while the underlying inputs are fixed:
+        # full-sample processing times never change for a submitted job;
+        # policy views depend on ``samples_remaining`` and are invalidated
+        # whenever it changes (assignment, completion, preemption).
+        self._full_times: Dict[str, Dict[int, float]] = {}
+        self._views: Dict[str, JobView] = {}
+        # Brute-force mode bypasses the process-wide shared estimate caches
+        # entirely and memoises per (executor, model name, job type) in
+        # this scheduler only -- exactly the pre-optimisation executor
+        # cache semantics -- so it is a genuine oracle for shared-cache
+        # keying bugs, at pre-optimisation cost.
+        self._private_estimates: Dict[tuple, Optional[FillExecutionEstimate]] = {}
 
     # -- submission -------------------------------------------------------------
 
@@ -174,9 +200,7 @@ class FillJobScheduler:
             raise ValueError(f"job id {job.job_id!r} already submitted")
         record = JobRecord(job=job)
         self.records[job.job_id] = record
-        if not any(
-            t != float("inf") for t in self.processing_times(job).values()
-        ):
+        if not self.fits_any(job):
             record.state = FillJobState.REJECTED
             return record
         self._queue.append(job.job_id)
@@ -184,10 +208,37 @@ class FillJobScheduler:
 
     # -- predictions -------------------------------------------------------------
 
+    def _estimate(
+        self, executor_index: int, model: ModelSpec, job_type: JobType
+    ) -> Optional[FillExecutionEstimate]:
+        """One executor's estimate, honouring this scheduler's cache mode."""
+        executor = self.executors[executor_index].executor
+        if self.use_cache:
+            return executor.build_estimate(model, job_type)
+        key = (executor_index, model.name, job_type)
+        if key not in self._private_estimates:
+            self._private_estimates[key] = executor.build_estimate(
+                model, job_type, use_cache=False
+            )
+        return self._private_estimates[key]
+
     def estimate_for(self, job: FillJob, executor_index: int) -> Optional[FillExecutionEstimate]:
         """The executor's estimate of running ``job`` (``None`` if it cannot)."""
         model = self.model_resolver(job.model_name)
-        return self.executors[executor_index].executor.build_estimate(model, job.job_type)
+        return self._estimate(executor_index, model, job.job_type)
+
+    def fits_any(self, job: FillJob) -> bool:
+        """Whether at least one executor can ever run the job.
+
+        Short-circuits at the first finite estimate instead of pricing the
+        job on every executor the way :meth:`processing_times` does.
+        """
+        model = self.model_resolver(job.model_name)
+        for idx in self._executor_order:
+            estimate = self._estimate(idx, model, job.job_type)
+            if estimate is not None and estimate.samples_per_cycle > 0:
+                return True
+        return False
 
     def processing_times(
         self, job: FillJob, *, num_samples: Optional[float] = None
@@ -195,8 +246,14 @@ class FillJobScheduler:
         """Predicted processing time of ``job`` on every executor.
 
         ``num_samples`` overrides the sample count (used to price the
-        *remaining* work of a previously-preempted job).
+        *remaining* work of a previously-preempted job).  Full-sample times
+        are memoised per job: they depend only on the executors' bubble
+        cycles, which are fixed for the lifetime of a run.
         """
+        if num_samples is None and self.use_cache:
+            cached = self._full_times.get(job.job_id)
+            if cached is not None:
+                return cached
         samples = job.num_samples if num_samples is None else num_samples
         times: Dict[int, float] = {}
         for idx in self.executors:
@@ -204,6 +261,8 @@ class FillJobScheduler:
             times[idx] = (
                 float("inf") if estimate is None else estimate.processing_time(samples)
             )
+        if num_samples is None and self.use_cache:
+            self._full_times[job.job_id] = times
         return times
 
     def expected_completion(self, job_id: str, now: float) -> float:
@@ -219,7 +278,7 @@ class FillJobScheduler:
         if record.state is FillJobState.RUNNING:
             assert record.assigned_executor is not None
             return self.executors[record.assigned_executor].busy_until
-        times = self.processing_times(record.job)
+        times = self.processing_times(record.job)  # memoised full-sample path
         best = float("inf")
         for idx, proc in times.items():
             if proc == float("inf"):
@@ -238,15 +297,43 @@ class FillJobScheduler:
     # -- assignment ---------------------------------------------------------------
 
     def job_view(self, job: FillJob) -> JobView:
-        """The policy-facing view of a (possibly partially-run) job."""
+        """The policy-facing view of a (possibly partially-run) job.
+
+        Views are memoised per job while the job waits in the queue -- the
+        dispatch sweep asks for the same view once per idle executor -- and
+        invalidated whenever ``samples_remaining`` changes (assignment,
+        completion, preemption), so banked progress is always reflected.
+        """
+        if self.use_cache:
+            view = self._views.get(job.job_id)
+            if view is not None:
+                return view
         record = self.records.get(job.job_id)
         remaining = None if record is None else record.samples_remaining
-        return JobView(
+        if remaining is not None and remaining == job.num_samples:
+            remaining = None  # identical times; lets the full-sample memo serve it
+        view = JobView(
             job_id=job.job_id,
             arrival_time=job.arrival_time,
             proc_times=self.processing_times(job, num_samples=remaining),
             deadline=job.deadline,
         )
+        if self.use_cache:
+            self._views[job.job_id] = view
+        return view
+
+    def _forget_view(self, job_id: str) -> None:
+        self._views.pop(job_id, None)
+
+    def forget_job(self, job_id: str) -> None:
+        """Drop every memo held for a job this scheduler will not see again.
+
+        Called by the global scheduler when a shared-backlog job is placed
+        on a *different* tenant, so per-tenant memos do not accumulate one
+        entry per backlog job ever priced here.
+        """
+        self._views.pop(job_id, None)
+        self._full_times.pop(job_id, None)
 
     def scheduler_view(self, now: float) -> SchedulerView:
         """The policy-facing view of current executor occupancy."""
@@ -261,6 +348,16 @@ class FillJobScheduler:
         if now is not None:
             jobs = [j for j in jobs if j.arrival_time <= now]
         return jobs
+
+    def has_queued_jobs(self) -> bool:
+        """Whether any job is waiting (regardless of arrival time)."""
+        return bool(self._queue)
+
+    def idle_executor_indices(self) -> List[int]:
+        """Indices of executors without a running job, in declaration order."""
+        if len(self._idle) == len(self._executor_order):
+            return self._executor_order
+        return [idx for idx in self._executor_order if idx in self._idle]
 
     def select_job_scored(
         self, executor_index: int, now: float
@@ -302,6 +399,7 @@ class FillJobScheduler:
         proc_time = estimate.processing_time(record.samples_remaining)
         completion = now + proc_time
         self._queue.remove(job.job_id)
+        self._forget_view(job.job_id)
         record.state = FillJobState.RUNNING
         record.assigned_executor = executor_index
         record.start_time = now
@@ -310,6 +408,7 @@ class FillJobScheduler:
         )
         ex_state.current_job_id = job.job_id
         ex_state.busy_until = completion
+        self._idle.discard(executor_index)
         return completion
 
     def complete(self, executor_index: int, now: float) -> Optional[str]:
@@ -327,6 +426,9 @@ class FillJobScheduler:
         record.samples_remaining = 0.0
         ex_state.current_job_id = None
         ex_state.busy_until = now
+        self._idle.add(executor_index)
+        self._forget_view(job_id)
+        self._full_times.pop(job_id, None)  # finished jobs are never re-priced
         return job_id
 
     def preempt(self, executor_index: int, now: float) -> Optional[str]:
@@ -366,6 +468,10 @@ class FillJobScheduler:
         self._queue.append(job_id)
         ex_state.current_job_id = None
         ex_state.busy_until = now
+        self._idle.add(executor_index)
+        # Banked progress changed the job's remaining work; any cached view
+        # must be rebuilt so re-dispatch prices only the leftover samples.
+        self._forget_view(job_id)
         return job_id
 
     def dispatch(self, executor_index: int, now: float) -> Optional[float]:

@@ -47,6 +47,10 @@ def build_model(name: str, *, use_cache: bool = True) -> ModelSpec:
 
     Model specs are immutable, so caching is safe and keeps workload
     generation cheap when thousands of trace jobs reference the same model.
+    The memo also hands out one canonical ``ModelSpec`` instance per name,
+    which the executors' shared estimate caches key on by identity --
+    clearing this cache therefore also makes those lookups start cold for
+    subsequently-built specs.
     """
     try:
         builder = _ALL_MODELS[name]
@@ -57,3 +61,8 @@ def build_model(name: str, *, use_cache: bool = True) -> ModelSpec:
     if name not in _CACHE:
         _CACHE[name] = builder()
     return _CACHE[name]
+
+
+def clear_model_cache() -> None:
+    """Drop the memoised model specs (cold-start benchmarking hooks)."""
+    _CACHE.clear()

@@ -97,13 +97,19 @@ class TenantResult:
 
 @dataclass(frozen=True)
 class MultiTenantResult:
-    """Outcome of one multi-tenant simulation run."""
+    """Outcome of one multi-tenant simulation run.
+
+    ``events_processed`` counts the discrete events the run consumed
+    (arrivals plus completions, including stale completions that were
+    skipped); benchmarks divide it by wall-clock time to report events/sec.
+    """
 
     horizon_seconds: float
     tenants: Mapping[str, TenantResult]
     aggregate: FillJobMetrics
     backlog_remaining: int
     jobs_rejected_global: int
+    events_processed: int = 0
 
     @property
     def num_devices(self) -> int:
@@ -136,6 +142,7 @@ class MultiTenantResult:
             "fill_tflops_per_device": self.fill_tflops_per_device,
             "backlog_remaining": self.backlog_remaining,
             "jobs_rejected_global": self.jobs_rejected_global,
+            "events_processed": self.events_processed,
             "aggregate": metrics_dict(self.aggregate),
             "tenants": {
                 name: {
@@ -222,6 +229,7 @@ class MultiTenantSimulator:
         *,
         policy: SchedulingPolicy = sjf_policy,
         preemption_rule: Optional[PreemptionRule] = None,
+        use_cache: bool = True,
     ) -> None:
         if not tenants:
             raise ValueError("the multi-tenant simulator needs at least one tenant")
@@ -231,16 +239,22 @@ class MultiTenantSimulator:
         self.tenants: Dict[str, Tenant] = {t.name: t for t in tenants}
         self.policy = policy
         self.preemption_rule = preemption_rule
+        self.use_cache = use_cache
 
     # -- helpers -----------------------------------------------------------------
 
     def _build_global_scheduler(self) -> GlobalScheduler:
         schedulers = {
-            name: FillJobScheduler(tenant.system.executors, policy=self.policy)
+            name: FillJobScheduler(
+                tenant.system.executors, policy=self.policy, use_cache=self.use_cache
+            )
             for name, tenant in self.tenants.items()
         }
         return GlobalScheduler(
-            schedulers, policy=self.policy, preemption_rule=self.preemption_rule
+            schedulers,
+            policy=self.policy,
+            preemption_rule=self.preemption_rule,
+            use_cache=self.use_cache,
         )
 
     def _arrival_stream(
@@ -298,11 +312,13 @@ class MultiTenantSimulator:
 
         now = 0.0
         last_completion = 0.0
+        events_processed = 0
         while queue:
             event = queue.pop()
             if horizon_seconds is not None and event.time > horizon_seconds:
                 now = horizon_seconds
                 break
+            events_processed += 1
             now = event.time
             if event.kind is EventKind.JOB_ARRIVAL:
                 assert event.job_id is not None
@@ -336,7 +352,9 @@ class MultiTenantSimulator:
         if horizon <= 0:
             horizon = max(last_completion, 1e-9)
 
-        return self._collect(global_sched, stream, horizon)
+        return self._collect(
+            global_sched, stream, horizon, events_processed=events_processed
+        )
 
     # -- result assembly ---------------------------------------------------------
 
@@ -345,6 +363,8 @@ class MultiTenantSimulator:
         global_sched: GlobalScheduler,
         stream: Sequence[FillJob],
         horizon: float,
+        *,
+        events_processed: int = 0,
     ) -> MultiTenantResult:
         submitted_by: Dict[str, int] = {name: 0 for name in self.tenants}
         for job in stream:
@@ -399,4 +419,5 @@ class MultiTenantSimulator:
             aggregate=aggregate,
             backlog_remaining=len(backlog),
             jobs_rejected_global=len(global_sched.rejected),
+            events_processed=events_processed,
         )

@@ -359,13 +359,19 @@ def build_tenants(spec: ScenarioSpec) -> List[Tenant]:
     ]
 
 
-def run_scenario(spec: ScenarioSpec) -> MultiTenantResult:
-    """Build and simulate a scenario end-to-end."""
+def run_scenario(spec: ScenarioSpec, *, use_cache: bool = True) -> MultiTenantResult:
+    """Build and simulate a scenario end-to-end.
+
+    ``use_cache=False`` runs the schedulers in their brute-force reference
+    mode (no memoised estimates or views); the equivalence tests use it to
+    prove the optimised path produces identical results.
+    """
     simulator = MultiTenantSimulator(
         build_tenants(spec),
         policy=get_policy(spec.policy),
         preemption_rule=(
             None if spec.preemption is None else get_preemption_rule(spec.preemption)
         ),
+        use_cache=use_cache,
     )
     return simulator.run(horizon_seconds=spec.horizon_seconds)

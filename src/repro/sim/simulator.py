@@ -32,12 +32,18 @@ from repro.sim.metrics import FillJobMetrics, collect_fill_metrics
 
 @dataclass(frozen=True)
 class SimulationResult:
-    """Outcome of one simulator run."""
+    """Outcome of one simulator run.
+
+    ``events_processed`` counts the discrete events the run consumed
+    (arrivals plus completions, including stale completions that were
+    skipped); benchmarks divide it by wall-clock time to report events/sec.
+    """
 
     horizon_seconds: float
     num_devices: int
     fill_metrics: FillJobMetrics
     scheduler: FillJobScheduler = field(repr=False, hash=False, compare=False)
+    events_processed: int = 0
 
     @property
     def fill_tflops_per_device(self) -> float:
@@ -73,33 +79,53 @@ class ClusterSimulator:
         executors: Mapping[int, FillJobExecutor],
         *,
         policy: SchedulingPolicy = sjf_policy,
+        use_cache: bool = True,
     ) -> None:
         if not executors:
             raise ValueError("the simulator needs at least one executor")
         self.executors = dict(executors)
         self.policy = policy
+        self.use_cache = use_cache
 
     # -- helpers -----------------------------------------------------------------
 
     def _dispatch_all_idle(
         self, scheduler: FillJobScheduler, queue: EventQueue, now: float
     ) -> None:
-        """Assign queued jobs to every idle executor until none can be filled."""
+        """Assign queued jobs to every idle executor until none can be filled.
+
+        Only currently-idle executors are visited, and an executor that
+        finds no runnable job is skipped for the rest of the sweep: jobs
+        only leave the queue during a sweep, so a workless executor stays
+        workless until the next event.  Neither pruning changes which
+        assignments are made.
+        """
+        use_fast_path = self.use_cache
+        exhausted: set = set()
         progress = True
         while progress:
             progress = False
-            for idx, state in scheduler.executors.items():
-                if state.is_busy:
+            if use_fast_path and not scheduler.has_queued_jobs():
+                break
+            indices = (
+                scheduler.idle_executor_indices()
+                if use_fast_path
+                else [i for i, s in scheduler.executors.items() if not s.is_busy]
+            )
+            for idx in indices:
+                if idx in exhausted:
                     continue
                 completion = scheduler.dispatch(idx, now)
                 if completion is not None:
                     queue.push(
                         completion,
                         EventKind.JOB_COMPLETION,
-                        job_id=state.current_job_id,
+                        job_id=scheduler.executors[idx].current_job_id,
                         executor_index=idx,
                     )
                     progress = True
+                elif use_fast_path:
+                    exhausted.add(idx)
 
     # -- main entry point -----------------------------------------------------------
 
@@ -120,7 +146,9 @@ class ClusterSimulator:
             pro-rated FLOPs.  Defaults to the time the last job completes.
         """
         job_list: List[FillJob] = sorted(jobs, key=lambda j: j.arrival_time)
-        scheduler = FillJobScheduler(self.executors, policy=self.policy)
+        scheduler = FillJobScheduler(
+            self.executors, policy=self.policy, use_cache=self.use_cache
+        )
         queue = EventQueue()
         for job in job_list:
             queue.push(job.arrival_time, EventKind.JOB_ARRIVAL, job_id=job.job_id)
@@ -128,11 +156,13 @@ class ClusterSimulator:
 
         now = 0.0
         last_completion = 0.0
+        events_processed = 0
         while queue:
             event = queue.pop()
             if horizon_seconds is not None and event.time > horizon_seconds:
                 now = horizon_seconds
                 break
+            events_processed += 1
             now = event.time
             if event.kind is EventKind.JOB_ARRIVAL:
                 assert event.job_id is not None
@@ -160,4 +190,5 @@ class ClusterSimulator:
             num_devices=len(self.executors),
             fill_metrics=metrics,
             scheduler=scheduler,
+            events_processed=events_processed,
         )

@@ -1,0 +1,64 @@
+"""An insertion-ordered set of string ids with O(1) membership and removal.
+
+The schedulers keep their FIFO-ish work queues (the per-tenant fill-job
+queue and the global backlog) as ordered collections of job ids.  Plain
+lists made every removal -- one per dispatch -- an O(n) ``list.remove``,
+which dominated large multi-tenant sweeps.  :class:`OrderedIdSet` is a thin
+wrapper over an insertion-ordered dict that preserves exactly the list
+semantics the schedulers rely on (iteration in insertion order, append at
+the end, ids are unique) while making ``remove`` / ``in`` constant-time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List
+
+
+class OrderedIdSet:
+    """Insertion-ordered collection of unique ids with O(1) add/remove.
+
+    Mirrors the subset of the ``list`` API the schedulers used (``append``,
+    ``remove``, ``in``, ``len``, iteration) so it can replace a list of
+    unique ids without any behavioural change.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[str] = ()) -> None:
+        self._items: Dict[str, None] = dict.fromkeys(items)
+
+    def append(self, item: str) -> None:
+        """Add ``item`` at the end; re-appending an existing id is an error."""
+        if item in self._items:
+            raise ValueError(f"id {item!r} is already in the set")
+        self._items[item] = None
+
+    def remove(self, item: str) -> None:
+        """Remove ``item``; raises ``ValueError`` if absent (like ``list``)."""
+        try:
+            del self._items[item]
+        except KeyError:
+            raise ValueError(f"id {item!r} not in set") from None
+
+    def discard(self, item: str) -> None:
+        """Remove ``item`` if present."""
+        self._items.pop(item, None)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._items
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OrderedIdSet({list(self._items)!r})"
+
+    def to_list(self) -> List[str]:
+        """The ids in insertion order (a fresh list)."""
+        return list(self._items)
