@@ -36,13 +36,19 @@ from repro.bench.workloads import (
     arrival_window_seconds,
     build_bench_jobs,
     build_bench_system,
+    build_churn_faults,
     build_multi_tenant,
 )
 
 
 @dataclass(frozen=True)
 class CaseTiming:
-    """Measured outcome of one benchmark case in one mode."""
+    """Measured outcome of one benchmark case in one mode.
+
+    ``events_by_kind`` breaks ``events_processed`` down per
+    :class:`~repro.sim.events.EventKind` value, so the BENCH trajectory
+    distinguishes arrival/completion work from fault/churn work.
+    """
 
     setup_seconds: float
     run_seconds: float
@@ -50,6 +56,7 @@ class CaseTiming:
     jobs_submitted: int
     jobs_completed: int
     result_digest: str
+    events_by_kind: Dict[str, int] = field(default_factory=dict)
 
     @property
     def events_per_second(self) -> float:
@@ -62,6 +69,7 @@ class CaseTiming:
             "setup_seconds": round(self.setup_seconds, 4),
             "run_seconds": round(self.run_seconds, 4),
             "events_processed": self.events_processed,
+            "events_by_kind": dict(self.events_by_kind),
             "events_per_second": round(self.events_per_second, 2),
             "jobs_submitted": self.jobs_submitted,
             "jobs_completed": self.jobs_completed,
@@ -77,6 +85,7 @@ class BenchCase:
     size: BenchSize
     multi_tenant: bool
     preemption: bool
+    churn: bool = False
     num_executors: int = field(init=False)
 
     def __post_init__(self) -> None:
@@ -88,11 +97,18 @@ class BenchCase:
 
 def cases_for(size: BenchSize) -> List[BenchCase]:
     """The workloads `repro bench` runs for one size."""
-    return [
+    cases = [
         BenchCase("single_tenant", size, multi_tenant=False, preemption=False),
         BenchCase("multi_tenant", size, multi_tenant=True, preemption=False),
         BenchCase("multi_tenant_preempt", size, multi_tenant=True, preemption=True),
     ]
+    if size.churn:
+        cases.append(
+            BenchCase(
+                "multi_tenant_churn", size, multi_tenant=True, preemption=False, churn=True
+            )
+        )
+    return cases
 
 
 def _digest(payload: Any) -> str:
@@ -118,8 +134,12 @@ def run_case(case: BenchCase, *, use_cache: bool = True, seed: int = 0) -> CaseT
 
         deadline_fraction = 0.3 if case.preemption else 0.0
         tenants = build_multi_tenant(
-            case.size, deadline_fraction=deadline_fraction, seed=seed
+            case.size,
+            deadline_fraction=deadline_fraction,
+            seed=seed,
+            churn=case.churn,
         )
+        faults = build_churn_faults(case.size) if case.churn else ()
         policy = (
             compose_policies((1_000.0, slack_policy), (1.0, sjf_policy))
             if case.preemption
@@ -133,7 +153,7 @@ def run_case(case: BenchCase, *, use_cache: bool = True, seed: int = 0) -> CaseT
         )
         horizon = arrival_window_seconds(case.size, case.num_executors)
         t1 = time.perf_counter()
-        result = simulator.run(horizon_seconds=horizon)
+        result = simulator.run(faults=faults, horizon_seconds=horizon)
         t2 = time.perf_counter()
         agg = result.aggregate
         # Digest the full result (per-tenant sections included), so a cache
@@ -141,6 +161,7 @@ def run_case(case: BenchCase, *, use_cache: bool = True, seed: int = 0) -> CaseT
         # still flips `identical_results`.
         summary = result.to_dict()
         events = result.events_processed
+        events_by_kind = dict(result.events_by_kind)
         submitted, completed = agg.jobs_submitted, agg.jobs_completed
     else:
         system = build_bench_system(case.size)
@@ -162,6 +183,7 @@ def run_case(case: BenchCase, *, use_cache: bool = True, seed: int = 0) -> CaseT
             "makespan": metrics.makespan,
             "busy_device_seconds": metrics.busy_device_seconds,
             "events_processed": result.events_processed,
+            "events_by_kind": dict(result.events_by_kind),
             # Per-job outcome trace: catches divergence that aggregate
             # metrics would mask (e.g. two equal-length jobs swapping
             # executors).
@@ -171,6 +193,7 @@ def run_case(case: BenchCase, *, use_cache: bool = True, seed: int = 0) -> CaseT
             ),
         }
         events = result.events_processed
+        events_by_kind = dict(result.events_by_kind)
         submitted, completed = metrics.jobs_submitted, metrics.jobs_completed
 
     return CaseTiming(
@@ -180,6 +203,7 @@ def run_case(case: BenchCase, *, use_cache: bool = True, seed: int = 0) -> CaseT
         jobs_submitted=submitted,
         jobs_completed=completed,
         result_digest=_digest(summary),
+        events_by_kind=events_by_kind,
     )
 
 

@@ -26,6 +26,7 @@ from repro.models.configs import JobType
 from repro.models.profiles import isolated_throughput
 from repro.models.registry import build_model
 from repro.pipeline.parallelism import ParallelConfig
+from repro.sim.kernel import FaultSpec
 from repro.sim.multi_tenant import Tenant
 from repro.workloads.fill_jobs import category_for_model
 
@@ -50,7 +51,11 @@ class BenchSize:
 
     ``pipeline_stages * devices_per_stage`` is the executor count of one
     tenant; multi-tenant cases run ``num_tenants`` such main jobs side by
-    side over one shared backlog.
+    side over one shared backlog.  ``churn=True`` adds dynamic cluster
+    events to the multi-tenant cases (periodic executor
+    failures/recoveries plus one tenant joining and leaving mid-window),
+    so the bench trajectory tracks fault/churn event throughput alongside
+    arrival/completion work.
     """
 
     name: str
@@ -58,6 +63,7 @@ class BenchSize:
     pipeline_stages: int
     devices_per_stage: int
     num_tenants: int = 2
+    churn: bool = False
 
     @property
     def executors_per_tenant(self) -> int:
@@ -70,7 +76,23 @@ SIZES: Dict[str, BenchSize] = {
     "small": BenchSize("small", num_jobs=1_000, pipeline_stages=16, devices_per_stage=1),
     "medium": BenchSize("medium", num_jobs=10_000, pipeline_stages=16, devices_per_stage=4),
     "large": BenchSize("large", num_jobs=100_000, pipeline_stages=16, devices_per_stage=16),
+    "churn": BenchSize(
+        "churn",
+        num_jobs=5_000,
+        pipeline_stages=16,
+        devices_per_stage=2,
+        num_tenants=3,
+        churn=True,
+    ),
 }
+
+#: Fraction of the arrival window covered by the churn tenant's presence.
+_CHURN_JOIN_FRACTION = 0.2
+_CHURN_LEAVE_FRACTION = 0.8
+#: Failure waves per churn run and the downtime of each failed executor,
+#: as a fraction of the arrival window.
+_CHURN_FAILURE_WAVES = 12
+_CHURN_DOWNTIME_FRACTION = 1.0 / 16.0
 
 
 def build_bench_system(
@@ -176,8 +198,15 @@ def build_multi_tenant(
     *,
     deadline_fraction: float = 0.0,
     seed: int = 0,
+    churn: bool = False,
 ) -> List[Tenant]:
-    """The tenants (systems plus per-tenant job streams) for one case."""
+    """The tenants (systems plus per-tenant job streams) for one case.
+
+    With ``churn=True`` (and at least two tenants) the last tenant is
+    elastic: it joins a fifth of the way into the arrival window and
+    leaves at four fifths with its placed jobs requeued, exercising the
+    TENANT_JOIN/TENANT_LEAVE paths under load.
+    """
     tenant_names = [f"bench-tenant-{i}" for i in range(size.num_tenants)]
     num_executors = size.executors_per_tenant * size.num_tenants
     jobs = build_bench_jobs(
@@ -187,11 +216,45 @@ def build_multi_tenant(
         seed=seed,
     )
     streams = split_jobs_by_tenant(jobs, tenant_names)
-    return [
-        Tenant(
-            name=name,
-            system=build_bench_system(size, seed_offset=i),
-            jobs=streams[name],
+    window = arrival_window_seconds(size, num_executors)
+    tenants = []
+    for i, name in enumerate(tenant_names):
+        elastic = churn and size.num_tenants > 1 and i == size.num_tenants - 1
+        tenants.append(
+            Tenant(
+                name=name,
+                system=build_bench_system(size, seed_offset=i),
+                jobs=streams[name],
+                join_at=window * _CHURN_JOIN_FRACTION if elastic else None,
+                leave_at=window * _CHURN_LEAVE_FRACTION if elastic else None,
+                leave_mode="requeue" if elastic else "drain",
+            )
         )
-        for i, name in enumerate(tenant_names)
-    ]
+    return tenants
+
+
+def build_churn_faults(size: BenchSize) -> List[FaultSpec]:
+    """Deterministic executor failure/recovery schedule for a churn case.
+
+    ``_CHURN_FAILURE_WAVES`` waves spread uniformly over the arrival
+    window; wave ``k`` fails one executor of tenant ``k % num_tenants``
+    (rotating through that tenant's executors) and recovers it
+    ``_CHURN_DOWNTIME_FRACTION`` of the window later.
+    """
+    num_executors = size.executors_per_tenant * size.num_tenants
+    window = arrival_window_seconds(size, num_executors)
+    downtime = window * _CHURN_DOWNTIME_FRACTION
+    faults: List[FaultSpec] = []
+    for wave in range(_CHURN_FAILURE_WAVES):
+        tenant_index = wave % size.num_tenants
+        executor_index = (wave * 3) % size.executors_per_tenant
+        fail_at = window * (wave + 1) / (_CHURN_FAILURE_WAVES + 1)
+        faults.append(
+            FaultSpec(
+                executor_index=executor_index,
+                fail_at=fail_at,
+                recover_at=fail_at + downtime,
+                tenant=f"bench-tenant-{tenant_index}",
+            )
+        )
+    return faults

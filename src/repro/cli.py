@@ -1,6 +1,6 @@
 """The ``repro`` command-line interface: ``python -m repro <command>``.
 
-Three commands cover the common workflows:
+Five commands cover the common workflows:
 
 ``run``
     Simulate one scenario file and print per-tenant plus aggregate
@@ -8,6 +8,13 @@ Three commands cover the common workflows:
 
         python -m repro run scenarios/multi_tenant.yaml
         python -m repro run scenarios/quickstart.yaml --json -
+
+``validate``
+    Load and validate a scenario spec (including ``faults:`` and elastic
+    tenant blocks) without running it; exits non-zero with the
+    ``ScenarioError`` message on a malformed spec::
+
+        python -m repro validate scenarios/faulty_cluster.yaml
 
 ``sweep``
     Re-run a scenario across a parameter grid, fanning the runs out over
@@ -49,6 +56,7 @@ from repro._version import __version__
 from repro.sim.scenario import (
     ScenarioError,
     ScenarioSpec,
+    load_scenario,
     load_scenario_dict,
     run_scenario,
     set_by_path,
@@ -116,6 +124,36 @@ def cmd_run(args: argparse.Namespace) -> int:
         _print_result(spec, result)
     if args.json:
         _write_json({"scenario": spec.name, **result.to_dict()}, args.json)
+    return 0
+
+
+# -- validate ----------------------------------------------------------------------
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Load + validate a scenario spec without simulating anything.
+
+    A malformed spec raises :class:`ScenarioError`, which ``main`` turns
+    into a one-line error on stderr and exit code 2.
+    """
+    spec = load_scenario(args.scenario)
+    dynamics = []
+    if spec.faults:
+        dynamics.append(f"{len(spec.faults)} fault(s)")
+    elastic = sum(
+        1 for t in spec.tenants if t.join_at is not None or t.leave_at is not None
+    )
+    if elastic:
+        dynamics.append(f"{elastic} elastic tenant(s)")
+    open_loop = sum(1 for t in spec.tenants if t.workload.open_loop)
+    if open_loop:
+        dynamics.append(f"{open_loop} open-loop workload(s)")
+    print(
+        f"ok: scenario {spec.name!r} is valid -- "
+        f"{len(spec.tenants)} tenant(s), policy={spec.policy}, "
+        f"horizon={spec.horizon_seconds:.0f}s"
+        + (", " + ", ".join(dynamics) if dynamics else "")
+    )
     return 0
 
 
@@ -304,6 +342,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the result as JSON to PATH ('-' for stdout)",
     )
     run_p.set_defaults(func=cmd_run)
+
+    validate_p = sub.add_parser(
+        "validate", help="load and validate a scenario file without running it"
+    )
+    validate_p.add_argument("scenario", help="path to a .yaml/.json scenario spec")
+    validate_p.set_defaults(func=cmd_validate)
 
     sweep_p = sub.add_parser("sweep", help="run a scenario across a parameter grid")
     sweep_p.add_argument("scenario", help="path to a .yaml/.json scenario spec")

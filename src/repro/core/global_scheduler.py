@@ -38,7 +38,8 @@ from repro.core.policies import (
     SchedulingPolicy,
     sjf_policy,
 )
-from repro.core.scheduler import FillJob, FillJobScheduler, FillJobState
+from repro.core.scheduler import FillJob, FillJobScheduler, FillJobState, JobRecord
+from repro.utils.faults import FaultTracker
 from repro.utils.ordered import OrderedIdSet
 
 
@@ -93,6 +94,22 @@ class GlobalScheduler:
         self.rejected: Dict[str, FillJob] = {}
         #: Tenant a job is (or was) resident on, once dispatched there.
         self.placements: Dict[str, str] = {}
+        #: Tenants that left the cluster (drain or requeue); no new work is
+        #: routed to them and their executors go down as they free up.
+        self.departed: set = set()
+        #: Tenants whose devices have not joined the cluster yet
+        #: (:meth:`suspend_tenant`); activation brings them up.
+        self.inactive: set = set()
+        #: Fault holds per (tenant, executor) -- devices down due to a
+        #: *fault*, as opposed to down because their tenant is
+        #: inactive/departed.  Overlapping fault windows ref-count (a
+        #: permanent fault never releases), and a tenant activation must
+        #: not resurrect a held device.
+        self._failed = FaultTracker()
+        #: Records of jobs evicted from a departed tenant, keyed by job id;
+        #: their banked partial progress is restored when the job is placed
+        #: on another tenant.
+        self._evicted: Dict[str, JobRecord] = {}
         self._backlog = OrderedIdSet()
         # A backlog job's view on a tenant never changes while it waits
         # (proc times depend only on the executors' cycles and the full
@@ -112,7 +129,12 @@ class GlobalScheduler:
         if job.job_id in self.jobs:
             raise ValueError(f"job id {job.job_id!r} already submitted")
         self.jobs[job.job_id] = job
-        for sched in self.tenants.values():
+        # Departed tenants never take work again, so they cannot make a
+        # job feasible; inactive (not-yet-joined) tenants can -- the job
+        # waits in the backlog for them.
+        for name, sched in self.tenants.items():
+            if name in self.departed:
+                continue
             if sched.fits_any(job):
                 self._backlog.append(job.job_id)
                 return True
@@ -132,10 +154,19 @@ class GlobalScheduler:
         key = (tenant, job.job_id)
         view = self._view_cache.get(key)
         if view is None:
+            # A job evicted from a departed tenant carries banked progress;
+            # policies must score its *remaining* work, which is what a
+            # later assign() will actually run.  (Safe to cache: the
+            # parked record never changes while the job waits, and its
+            # views were dropped when the job last left the backlog.)
+            carried = self._evicted.get(job.job_id)
+            remaining = None if carried is None else carried.samples_remaining
             view = JobView(
                 job_id=job.job_id,
                 arrival_time=job.arrival_time,
-                proc_times=self.tenants[tenant].processing_times(job),
+                proc_times=self.tenants[tenant].processing_times(
+                    job, num_samples=remaining
+                ),
                 deadline=job.deadline,
             )
             if self.use_cache:
@@ -194,22 +225,38 @@ class GlobalScheduler:
         :class:`Assignment`, or ``None`` when the executor stays idle.
         """
         sched = self.tenants[tenant]
-        if sched.executors[executor_index].is_busy:
+        if not sched.executors[executor_index].is_available:
             return None
         local_job, local_score = self._best_local_job(tenant, executor_index, now)
         backlog_job, backlog_score = self._best_backlog_job(tenant, executor_index, now)
         if local_job is None and backlog_job is None:
             return None
         if backlog_job is not None and (local_job is None or backlog_score > local_score):
-            self._backlog.remove(backlog_job.job_id)
-            self._forget_backlog_views(backlog_job.job_id, keep_tenant=tenant)
-            self.placements[backlog_job.job_id] = tenant
-            sched.submit(backlog_job)
+            self._place(tenant, backlog_job)
             completion = sched.assign(executor_index, backlog_job, now)
             return Assignment(tenant, executor_index, backlog_job.job_id, completion)
         assert local_job is not None
         completion = sched.assign(executor_index, local_job, now)
         return Assignment(tenant, executor_index, local_job.job_id, completion)
+
+    def _place(self, tenant: str, job: FillJob) -> None:
+        """Move a backlog job into a tenant's scheduler (pre-assignment).
+
+        Restores any partial progress the job banked on a tenant that has
+        since departed, so a migrated job resumes with only its remaining
+        samples rather than restarting.
+        """
+        self._backlog.remove(job.job_id)
+        self._forget_backlog_views(job.job_id, keep_tenant=tenant)
+        self.placements[job.job_id] = tenant
+        record = self.tenants[tenant].submit(job)
+        carried = self._evicted.pop(job.job_id, None)
+        if carried is not None:
+            record.samples_remaining = carried.samples_remaining
+            record.flops_banked = carried.flops_banked
+            record.flops_executed = carried.flops_banked
+            record.busy_banked_seconds = carried.busy_banked_seconds
+            record.num_preemptions = carried.num_preemptions
 
     def dispatch_idle(self, now: float) -> List[Assignment]:
         """Dispatch onto every idle executor of every tenant until stable.
@@ -233,7 +280,7 @@ class GlobalScheduler:
                 indices = (
                     sched.idle_executor_indices()
                     if use_fast_path
-                    else [i for i, s in sched.executors.items() if not s.is_busy]
+                    else [i for i, s in sched.executors.items() if s.is_available]
                 )
                 for idx in indices:
                     if (tenant, idx) in exhausted:
@@ -264,7 +311,7 @@ class GlobalScheduler:
             # processing times this check needs.
             times = self._backlog_view(tenant, job).proc_times
             for idx, ex_state in sched.executors.items():
-                if ex_state.is_busy:
+                if not ex_state.is_available:
                     continue
                 proc = times.get(idx, float("inf"))
                 if proc != float("inf") and now + proc <= job.deadline:
@@ -289,6 +336,8 @@ class GlobalScheduler:
             return None
         best: Optional[Tuple[float, str, int]] = None
         for tenant, sched in self.tenants.items():
+            if tenant in self.departed:
+                continue  # a leaving tenant takes no new work
             state_view = sched.scheduler_view(now)
             view = self._backlog_view(tenant, job)
             for idx, ex_state in sched.executors.items():
@@ -313,18 +362,126 @@ class GlobalScheduler:
         _, tenant, idx = best
         sched = self.tenants[tenant]
         preempted = sched.preempt(idx, now)
-        self._backlog.remove(job_id)
-        self._forget_backlog_views(job_id, keep_tenant=tenant)
-        self.placements[job_id] = tenant
-        sched.submit(job)
+        self._place(tenant, job)
         completion = sched.assign(idx, job, now)
         return Assignment(tenant, idx, job_id, completion, preempted_job_id=preempted)
+
+    # -- cluster dynamics (failures, elastic tenants) ------------------------------
+
+    def fail_executor(self, tenant: str, executor_index: int, now: float) -> Optional[str]:
+        """One tenant device fails: requeue its running job, stop routing there.
+
+        The interrupted job keeps its affinity (its banked progress lives
+        in the tenant's records) and resumes on another of the tenant's
+        devices -- or on this one after :meth:`recover_executor`.  On a
+        tenant that already left (a fault racing a drain), the job is
+        instead evicted to the global backlog: nothing dispatches to a
+        departed tenant's local queue anymore.  Returns the interrupted
+        job's id, if any.
+        """
+        self._failed.fail((tenant, executor_index))
+        job_id = self.tenants[tenant].on_executor_lost(executor_index, now)
+        if tenant in self.departed:
+            self._evict_queued_jobs(tenant)
+        return job_id
+
+    def recover_executor(self, tenant: str, executor_index: int) -> None:
+        """One fault on a tenant device clears; the device may come back.
+
+        With overlapping fault windows the device re-enters dispatch
+        rotation only when its *last* outstanding fault recovers, and even
+        then only if its tenant is present: a tenant that left stays down
+        for good, and one that has not joined yet comes up as a whole at
+        :meth:`activate_tenant`.
+        """
+        if not self._failed.recover((tenant, executor_index)):
+            return  # an earlier, longer fault still holds the device down
+        if tenant in self.departed or tenant in self.inactive:
+            return
+        self.tenants[tenant].on_executor_recovered(executor_index)
+
+    def suspend_tenant(self, tenant: str) -> None:
+        """Mark a tenant's devices as absent until :meth:`activate_tenant`.
+
+        Used for tenants whose ``join_at`` lies in the future; no fill
+        work is routed to them and fault recoveries on them stay down.
+        """
+        sched = self.tenants[tenant]
+        self.inactive.add(tenant)
+        for idx, state in sched.executors.items():
+            if not state.is_down:
+                sched.set_down(idx)
+
+    def activate_tenant(self, tenant: str) -> None:
+        """Bring a (late-joining) tenant's devices into rotation.
+
+        Devices that failed *before* the join (and have not recovered)
+        stay down until their :meth:`recover_executor` fires.
+        """
+        sched = self.tenants[tenant]
+        self.inactive.discard(tenant)
+        for idx in sched.executors:
+            if not self._failed.is_held((tenant, idx)):
+                sched.on_executor_recovered(idx)
+
+    def deactivate_tenant(self, tenant: str, now: float, *, requeue: bool = False) -> List[str]:
+        """The tenant leaves the cluster at ``now``; returns evicted job ids.
+
+        Two leave modes:
+
+        * **drain** (``requeue=False``): running jobs finish normally and
+          each device goes down as it frees up; nothing new is routed to
+          the tenant.
+        * **requeue** (``requeue=True``): running jobs are interrupted with
+          their partial progress banked
+          (:meth:`~repro.core.scheduler.FillJobScheduler.on_executor_lost`)
+          and every device goes down immediately.
+
+        In both modes the tenant's *queued* jobs (preemption/failure
+        leftovers plus the just-interrupted ones) are evicted back to the
+        global backlog, carrying their banked progress, so they can resume
+        on the remaining tenants instead of stranding.  Completed and
+        rejected records stay with the tenant for accounting.
+        """
+        sched = self.tenants[tenant]
+        self.departed.add(tenant)
+        for idx, state in sched.executors.items():
+            if state.is_busy:
+                if requeue:
+                    sched.on_executor_lost(idx, now)
+                # drain: the job finishes; complete() takes the device down.
+            elif not state.is_down:
+                sched.set_down(idx)
+        return self._evict_queued_jobs(tenant)
+
+    def _evict_queued_jobs(self, tenant: str) -> List[str]:
+        """Move every locally-queued job of a tenant back to the backlog.
+
+        Records (with banked progress) park in ``_evicted`` until the job
+        is placed again; :meth:`_place` restores them.
+        """
+        sched = self.tenants[tenant]
+        evicted: List[str] = []
+        for job in list(sched.queued_jobs()):
+            record = sched.evict_queued(job.job_id)
+            self._evicted[job.job_id] = record
+            self.placements.pop(job.job_id, None)
+            self._backlog.append(job.job_id)
+            evicted.append(job.job_id)
+        return evicted
 
     # -- completion -------------------------------------------------------------
 
     def complete(self, tenant: str, executor_index: int, now: float) -> Optional[str]:
-        """Mark the tenant executor's running job as finished."""
-        return self.tenants[tenant].complete(executor_index, now)
+        """Mark the tenant executor's running job as finished.
+
+        On a departed (draining) tenant the freed device immediately goes
+        down instead of re-entering dispatch rotation.
+        """
+        job_id = self.tenants[tenant].complete(executor_index, now)
+        if tenant in self.departed:
+            self.tenants[tenant].set_down(executor_index)
+        return job_id
 
     # -- accounting -------------------------------------------------------------
 
@@ -353,3 +510,13 @@ class GlobalScheduler:
     def tenant_of(self, job_id: str) -> Optional[str]:
         """Tenant a job was placed on (``None`` while still in the backlog)."""
         return self.placements.get(job_id)
+
+    def evicted_records(self) -> List[JobRecord]:
+        """Parked records of evicted jobs not re-placed yet.
+
+        These carry banked progress that belongs to no tenant's records
+        anymore (their tenant departed); result collection must account
+        for it so work physically executed before the eviction is not
+        lost from aggregate metrics.
+        """
+        return list(self._evicted.values())

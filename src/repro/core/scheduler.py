@@ -73,12 +73,19 @@ class FillJobState(str, enum.Enum):
 
 @dataclass
 class ExecutorState:
-    """The scheduler's view of one device's executor."""
+    """The scheduler's view of one device's executor.
+
+    ``is_down`` marks an executor whose device is currently unavailable
+    (failed, or belonging to a tenant that left); down executors are never
+    dispatched to, and :meth:`FillJobScheduler.on_executor_lost` requeues
+    whatever was running when the device went down.
+    """
 
     executor_index: int
     executor: FillJobExecutor
     busy_until: float = 0.0
     current_job_id: Optional[str] = None
+    is_down: bool = False
 
     def remaining_time(self, now: float) -> float:
         """Seconds until this executor is free again."""
@@ -88,6 +95,11 @@ class ExecutorState:
     def is_busy(self) -> bool:
         """True while a fill job is assigned."""
         return self.current_job_id is not None
+
+    @property
+    def is_available(self) -> bool:
+        """True when the executor can take a new job right now."""
+        return not self.is_busy and not self.is_down
 
 
 @dataclass
@@ -354,10 +366,71 @@ class FillJobScheduler:
         return bool(self._queue)
 
     def idle_executor_indices(self) -> List[int]:
-        """Indices of executors without a running job, in declaration order."""
+        """Indices of available (not busy, not down) executors, in declaration order."""
         if len(self._idle) == len(self._executor_order):
             return self._executor_order
         return [idx for idx in self._executor_order if idx in self._idle]
+
+    # -- availability (failures, elastic tenants) ---------------------------------
+
+    def set_down(self, executor_index: int) -> None:
+        """Mark an idle executor's device as unavailable.
+
+        Callers that may interrupt a *running* job use
+        :meth:`on_executor_lost` instead, which banks the job's progress
+        first.
+        """
+        state = self.executors[executor_index]
+        state.is_down = True
+        self._idle.discard(executor_index)
+
+    def on_executor_recovered(self, executor_index: int) -> None:
+        """Bring a down executor's device back into dispatch rotation."""
+        state = self.executors[executor_index]
+        if not state.is_down:
+            return
+        state.is_down = False
+        if not state.is_busy:
+            self._idle.add(executor_index)
+
+    def on_executor_lost(self, executor_index: int, now: float) -> Optional[str]:
+        """Handle the executor's device failing (or being withdrawn) at ``now``.
+
+        The running fill job, if any, is interrupted exactly like a
+        preemption: its partial progress (FLOPs, samples, busy time,
+        pro-rated by elapsed wall-clock) is banked on its record and its
+        remainder re-queued, so a later dispatch resumes it on a healthy
+        device instead of restarting from scratch.  The executor is then
+        marked down until :meth:`on_executor_recovered`.  Returns the
+        interrupted job's id (``None`` if the device was idle).  Any
+        completion event still scheduled for the lost job becomes stale
+        (the executor no longer carries it) and is skipped by the kernel's
+        stale-completion guard.
+        """
+        state = self.executors[executor_index]
+        if state.is_down:
+            return None
+        job_id = self.preempt(executor_index, now) if state.is_busy else None
+        self.set_down(executor_index)
+        return job_id
+
+    def evict_queued(self, job_id: str) -> JobRecord:
+        """Remove a queued job from this scheduler and return its record.
+
+        Used when this scheduler's tenant leaves the cluster: the record
+        (with any banked partial progress) travels back to the global
+        backlog so the job can resume on another tenant.  After eviction
+        this scheduler holds no trace of the job.
+        """
+        record = self.records[job_id]
+        if record.state is not FillJobState.QUEUED:
+            raise RuntimeError(
+                f"only queued jobs can be evicted; {job_id!r} is {record.state}"
+            )
+        self._queue.remove(job_id)
+        del self.records[job_id]
+        self.forget_job(job_id)
+        return record
 
     def select_job_scored(
         self, executor_index: int, now: float
@@ -390,6 +463,8 @@ class FillJobScheduler:
         ex_state = self.executors[executor_index]
         if ex_state.is_busy:
             raise RuntimeError(f"executor {executor_index} is busy")
+        if ex_state.is_down:
+            raise RuntimeError(f"executor {executor_index} is down")
         record = self.records[job.job_id]
         if record.state is not FillJobState.QUEUED:
             raise RuntimeError(f"job {job.job_id!r} is not queued (state {record.state})")
@@ -481,7 +556,7 @@ class FillJobScheduler:
         ``None`` when the executor stays idle.
         """
         ex_state = self.executors[executor_index]
-        if ex_state.is_busy:
+        if not ex_state.is_available:
             return None
         job = self.select_job(executor_index, now)
         if job is None:

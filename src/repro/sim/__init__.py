@@ -7,14 +7,23 @@ used to seed it, :mod:`repro.sim.simulator` runs fill-job arrivals and
 completions over the devices' bubble cycles, and :mod:`repro.sim.metrics`
 aggregates the utilization / JCT / makespan numbers the figures report.
 
-Beyond the paper, :mod:`repro.sim.multi_tenant` simulates N concurrent
-main jobs sharing one global fill-job backlog (routed by
-:class:`~repro.core.global_scheduler.GlobalScheduler`), and
-:mod:`repro.sim.scenario` loads declarative YAML/JSON scenario specs that
-the ``python -m repro`` CLI runs and sweeps.
+Beyond the paper, :mod:`repro.sim.kernel` hosts the pluggable
+discrete-event kernel both simulators are configurations of,
+:mod:`repro.sim.multi_tenant` simulates N concurrent main jobs sharing
+one global fill-job backlog (routed by
+:class:`~repro.core.global_scheduler.GlobalScheduler`) with dynamic
+cluster events (executor failures, elastic tenants, open-loop arrivals),
+and :mod:`repro.sim.scenario` loads declarative YAML/JSON scenario specs
+that the ``python -m repro`` CLI runs, sweeps and validates.
 """
 
-from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.events import (
+    STALE_COMPLETION_EPSILON,
+    Event,
+    EventKind,
+    EventQueue,
+)
+from repro.sim.kernel import FaultSpec, KernelStats, OpenLoopArrivals, SimKernel
 from repro.sim.mainjob import AnalyticMainJob
 from repro.sim.metrics import (
     FillJobMetrics,
@@ -31,9 +40,14 @@ from repro.sim.multi_tenant import (
 from repro.sim.simulator import ClusterSimulator, SimulationResult
 
 __all__ = [
+    "STALE_COMPLETION_EPSILON",
     "Event",
     "EventKind",
     "EventQueue",
+    "FaultSpec",
+    "KernelStats",
+    "OpenLoopArrivals",
+    "SimKernel",
     "AnalyticMainJob",
     "FillJobMetrics",
     "UtilizationReport",

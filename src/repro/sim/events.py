@@ -1,9 +1,12 @@
 """Discrete-event machinery for the cluster simulator.
 
-The simulator's only state changes happen at fill-job arrivals and
-completions (Section 5.1), so the event queue carries exactly those two
-event kinds, ordered by time with a monotonic sequence number as the
-tie-breaker for determinism.
+The paper's simulator only needs fill-job arrivals and completions
+(Section 5.1); production clusters additionally churn -- executors fail
+and recover, tenants join and leave -- so the :class:`EventKind` taxonomy
+covers those dynamics too.  Events are ordered by time with a monotonic
+sequence number as the tie-breaker for determinism.  The
+:class:`~repro.sim.kernel.SimKernel` owns the loop that pops this queue
+and dispatches on kind.
 """
 
 from __future__ import annotations
@@ -14,12 +17,29 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
+#: Tolerance used by the stale-completion guard: a completion event is
+#: stale when its executor was re-targeted since the event was scheduled
+#: (different job, or the same job re-dispatched with a strictly later
+#: ``busy_until``).  The epsilon absorbs float round-off when an executor
+#: was re-assigned work ending at (numerically) the same instant.
+STALE_COMPLETION_EPSILON = 1e-9
+
 
 class EventKind(str, enum.Enum):
-    """Kinds of simulator events."""
+    """Kinds of simulator events.
+
+    ``JOB_ARRIVAL`` and ``JOB_COMPLETION`` are the paper's two kinds (the
+    only points where a static cluster's state changes); the remaining
+    kinds model cluster dynamics: device failure/recovery and tenants
+    joining or leaving mid-run.
+    """
 
     JOB_ARRIVAL = "job_arrival"
     JOB_COMPLETION = "job_completion"
+    EXECUTOR_FAILURE = "executor_failure"
+    EXECUTOR_RECOVERY = "executor_recovery"
+    TENANT_JOIN = "tenant_join"
+    TENANT_LEAVE = "tenant_leave"
 
 
 @dataclass(frozen=True, order=True)

@@ -83,6 +83,20 @@ class FillJobMetrics:
         )
 
 
+def fill_metrics_dict(metrics: FillJobMetrics) -> dict:
+    """JSON shape of one :class:`FillJobMetrics`: fields plus derived rates.
+
+    The single serialization both result types (`SimulationResult`,
+    `MultiTenantResult`) emit, so the two JSON schemas cannot drift.
+    """
+    from dataclasses import asdict
+
+    d = asdict(metrics)
+    d["completion_rate"] = metrics.completion_rate
+    d["deadline_hit_rate"] = metrics.deadline_hit_rate
+    return d
+
+
 @dataclass(frozen=True)
 class UtilizationReport:
     """Per-GPU utilization breakdown of a PipeFill run."""

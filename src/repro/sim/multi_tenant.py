@@ -12,11 +12,13 @@ organisation-wide backlog.  This module simulates that setting:
 * a :class:`~repro.core.global_scheduler.GlobalScheduler` routes the shared
   backlog across all tenants' devices, optionally preempting running fill
   jobs for deadline-constrained arrivals;
-* the event loop advances time between fill-job arrivals and completions
-  exactly as in the single-tenant simulator (the only points where state
-  changes), with events tagged by tenant;
+* the :class:`~repro.sim.kernel.SimKernel` advances time between the
+  events where state changes -- fill-job arrivals and completions as in
+  the single-tenant simulator, plus the dynamic cluster events: executor
+  failures/recoveries (:class:`~repro.sim.kernel.FaultSpec`) and tenants
+  joining/leaving mid-run (``join_at``/``leave_at``);
 * results report per-tenant *and* aggregate fill throughput, deadline hit
-  rates and utilization.
+  rates and utilization, with event counts broken down per kind.
 
 Quick example (two tenants sharing one backlog)::
 
@@ -41,13 +43,17 @@ from repro.core.policies import PreemptionRule, SchedulingPolicy, sjf_policy
 from repro.core.scheduler import FillJob, FillJobScheduler
 from repro.core.system import PipeFillSystem
 from repro.core.config import main_job_overhead_fraction
-from repro.sim.events import EventKind, EventQueue
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.kernel import FaultSpec, OpenLoopArrivals, SimKernel, schedule_faults
 from repro.sim.metrics import (
     FillJobMetrics,
     UtilizationReport,
     collect_fill_metrics,
 )
 from repro.utils.tables import Table
+
+#: Valid ``Tenant.leave_mode`` values (see ``GlobalScheduler.deactivate_tenant``).
+LEAVE_MODES = ("drain", "requeue")
 
 
 @dataclass
@@ -65,11 +71,48 @@ class Tenant:
         The fill jobs this tenant submits to the shared backlog.  They may
         run on *any* tenant's devices; submission is tracked separately
         from placement.
+    arrival_process:
+        Optional open-loop arrival stream (e.g. a
+        :class:`~repro.workloads.generator.ArrivalProcess`) submitted on
+        this tenant's behalf *in addition to* ``jobs``: arrivals are
+        pulled lazily one event ahead instead of materializing the whole
+        trace, which is what makes long-horizon runs tractable.  Requires
+        a ``horizon_seconds`` on the run (the stream may be unbounded).
+    join_at / leave_at:
+        Optional times at which the tenant's devices join/leave the
+        cluster.  Before ``join_at`` (and after ``leave_at``) no fill work
+        is routed to the tenant; the tenant's *submitted* stream is
+        unaffected (its users keep submitting to the shared backlog).
+    leave_mode:
+        What happens to the tenant's placed fill jobs at ``leave_at``:
+        ``"drain"`` lets running jobs finish (each device goes down as it
+        frees up), ``"requeue"`` interrupts them immediately with partial
+        progress banked.  In both modes queued jobs return to the global
+        backlog and may resume elsewhere.
     """
 
     name: str
     system: PipeFillSystem
     jobs: Sequence[FillJob] = ()
+    arrival_process: Optional[Iterable[FillJob]] = None
+    join_at: Optional[float] = None
+    leave_at: Optional[float] = None
+    leave_mode: str = "drain"
+
+    def __post_init__(self) -> None:
+        if self.leave_mode not in LEAVE_MODES:
+            raise ValueError(
+                f"leave_mode must be one of {LEAVE_MODES}, got {self.leave_mode!r}"
+            )
+        if (
+            self.join_at is not None
+            and self.leave_at is not None
+            and self.leave_at <= self.join_at
+        ):
+            raise ValueError(
+                f"tenant {self.name!r}: leave_at ({self.leave_at}) must be "
+                f"after join_at ({self.join_at})"
+            )
 
 
 @dataclass(frozen=True)
@@ -100,8 +143,10 @@ class MultiTenantResult:
     """Outcome of one multi-tenant simulation run.
 
     ``events_processed`` counts the discrete events the run consumed
-    (arrivals plus completions, including stale completions that were
-    skipped); benchmarks divide it by wall-clock time to report events/sec.
+    (including stale completions that were skipped); benchmarks divide it
+    by wall-clock time to report events/sec.  ``events_by_kind`` breaks
+    the same count down per :class:`~repro.sim.events.EventKind` value, so
+    arrival/completion work is distinguishable from fault/churn work.
     """
 
     horizon_seconds: float
@@ -110,6 +155,7 @@ class MultiTenantResult:
     backlog_remaining: int
     jobs_rejected_global: int
     events_processed: int = 0
+    events_by_kind: Mapping[str, int] = field(default_factory=dict)
 
     @property
     def num_devices(self) -> int:
@@ -128,13 +174,7 @@ class MultiTenantResult:
 
     def to_dict(self) -> dict:
         """JSON-serialisable summary (used by the CLI's ``--json`` output)."""
-        from dataclasses import asdict
-
-        def metrics_dict(m: FillJobMetrics) -> dict:
-            d = asdict(m)
-            d["completion_rate"] = m.completion_rate
-            d["deadline_hit_rate"] = m.deadline_hit_rate
-            return d
+        from repro.sim.metrics import fill_metrics_dict as metrics_dict
 
         return {
             "horizon_seconds": self.horizon_seconds,
@@ -143,6 +183,7 @@ class MultiTenantResult:
             "backlog_remaining": self.backlog_remaining,
             "jobs_rejected_global": self.jobs_rejected_global,
             "events_processed": self.events_processed,
+            "events_by_kind": dict(self.events_by_kind),
             "aggregate": metrics_dict(self.aggregate),
             "tenants": {
                 name: {
@@ -214,7 +255,9 @@ class MultiTenantSimulator:
     Parameters
     ----------
     tenants:
-        The participating main jobs; names must be unique.
+        The participating main jobs; names must be unique.  Tenants may
+        carry ``join_at``/``leave_at`` times (elastic capacity) and an
+        open-loop ``arrival_process``.
     policy:
         Fill-job scheduling policy applied by the global scheduler.
     preemption_rule:
@@ -260,7 +303,7 @@ class MultiTenantSimulator:
     def _arrival_stream(
         self, extra_jobs: Iterable[FillJob]
     ) -> List[FillJob]:
-        """All submitted jobs, tagged with their submitting tenant."""
+        """All statically-known jobs, tagged with their submitting tenant."""
         stream: List[FillJob] = []
         for name, tenant in self.tenants.items():
             for job in tenant.jobs:
@@ -290,6 +333,7 @@ class MultiTenantSimulator:
         self,
         *,
         extra_jobs: Iterable[FillJob] = (),
+        faults: Sequence[FaultSpec] = (),
         horizon_seconds: Optional[float] = None,
     ) -> MultiTenantResult:
         """Simulate all tenants' arrival streams over the shared backlog.
@@ -299,61 +343,128 @@ class MultiTenantSimulator:
         extra_jobs:
             Additional tenant-less backlog jobs (e.g. an organisation-wide
             batch queue) merged into the arrival stream.
+        faults:
+            Scheduled executor failures/recoveries; each
+            :class:`~repro.sim.kernel.FaultSpec` names the tenant whose
+            executor fails.
         horizon_seconds:
             Stop the clock here; running jobs contribute pro-rated FLOPs.
-            Defaults to the time the last job completes.
+            Defaults to the time the last job completes.  Required when
+            any tenant carries an open-loop ``arrival_process``.
         """
         global_sched = self._build_global_scheduler()
         stream = self._arrival_stream(extra_jobs)
-        jobs_by_id = {job.job_id: job for job in stream}
-        queue = EventQueue()
+        jobs_by_id: Dict[str, FillJob] = {job.job_id: job for job in stream}
+        kernel = SimKernel()
+        queue = kernel.queue
         for job in stream:
-            queue.push(job.arrival_time, EventKind.JOB_ARRIVAL, job_id=job.job_id)
+            kernel.schedule(job.arrival_time, EventKind.JOB_ARRIVAL, job_id=job.job_id)
 
-        now = 0.0
-        last_completion = 0.0
-        events_processed = 0
-        while queue:
-            event = queue.pop()
-            if horizon_seconds is not None and event.time > horizon_seconds:
-                now = horizon_seconds
-                break
-            events_processed += 1
-            now = event.time
-            if event.kind is EventKind.JOB_ARRIVAL:
-                assert event.job_id is not None
-                accepted = global_sched.submit(jobs_by_id[event.job_id])
-                # Urgent deadline arrivals that no idle executor can serve
-                # in time get a preemption attempt *before* plain dispatch
-                # would strand them on a too-slow idle device.
-                if accepted and not global_sched.idle_can_meet_deadline(
-                    event.job_id, now
-                ):
-                    preempting = global_sched.try_preempt(event.job_id, now)
-                    if preempting is not None:
-                        self._push_assignments(queue, [preempting])
-                # Fills every remaining idle executor, including re-queued
-                # preemption victims.
-                self._push_assignments(queue, global_sched.dispatch_idle(now))
-            elif event.kind is EventKind.JOB_COMPLETION:
-                assert event.tenant is not None and event.executor_index is not None
-                sched = global_sched.tenants[event.tenant]
-                state = sched.executors[event.executor_index]
-                # Stale events: the executor was preempted and re-targeted
-                # (different job, or the same job re-dispatched with a later
-                # completion) since this event was scheduled.
-                if state.current_job_id != event.job_id or state.busy_until > now + 1e-9:
-                    continue
-                global_sched.complete(event.tenant, event.executor_index, now)
-                last_completion = now
-                self._push_assignments(queue, global_sched.dispatch_idle(now))
+        # Open-loop sources: the driver keeps one pending arrival per
+        # stream in the queue and pulls the next job as each is handled.
+        open_loop = OpenLoopArrivals(kernel, jobs_by_id)
+        for name, tenant in self.tenants.items():
+            if tenant.arrival_process is None:
+                continue
+            if horizon_seconds is None:
+                raise ValueError(
+                    "open-loop arrival processes need horizon_seconds "
+                    "(the stream may be unbounded)"
+                )
+            open_loop.add_stream(
+                name,
+                tenant.arrival_process,
+                prepare=lambda job, name=name: (
+                    job if job.tenant == name else replace(job, tenant=name)
+                ),
+            )
 
-        horizon = horizon_seconds if horizon_seconds is not None else max(now, last_completion)
-        if horizon <= 0:
-            horizon = max(last_completion, 1e-9)
+        # Dynamic cluster events: failures/recoveries and elastic tenants.
+        schedule_faults(
+            kernel,
+            faults,
+            {
+                name: frozenset(sched.executors)
+                for name, sched in global_sched.tenants.items()
+            },
+        )
+        for name, tenant in self.tenants.items():
+            if tenant.join_at is not None and tenant.join_at > 0:
+                # The tenant's devices are absent until it joins.
+                global_sched.suspend_tenant(name)
+                kernel.schedule(tenant.join_at, EventKind.TENANT_JOIN, tenant=name)
+            if tenant.leave_at is not None:
+                kernel.schedule(tenant.leave_at, EventKind.TENANT_LEAVE, tenant=name)
 
+        def on_arrival(event: Event) -> None:
+            assert event.job_id is not None
+            now = kernel.now
+            accepted = global_sched.submit(jobs_by_id[event.job_id])
+            open_loop.on_arrival(event.job_id)
+            # Urgent deadline arrivals that no idle executor can serve
+            # in time get a preemption attempt *before* plain dispatch
+            # would strand them on a too-slow idle device.
+            if accepted and not global_sched.idle_can_meet_deadline(
+                event.job_id, now
+            ):
+                preempting = global_sched.try_preempt(event.job_id, now)
+                if preempting is not None:
+                    self._push_assignments(queue, [preempting])
+            # Fills every remaining idle executor, including re-queued
+            # preemption victims.
+            self._push_assignments(queue, global_sched.dispatch_idle(now))
+
+        def on_completion(event: Event) -> None:
+            assert event.tenant is not None and event.executor_index is not None
+            sched = global_sched.tenants[event.tenant]
+            state = sched.executors[event.executor_index]
+            # Stale events: the executor was preempted and re-targeted
+            # (different job, or the same job re-dispatched with a later
+            # completion) since this event was scheduled.
+            if kernel.is_stale_completion(state.current_job_id, state.busy_until, event):
+                return
+            global_sched.complete(event.tenant, event.executor_index, kernel.now)
+            kernel.note_completion()
+            self._push_assignments(queue, global_sched.dispatch_idle(kernel.now))
+
+        def on_failure(event: Event) -> None:
+            assert event.tenant is not None and event.executor_index is not None
+            global_sched.fail_executor(event.tenant, event.executor_index, kernel.now)
+            # The requeued job (if any) may resume on a healthy device.
+            self._push_assignments(queue, global_sched.dispatch_idle(kernel.now))
+
+        def on_recovery(event: Event) -> None:
+            assert event.tenant is not None and event.executor_index is not None
+            global_sched.recover_executor(event.tenant, event.executor_index)
+            self._push_assignments(queue, global_sched.dispatch_idle(kernel.now))
+
+        def on_tenant_join(event: Event) -> None:
+            assert event.tenant is not None
+            global_sched.activate_tenant(event.tenant)
+            self._push_assignments(queue, global_sched.dispatch_idle(kernel.now))
+
+        def on_tenant_leave(event: Event) -> None:
+            assert event.tenant is not None
+            requeue = self.tenants[event.tenant].leave_mode == "requeue"
+            global_sched.deactivate_tenant(event.tenant, kernel.now, requeue=requeue)
+            # Evicted jobs re-entered the backlog; place them elsewhere now.
+            self._push_assignments(queue, global_sched.dispatch_idle(kernel.now))
+
+        kernel.on(EventKind.JOB_ARRIVAL, on_arrival)
+        kernel.on(EventKind.JOB_COMPLETION, on_completion)
+        kernel.on(EventKind.EXECUTOR_FAILURE, on_failure)
+        kernel.on(EventKind.EXECUTOR_RECOVERY, on_recovery)
+        kernel.on(EventKind.TENANT_JOIN, on_tenant_join)
+        kernel.on(EventKind.TENANT_LEAVE, on_tenant_leave)
+
+        horizon = kernel.run(horizon_seconds)
+        stats = kernel.stats()
         return self._collect(
-            global_sched, stream, horizon, events_processed=events_processed
+            global_sched,
+            list(jobs_by_id.values()),
+            horizon,
+            events_processed=stats.events_processed,
+            events_by_kind=stats.events_by_kind,
         )
 
     # -- result assembly ---------------------------------------------------------
@@ -365,6 +476,7 @@ class MultiTenantSimulator:
         horizon: float,
         *,
         events_processed: int = 0,
+        events_by_kind: Optional[Mapping[str, int]] = None,
     ) -> MultiTenantResult:
         submitted_by: Dict[str, int] = {name: 0 for name in self.tenants}
         for job in stream:
@@ -407,11 +519,22 @@ class MultiTenantSimulator:
         unplaced_deadlines = sum(1 for j in backlog if j.deadline is not None) + sum(
             1 for j in global_sched.rejected.values() if j.deadline is not None
         )
+        # Jobs evicted from a departed tenant and never re-placed carry
+        # banked progress that no tenant's records hold anymore; the work
+        # was physically executed, so the aggregate must keep it.
+        parked = global_sched.evicted_records()
         aggregate = replace(
             merged,
             jobs_submitted=len(global_sched.jobs),
             jobs_rejected=merged.jobs_rejected + len(global_sched.rejected),
             deadlines_total=merged.deadlines_total + unplaced_deadlines,
+            total_flops=merged.total_flops + sum(r.flops_banked for r in parked),
+            total_samples=merged.total_samples
+            + sum(r.job.num_samples - r.samples_remaining for r in parked),
+            busy_device_seconds=merged.busy_device_seconds
+            + sum(r.busy_banked_seconds for r in parked),
+            num_preemptions=merged.num_preemptions
+            + sum(r.num_preemptions for r in parked),
         )
         return MultiTenantResult(
             horizon_seconds=horizon,
@@ -420,4 +543,5 @@ class MultiTenantSimulator:
             backlog_remaining=len(backlog),
             jobs_rejected_global=len(global_sched.rejected),
             events_processed=events_processed,
+            events_by_kind=dict(events_by_kind or {}),
         )

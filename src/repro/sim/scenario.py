@@ -19,6 +19,9 @@ shape is::
       - name: llm-40b-8k
         model: gpt-40b           # main-job model registry name
         schedule: gpipe          # or 1f1b
+        join_at: 600             # optional: devices join mid-run
+        leave_at: 3000           # optional: ... and leave again
+        leave_mode: requeue      # drain (default) or requeue
         parallel:
           tensor_parallel: 8
           pipeline_stages: 16
@@ -29,12 +32,20 @@ shape is::
           arrival_rate_per_hour: 200
           models: [bert-base]    # optional Table 1 subset
           deadline_fraction: 0.3 # optional
+          open_loop: true        # stream arrivals lazily (long horizons)
+    faults:                      # optional scheduled executor failures
+      - tenant: llm-40b-8k
+        executor: 3
+        fail_at: 1200
+        recover_at: 2400         # omit for a permanent failure
     sweep:                       # optional, used by `repro sweep`
       parameter: policy
       values: [sjf, edf+sjf]
 
 Unknown keys raise immediately with the offending key name, so typos in a
 scenario file fail loudly instead of silently running defaults.
+``python -m repro validate <scenario>`` runs exactly this validation
+without simulating anything.
 """
 
 from __future__ import annotations
@@ -50,7 +61,8 @@ from repro.core.system import PipeFillSystem
 from repro.models.configs import JobType
 from repro.models.registry import build_model
 from repro.pipeline.parallelism import ParallelConfig
-from repro.sim.multi_tenant import MultiTenantResult, MultiTenantSimulator, Tenant
+from repro.sim.kernel import FaultSpec
+from repro.sim.multi_tenant import LEAVE_MODES, MultiTenantResult, MultiTenantSimulator, Tenant
 from repro.utils.units import GIB
 from repro.utils.validation import check_positive
 from repro.workloads.generator import TenantWorkloadSpec, build_tenant_fill_job_traces
@@ -91,6 +103,7 @@ def workload_from_dict(raw: Mapping[str, Any], *, where: str) -> TenantWorkloadS
             "deadline_fraction",
             "deadline_slack_factor",
             "seed",
+            "open_loop",
         ],
         where,
     )
@@ -103,6 +116,9 @@ def workload_from_dict(raw: Mapping[str, Any], *, where: str) -> TenantWorkloadS
                 f"bad job_type {job_type!r} in {where}; "
                 f"use one of {[t.value for t in JobType]}"
             ) from None
+    open_loop = raw.get("open_loop", False)
+    if not isinstance(open_loop, bool):
+        raise ScenarioError(f"open_loop in {where} must be a boolean, got {open_loop!r}")
     return TenantWorkloadSpec(
         arrival_rate_per_hour=float(raw.get("arrival_rate_per_hour", 120.0)),
         models=raw.get("models"),
@@ -110,12 +126,19 @@ def workload_from_dict(raw: Mapping[str, Any], *, where: str) -> TenantWorkloadS
         deadline_fraction=float(raw.get("deadline_fraction", 0.0)),
         deadline_slack_factor=float(raw.get("deadline_slack_factor", 4.0)),
         seed=raw.get("seed"),
+        open_loop=open_loop,
     )
 
 
 @dataclass(frozen=True)
 class TenantSpec:
-    """One tenant: a main job's configuration plus its workload stream."""
+    """One tenant: a main job's configuration plus its workload stream.
+
+    ``join_at``/``leave_at`` make the tenant *elastic*: its devices enter
+    the cluster at ``join_at`` (default: present from the start) and leave
+    again at ``leave_at``; ``leave_mode`` picks what happens to fill jobs
+    placed on it when it leaves (``drain`` or ``requeue``).
+    """
 
     name: str
     model: str = "gpt-40b"
@@ -134,6 +157,35 @@ class TenantSpec:
     offload_main_job: bool = False
     bubble_free_memory_gib: Optional[float] = None
     workload: TenantWorkloadSpec = field(default_factory=TenantWorkloadSpec)
+    join_at: Optional[float] = None
+    leave_at: Optional[float] = None
+    leave_mode: str = "drain"
+
+    def __post_init__(self) -> None:
+        if self.leave_mode not in LEAVE_MODES:
+            raise ScenarioError(
+                f"tenant {self.name!r}: leave_mode must be one of "
+                f"{sorted(LEAVE_MODES)}, got {self.leave_mode!r}"
+            )
+        for label, value in (("join_at", self.join_at), ("leave_at", self.leave_at)):
+            if value is not None and float(value) < 0:
+                raise ScenarioError(
+                    f"tenant {self.name!r}: {label} must be >= 0, got {value}"
+                )
+        if (
+            self.join_at is not None
+            and self.leave_at is not None
+            and float(self.leave_at) <= float(self.join_at)
+        ):
+            raise ScenarioError(
+                f"tenant {self.name!r}: leave_at ({self.leave_at}) must be "
+                f"after join_at ({self.join_at})"
+            )
+
+    @property
+    def num_executors(self) -> int:
+        """Executor count of this tenant (one per representative device)."""
+        return int(self.parallel["pipeline_stages"]) * self.devices_per_stage
 
     @staticmethod
     def from_dict(raw: Mapping[str, Any]) -> "TenantSpec":
@@ -154,6 +206,9 @@ class TenantSpec:
                 "offload_main_job",
                 "bubble_free_memory_gib",
                 "workload",
+                "join_at",
+                "leave_at",
+                "leave_mode",
             ],
             where,
         )
@@ -170,6 +225,8 @@ class TenantSpec:
             f"{where}.parallel",
         )
         defaults = TenantSpec(name=name)
+        join_at = raw.get("join_at")
+        leave_at = raw.get("leave_at")
         return TenantSpec(
             name=name,
             model=raw.get("model", defaults.model),
@@ -182,6 +239,9 @@ class TenantSpec:
             workload=workload_from_dict(
                 raw.get("workload"), where=f"{where}.workload"
             ),
+            join_at=None if join_at is None else float(join_at),
+            leave_at=None if leave_at is None else float(leave_at),
+            leave_mode=str(raw.get("leave_mode", "drain")),
         )
 
     def build_parallel(self) -> ParallelConfig:
@@ -206,6 +266,28 @@ class TenantSpec:
             devices_per_stage=self.devices_per_stage,
             bubble_free_memory_bytes=free_bytes,
         )
+
+
+def fault_from_dict(raw: Mapping[str, Any], *, index: int) -> FaultSpec:
+    """Parse one entry of the top-level ``faults:`` list."""
+    where = f"faults[{index}]"
+    raw = _require_mapping(raw, where)
+    _require_keys(raw, ["tenant", "executor", "fail_at", "recover_at"], where)
+    tenant = raw.get("tenant")
+    if not tenant:
+        raise ScenarioError(f"{where} needs a non-empty 'tenant'")
+    if "executor" not in raw or "fail_at" not in raw:
+        raise ScenarioError(f"{where} needs 'executor' and 'fail_at'")
+    recover_at = raw.get("recover_at")
+    try:
+        return FaultSpec(
+            executor_index=int(raw["executor"]),
+            fail_at=float(raw["fail_at"]),
+            recover_at=None if recover_at is None else float(recover_at),
+            tenant=str(tenant),
+        )
+    except ValueError as exc:
+        raise ScenarioError(f"bad {where}: {exc}") from None
 
 
 @dataclass(frozen=True)
@@ -237,6 +319,7 @@ class ScenarioSpec:
     policy: str = "sjf"
     preemption: Optional[str] = None
     seed: int = 0
+    faults: Sequence[FaultSpec] = ()
     sweep: Optional[SweepSpec] = None
 
     def __post_init__(self) -> None:
@@ -252,6 +335,21 @@ class ScenarioSpec:
                 get_preemption_rule(self.preemption)
         except KeyError as exc:
             raise ScenarioError(exc.args[0]) from None
+        by_name = {t.name: t for t in self.tenants}
+        for i, fault in enumerate(self.faults):
+            tenant = by_name.get(fault.tenant or "")
+            if tenant is None:
+                raise ScenarioError(
+                    f"faults[{i}] names unknown tenant {fault.tenant!r}; "
+                    f"tenants: {sorted(by_name)}"
+                )
+            if not 0 <= fault.executor_index < tenant.num_executors:
+                raise ScenarioError(
+                    f"faults[{i}]: executor {fault.executor_index} out of range "
+                    f"for tenant {fault.tenant!r} "
+                    f"({tenant.num_executors} executors: pipeline_stages x "
+                    f"devices_per_stage)"
+                )
 
     @staticmethod
     def from_dict(raw: Mapping[str, Any]) -> "ScenarioSpec":
@@ -265,6 +363,7 @@ class ScenarioSpec:
                 "preemption",
                 "seed",
                 "tenants",
+                "faults",
                 "sweep",
             ],
             "scenario",
@@ -272,6 +371,9 @@ class ScenarioSpec:
         tenants_raw = raw.get("tenants")
         if not isinstance(tenants_raw, (list, tuple)):
             raise ScenarioError("'tenants' must be a list of tenant blocks")
+        faults_raw = raw.get("faults") or ()
+        if not isinstance(faults_raw, (list, tuple)):
+            raise ScenarioError("'faults' must be a list of fault blocks")
         sweep = raw.get("sweep")
         return ScenarioSpec(
             name=str(raw.get("name", "unnamed-scenario")),
@@ -281,6 +383,9 @@ class ScenarioSpec:
             preemption=raw.get("preemption"),
             seed=int(raw.get("seed", 0)),
             tenants=tuple(TenantSpec.from_dict(t) for t in tenants_raw),
+            faults=tuple(
+                fault_from_dict(f, index=i) for i, f in enumerate(faults_raw)
+            ),
             sweep=None if sweep is None else SweepSpec.from_dict(sweep),
         )
 
@@ -296,9 +401,15 @@ def _parse_text(text: str, *, suffix: str) -> Dict[str, Any]:
             raise ScenarioError(
                 "PyYAML is not installed; use a .json scenario instead"
             ) from exc
-        data = yaml.safe_load(text)
+        try:
+            data = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise ScenarioError(f"invalid YAML: {exc}") from None
     elif suffix == ".json":
-        data = json.loads(text)
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid JSON: {exc}") from None
     else:
         raise ScenarioError(f"unsupported scenario extension {suffix!r} (use .yaml/.json)")
     if not isinstance(data, dict):
@@ -347,16 +458,57 @@ def set_by_path(raw: Dict[str, Any], path: str, value: Any) -> None:
 
 
 def build_tenants(spec: ScenarioSpec) -> List[Tenant]:
-    """Instantiate every tenant's system and its fill-job arrival stream."""
-    streams = build_tenant_fill_job_traces(
-        spec.horizon_seconds,
-        [replace(t.workload, name=t.name) for t in spec.tenants],
-        seed=spec.seed,
-    )
-    return [
-        Tenant(name=t.name, system=t.build_system(), jobs=streams[t.name])
+    """Instantiate every tenant's system and its fill-job arrival stream.
+
+    Closed-loop workloads are materialized up front (the trace pipeline);
+    ``open_loop: true`` workloads become lazy
+    :class:`~repro.workloads.generator.ArrivalProcess` streams the
+    simulator pulls one arrival at a time, bounded by the scenario
+    horizon.  Per-tenant seeds derive from the base seed and the tenant's
+    position either way, so toggling one tenant's mode does not perturb
+    the other tenants' streams.
+    """
+    # One deterministic seed per tenant *position* (the derivation
+    # build_tenant_fill_job_traces applies), fixed here so that toggling a
+    # tenant between closed- and open-loop never perturbs its neighbours.
+    tenant_seeds = {
+        t.name: (
+            t.workload.seed
+            if t.workload.seed is not None
+            else spec.seed + 7919 * (index + 1)
+        )
+        for index, t in enumerate(spec.tenants)
+    }
+    closed = [
+        replace(t.workload, name=t.name, seed=tenant_seeds[t.name])
         for t in spec.tenants
+        if not t.workload.open_loop
     ]
+    streams = (
+        build_tenant_fill_job_traces(spec.horizon_seconds, closed, seed=spec.seed)
+        if closed
+        else {}
+    )
+    tenants: List[Tenant] = []
+    for t in spec.tenants:
+        process = None
+        if t.workload.open_loop:
+            process = replace(t.workload, name=t.name).build_arrival_process(
+                seed=tenant_seeds[t.name],
+                end_time=spec.horizon_seconds,
+            )
+        tenants.append(
+            Tenant(
+                name=t.name,
+                system=t.build_system(),
+                jobs=streams.get(t.name, ()),
+                arrival_process=process,
+                join_at=t.join_at,
+                leave_at=t.leave_at,
+                leave_mode=t.leave_mode,
+            )
+        )
+    return tenants
 
 
 def run_scenario(spec: ScenarioSpec, *, use_cache: bool = True) -> MultiTenantResult:
@@ -374,4 +526,4 @@ def run_scenario(spec: ScenarioSpec, *, use_cache: bool = True) -> MultiTenantRe
         ),
         use_cache=use_cache,
     )
-    return simulator.run(horizon_seconds=spec.horizon_seconds)
+    return simulator.run(faults=spec.faults, horizon_seconds=spec.horizon_seconds)

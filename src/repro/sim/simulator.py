@@ -4,8 +4,14 @@ Simulates PipeFill over a cluster running one pipeline-parallel main job:
 every simulated device exposes its repeating bubble cycle through a
 :class:`~repro.core.executor.FillJobExecutor`, the
 :class:`~repro.core.scheduler.FillJobScheduler` assigns arriving fill jobs
-to free devices, and the simulator advances time between job arrivals and
-completions (the only points where system state changes, Section 5.1).
+to free devices, and the simulator advances time between the events where
+system state changes (Section 5.1: job arrivals and completions; beyond
+the paper, executor failures and recoveries).
+
+The event loop itself lives in :class:`~repro.sim.kernel.SimKernel`;
+``ClusterSimulator`` is a thin configuration of the kernel -- it registers
+one handler per :class:`~repro.sim.events.EventKind` it uses and collects
+metrics when the kernel returns.
 
 Simulating every one of 8K+ GPUs individually would be wasteful because all
 data-parallel replicas are statistically identical; the simulator therefore
@@ -15,19 +21,21 @@ the full cluster.
 
 For clusters running several concurrent main jobs over one shared fill-job
 backlog, see :class:`~repro.sim.multi_tenant.MultiTenantSimulator`, which
-generalises this event loop across tenants.
+configures the same kernel across tenants.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Mapping, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.core.executor import FillJobExecutor
 from repro.core.policies import SchedulingPolicy, sjf_policy
 from repro.core.scheduler import FillJob, FillJobScheduler
-from repro.sim.events import EventKind, EventQueue
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.kernel import FaultSpec, OpenLoopArrivals, SimKernel, schedule_faults
 from repro.sim.metrics import FillJobMetrics, collect_fill_metrics
+from repro.utils.faults import FaultTracker
 
 
 @dataclass(frozen=True)
@@ -35,8 +43,10 @@ class SimulationResult:
     """Outcome of one simulator run.
 
     ``events_processed`` counts the discrete events the run consumed
-    (arrivals plus completions, including stale completions that were
-    skipped); benchmarks divide it by wall-clock time to report events/sec.
+    (including stale completions that were skipped); benchmarks divide it
+    by wall-clock time to report events/sec.  ``events_by_kind`` breaks
+    the same count down per :class:`~repro.sim.events.EventKind` value, so
+    arrival/completion work is distinguishable from fault/churn work.
     """
 
     horizon_seconds: float
@@ -44,6 +54,7 @@ class SimulationResult:
     fill_metrics: FillJobMetrics
     scheduler: FillJobScheduler = field(repr=False, hash=False, compare=False)
     events_processed: int = 0
+    events_by_kind: Mapping[str, int] = field(default_factory=dict)
 
     @property
     def fill_tflops_per_device(self) -> float:
@@ -61,6 +72,21 @@ class SimulationResult:
         return self.fill_metrics.busy_device_seconds / (
             self.horizon_seconds * self.num_devices
         )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (mirrors ``MultiTenantResult.to_dict``)."""
+        from repro.sim.metrics import fill_metrics_dict
+
+        metrics = fill_metrics_dict(self.fill_metrics)
+        return {
+            "horizon_seconds": self.horizon_seconds,
+            "num_devices": self.num_devices,
+            "fill_tflops_per_device": self.fill_tflops_per_device,
+            "bubble_busy_fraction": self.bubble_busy_fraction,
+            "events_processed": self.events_processed,
+            "events_by_kind": dict(self.events_by_kind),
+            "fill_metrics": metrics,
+        }
 
 
 class ClusterSimulator:
@@ -94,11 +120,11 @@ class ClusterSimulator:
     ) -> None:
         """Assign queued jobs to every idle executor until none can be filled.
 
-        Only currently-idle executors are visited, and an executor that
-        finds no runnable job is skipped for the rest of the sweep: jobs
-        only leave the queue during a sweep, so a workless executor stays
-        workless until the next event.  Neither pruning changes which
-        assignments are made.
+        Only currently-available executors are visited, and an executor
+        that finds no runnable job is skipped for the rest of the sweep:
+        jobs only leave the queue during a sweep, so a workless executor
+        stays workless until the next event.  Neither pruning changes
+        which assignments are made.
         """
         use_fast_path = self.use_cache
         exhausted: set = set()
@@ -110,7 +136,7 @@ class ClusterSimulator:
             indices = (
                 scheduler.idle_executor_indices()
                 if use_fast_path
-                else [i for i, s in scheduler.executors.items() if not s.is_busy]
+                else [i for i, s in scheduler.executors.items() if s.is_available]
             )
             for idx in indices:
                 if idx in exhausted:
@@ -131,8 +157,10 @@ class ClusterSimulator:
 
     def run(
         self,
-        jobs: Iterable[FillJob],
+        jobs: Iterable[FillJob] = (),
         *,
+        arrival_process: Optional[Iterable[FillJob]] = None,
+        faults: Sequence[FaultSpec] = (),
         horizon_seconds: Optional[float] = None,
     ) -> SimulationResult:
         """Simulate the given fill-job trace.
@@ -141,6 +169,15 @@ class ClusterSimulator:
         ----------
         jobs:
             Fill jobs with arrival times (need not be sorted).
+        arrival_process:
+            Optional open-loop arrival stream (e.g. a
+            :class:`~repro.workloads.generator.ArrivalProcess`): jobs are
+            pulled lazily, one arrival event ahead, instead of
+            materializing the whole trace up front.  An unbounded stream
+            requires ``horizon_seconds``.
+        faults:
+            Scheduled executor failures/recoveries (``tenant`` fields are
+            ignored in single-tenant runs).
         horizon_seconds:
             Stop the clock here; jobs still running contribute their
             pro-rated FLOPs.  Defaults to the time the last job completes.
@@ -149,46 +186,80 @@ class ClusterSimulator:
         scheduler = FillJobScheduler(
             self.executors, policy=self.policy, use_cache=self.use_cache
         )
-        queue = EventQueue()
+        kernel = SimKernel()
+        queue = kernel.queue
         for job in job_list:
-            queue.push(job.arrival_time, EventKind.JOB_ARRIVAL, job_id=job.job_id)
-        jobs_by_id = {job.job_id: job for job in job_list}
+            kernel.schedule(job.arrival_time, EventKind.JOB_ARRIVAL, job_id=job.job_id)
+        jobs_by_id: Dict[str, FillJob] = {job.job_id: job for job in job_list}
 
-        now = 0.0
-        last_completion = 0.0
-        events_processed = 0
-        while queue:
-            event = queue.pop()
-            if horizon_seconds is not None and event.time > horizon_seconds:
-                now = horizon_seconds
-                break
-            events_processed += 1
-            now = event.time
-            if event.kind is EventKind.JOB_ARRIVAL:
-                assert event.job_id is not None
-                scheduler.submit(jobs_by_id[event.job_id])
-                self._dispatch_all_idle(scheduler, queue, now)
-            elif event.kind is EventKind.JOB_COMPLETION:
-                assert event.executor_index is not None
-                state = scheduler.executors[event.executor_index]
-                # The executor may have been re-targeted since this event was
-                # scheduled (e.g. the job was preempted and re-dispatched), in
-                # which case the event is stale and must be ignored.
-                if state.current_job_id != event.job_id or state.busy_until > now + 1e-9:
-                    continue
-                scheduler.complete(event.executor_index, now)
-                last_completion = now
-                self._dispatch_all_idle(scheduler, queue, now)
+        # Open-loop source: the driver keeps exactly one pending arrival
+        # in the queue and pulls the next job as each one is handled.
+        open_loop = OpenLoopArrivals(kernel, jobs_by_id)
+        if arrival_process is not None:
+            if horizon_seconds is None:
+                raise ValueError(
+                    "an open-loop arrival process needs horizon_seconds "
+                    "(the stream may be unbounded)"
+                )
+            open_loop.add_stream("arrivals", arrival_process)
 
-        horizon = horizon_seconds if horizon_seconds is not None else max(now, last_completion)
-        if horizon <= 0:
-            horizon = max(last_completion, 1e-9)
+        # Single-tenant runs ignore FaultSpec.tenant tags.
+        schedule_faults(
+            kernel,
+            [replace(f, tenant=None) for f in faults],
+            {None: frozenset(self.executors)},
+        )
 
+        def on_arrival(event: Event) -> None:
+            assert event.job_id is not None
+            scheduler.submit(jobs_by_id[event.job_id])
+            open_loop.on_arrival(event.job_id)
+            self._dispatch_all_idle(scheduler, queue, kernel.now)
+
+        def on_completion(event: Event) -> None:
+            assert event.executor_index is not None
+            state = scheduler.executors[event.executor_index]
+            # The executor may have been re-targeted since this event was
+            # scheduled (the job was preempted/re-dispatched, or the device
+            # failed), in which case the event is stale and must be ignored.
+            if kernel.is_stale_completion(state.current_job_id, state.busy_until, event):
+                return
+            scheduler.complete(event.executor_index, kernel.now)
+            kernel.note_completion()
+            self._dispatch_all_idle(scheduler, queue, kernel.now)
+
+        # Overlapping fault windows ref-count: a device comes back only
+        # when its last outstanding fault recovers (a permanent fault
+        # never releases, holding it down for good).
+        fault_holds = FaultTracker()
+
+        def on_failure(event: Event) -> None:
+            assert event.executor_index is not None
+            fault_holds.fail(event.executor_index)
+            scheduler.on_executor_lost(event.executor_index, kernel.now)
+            # The requeued job (if any) may immediately resume elsewhere.
+            self._dispatch_all_idle(scheduler, queue, kernel.now)
+
+        def on_recovery(event: Event) -> None:
+            assert event.executor_index is not None
+            if not fault_holds.recover(event.executor_index):
+                return
+            scheduler.on_executor_recovered(event.executor_index)
+            self._dispatch_all_idle(scheduler, queue, kernel.now)
+
+        kernel.on(EventKind.JOB_ARRIVAL, on_arrival)
+        kernel.on(EventKind.JOB_COMPLETION, on_completion)
+        kernel.on(EventKind.EXECUTOR_FAILURE, on_failure)
+        kernel.on(EventKind.EXECUTOR_RECOVERY, on_recovery)
+
+        horizon = kernel.run(horizon_seconds)
+        stats = kernel.stats()
         metrics = collect_fill_metrics(scheduler, horizon)
         return SimulationResult(
             horizon_seconds=horizon,
             num_devices=len(self.executors),
             fill_metrics=metrics,
             scheduler=scheduler,
-            events_processed=events_processed,
+            events_processed=stats.events_processed,
+            events_by_kind=stats.events_by_kind,
         )

@@ -19,6 +19,7 @@ from repro.workloads.trace import (
     TraceFilter,
 )
 from repro.workloads.generator import (
+    ArrivalProcess,
     FillJobTraceBuilder,
     TenantWorkloadSpec,
     build_fill_job_trace,
@@ -35,6 +36,7 @@ __all__ = [
     "TraceJob",
     "TraceGenerator",
     "TraceFilter",
+    "ArrivalProcess",
     "FillJobTraceBuilder",
     "TenantWorkloadSpec",
     "build_fill_job_trace",

@@ -7,12 +7,21 @@ type (training or batch inference with equal probability for models under
 sample count by dividing by the model's maximum isolated single-GPU
 throughput.  The result is a list of
 :class:`~repro.core.scheduler.FillJob` objects ready for the scheduler.
+
+For long-horizon (or unbounded) runs, :class:`ArrivalProcess` provides the
+same job mix as a *streaming* iterator instead of a materialized list: the
+simulation kernel pulls one arrival at a time and schedules the next
+arrival event lazily, so the trace never has to be materialized up front
+(per-job scheduler records still accumulate as arrivals are served).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.scheduler import FillJob
 from repro.hardware.device import DeviceSpec, V100_16GB
@@ -166,6 +175,158 @@ def build_fill_job_trace(
     return jobs
 
 
+@dataclass
+class ArrivalProcess:
+    """A streaming (open-loop) fill-job arrival source.
+
+    Where :func:`build_fill_job_trace` materializes every job of a run up
+    front, an ``ArrivalProcess`` yields jobs one at a time with
+    exponentially-distributed inter-arrival gaps (a homogeneous Poisson
+    process), so the simulation kernel can schedule the *next* arrival
+    event lazily: the pending-event footprint stays constant however long
+    the horizon, and no trace is ever held in memory whole.  (Jobs that
+    have *arrived* still get scheduler records, so total memory grows
+    with the number of served arrivals, as in any run.)
+    Each job draws a log-normal exclusive-GPU duration (the synthetic
+    trace's service-time model, capped at the paper's 1-GPU-hour
+    simulation filter), a Table 1 model from the hub distribution (or a
+    uniform mix over ``models``) and converts GPU-seconds to samples
+    through the model's isolated throughput -- the exact conversion the
+    closed-loop trace pipeline applies.
+
+    Iterating the process always restarts it from ``start_time`` with the
+    same seed, so repeated runs of one scenario are deterministic.
+
+    Parameters
+    ----------
+    name:
+        Tenant tag and job-id prefix (ids are ``"<name>/open-<i>"``).
+    end_time:
+        Stop yielding at this simulation time; ``None`` streams forever
+        (the simulator's horizon must then bound the run).
+    max_gpu_seconds:
+        GPU-time cap per job (the trace filter's simulation cap).
+    """
+
+    name: str = ""
+    arrival_rate_per_hour: float = 120.0
+    models: Optional[Sequence[str]] = None
+    job_type: Optional[JobType] = None
+    deadline_fraction: float = 0.0
+    deadline_slack_factor: float = 4.0
+    start_time: float = 0.0
+    end_time: Optional[float] = None
+    seed: RngLike = 0
+    device: DeviceSpec = V100_16GB
+    efficiency: EfficiencyModel = DEFAULT_EFFICIENCY
+    service_time_median: float = 330.0
+    service_time_sigma: float = 2.45
+    max_gpu_seconds: float = TraceFilter.SIMULATION_CAP_SECONDS
+
+    def __post_init__(self) -> None:
+        check_positive(self.arrival_rate_per_hour, "arrival_rate_per_hour")
+        check_fraction(self.deadline_fraction, "deadline_fraction")
+        check_positive(self.deadline_slack_factor, "deadline_slack_factor")
+        check_positive(self.service_time_median, "service_time_median")
+        check_positive(self.max_gpu_seconds, "max_gpu_seconds")
+        if self.models is not None:
+            unknown = set(self.models) - set(FILL_JOB_CATEGORIES)
+            if unknown:
+                raise ValueError(f"unknown fill-job models: {sorted(unknown)}")
+        if self.job_type is not None:
+            # Without at least one compatible model the stream would spin
+            # forever discarding draws instead of ever yielding a job.
+            candidates = self.models if self.models is not None else FILL_JOB_CATEGORIES
+            if not any(
+                self.job_type in category_for_model(name).job_types()
+                for name in candidates
+            ):
+                raise ValueError(
+                    f"no model in {sorted(candidates)} supports job_type "
+                    f"{self.job_type.value!r}"
+                )
+        # A Generator object would advance across iterations and break the
+        # restart guarantee; freeze it into a fixed integer seed once.
+        if isinstance(self.seed, np.random.Generator):
+            self.seed = int(self.seed.integers(0, 2**63 - 1))
+        self._throughput_cache: Dict[Tuple[str, JobType], float] = {}
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _distribution(self) -> ModelHubDistribution:
+        if self.models is None:
+            return default_distribution(self.seed)
+        probs = {name: 1.0 / len(self.models) for name in self.models}
+        return ModelHubDistribution(probabilities=probs)
+
+    def _isolated_throughput(self, model_name: str, job_type: JobType) -> float:
+        key = (model_name, job_type)
+        if key not in self._throughput_cache:
+            self._throughput_cache[key] = isolated_throughput(
+                build_model(model_name), job_type, self.device, self.efficiency
+            )
+        return self._throughput_cache[key]
+
+    def _draw_gpu_seconds(self, gen) -> float:
+        """One log-normal GPU-time draw, truncated at ``max_gpu_seconds``."""
+        for _ in range(64):
+            value = float(
+                self.service_time_median
+                * math.exp(self.service_time_sigma * gen.standard_normal())
+            )
+            if value <= self.max_gpu_seconds:
+                return value
+        return self.max_gpu_seconds  # pathological parameters: clamp
+
+    # -- the stream --------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[FillJob]:
+        gen = ensure_rng(self.seed)
+        distribution = self._distribution()
+        rate_per_second = self.arrival_rate_per_hour / 3_600.0
+        prefix = f"{self.name}/" if self.name else ""
+        t = self.start_time
+        index = 0
+        while True:
+            t += float(gen.exponential(1.0 / rate_per_second))
+            if self.end_time is not None and t >= self.end_time:
+                return
+            model_name = distribution.sample(gen)
+            category = category_for_model(model_name)
+            if self.job_type is not None:
+                if self.job_type not in category.job_types():
+                    continue  # the closed-loop path drops these too
+                job_type = self.job_type
+            else:
+                types = category.job_types()
+                job_type = (
+                    types[0]
+                    if len(types) == 1
+                    else (
+                        JobType.TRAINING
+                        if gen.random() < 0.5
+                        else JobType.BATCH_INFERENCE
+                    )
+                )
+            throughput = self._isolated_throughput(model_name, job_type)
+            gpu_seconds = self._draw_gpu_seconds(gen)
+            num_samples = max(1.0, gpu_seconds * throughput)
+            deadline = None
+            if gen.random() < self.deadline_fraction:
+                ideal = num_samples / throughput
+                deadline = t + self.deadline_slack_factor * ideal
+            yield FillJob(
+                job_id=f"{prefix}open-{index}",
+                model_name=model_name,
+                job_type=job_type,
+                num_samples=num_samples,
+                arrival_time=t,
+                deadline=deadline,
+                tenant=self.name or None,
+            )
+            index += 1
+
+
 @dataclass(frozen=True)
 class TenantWorkloadSpec:
     """The fill-job arrival stream one tenant contributes to the backlog.
@@ -176,6 +337,11 @@ class TenantWorkloadSpec:
     be merged without collisions.  ``name`` may be left empty while the
     spec travels inside a scenario tenant block (which carries the name)
     but must be set before :func:`build_tenant_fill_job_traces`.
+
+    With ``open_loop=True`` the tenant's stream is not materialized at
+    all: :func:`~repro.sim.scenario.build_tenants` wires an
+    :class:`ArrivalProcess` into the tenant instead, and the simulator
+    pulls arrivals lazily (required for long-horizon runs).
     """
 
     name: str = ""
@@ -185,6 +351,24 @@ class TenantWorkloadSpec:
     deadline_fraction: float = 0.0
     deadline_slack_factor: float = 4.0
     seed: Optional[int] = None
+    open_loop: bool = False
+
+    def build_arrival_process(
+        self, *, seed: int, end_time: Optional[float] = None
+    ) -> ArrivalProcess:
+        """The open-loop source equivalent to this spec's parameters."""
+        if not self.name:
+            raise ValueError("an arrival process needs a non-empty tenant name")
+        return ArrivalProcess(
+            name=self.name,
+            arrival_rate_per_hour=self.arrival_rate_per_hour,
+            models=self.models,
+            job_type=self.job_type,
+            deadline_fraction=self.deadline_fraction,
+            deadline_slack_factor=self.deadline_slack_factor,
+            seed=self.seed if self.seed is not None else seed,
+            end_time=end_time,
+        )
 
 
 def build_tenant_fill_job_traces(

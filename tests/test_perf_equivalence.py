@@ -33,8 +33,17 @@ from repro.utils.units import GIB
 
 SCENARIO_DIR = Path(__file__).resolve().parent.parent / "scenarios"
 
-#: The shipped scenarios the equivalence guarantee is asserted over.
-SHIPPED_SCENARIOS = ["smoke", "quickstart", "multi_tenant", "deadline_rush"]
+#: The shipped scenarios the equivalence guarantee is asserted over
+#: (faulty_cluster and elastic_tenants exercise the dynamic-event paths:
+#: down executors, tenant churn and open-loop arrivals).
+SHIPPED_SCENARIOS = [
+    "smoke",
+    "quickstart",
+    "multi_tenant",
+    "deadline_rush",
+    "faulty_cluster",
+    "elastic_tenants",
+]
 
 
 def make_executors(durations=(1.5, 1.5), period=4.0):

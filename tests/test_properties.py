@@ -250,3 +250,149 @@ class TestBubbleCycleProperties:
         assert math.isclose(
             scaled.total_bubble_time, scale * cycle.total_bubble_time, rel_tol=1e-9
         )
+
+
+# ---------------------------------------------------------------------------
+# Horizon-cutoff invariants (both simulators, with and without use_cache)
+# ---------------------------------------------------------------------------
+
+
+def _horizon_executors(n=2):
+    from repro.core.executor import FillJobExecutor
+
+    return {
+        i: FillJobExecutor(
+            BubbleCycle.from_durations([1.5, 1.5], 4.5 * GIB, period=4.0)
+        )
+        for i in range(n)
+    }
+
+
+def _horizon_jobs():
+    from repro.core.scheduler import FillJob
+    from repro.models.configs import JobType
+
+    # Staggered arrivals and mixed sizes so random horizons land mid-queue:
+    # some jobs running, some queued, some not yet arrived.
+    sizes = [2_000.0, 6_000.0, 1_000.0, 4_000.0, 3_000.0, 5_000.0]
+    return [
+        FillJob(
+            job_id=f"h{i}",
+            model_name="bert-base",
+            job_type=JobType.BATCH_INFERENCE,
+            num_samples=size,
+            arrival_time=7.0 * i,
+        )
+        for i, size in enumerate(sizes)
+    ]
+
+
+class TestHorizonCutoffProperties:
+    """Pro-rated FLOP accounting and event counts stay consistent wherever
+    ``horizon_seconds`` cuts the run -- mid-segment, mid-queue, or past the
+    makespan -- in both simulators and both cache modes."""
+
+    @given(
+        fractions=st.tuples(
+            st.floats(min_value=0.02, max_value=1.3),
+            st.floats(min_value=0.02, max_value=1.3),
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_single_tenant_cutoff(self, fractions):
+        from repro.sim.simulator import ClusterSimulator
+
+        jobs = _horizon_jobs()
+        full = ClusterSimulator(_horizon_executors()).run(jobs)
+        for fraction in sorted(fractions):
+            horizon = fraction * full.horizon_seconds
+            cached = ClusterSimulator(_horizon_executors()).run(
+                jobs, horizon_seconds=horizon
+            )
+            brute = ClusterSimulator(_horizon_executors(), use_cache=False).run(
+                jobs, horizon_seconds=horizon
+            )
+            # The memoised fast path is invisible at any cutoff.
+            assert cached.to_dict() == brute.to_dict()
+            m = cached.fill_metrics
+            # Event accounting: the per-kind breakdown always sums to the
+            # total, and a truncated run never processes more events.
+            assert sum(cached.events_by_kind.values()) == cached.events_processed
+            assert cached.events_processed <= full.events_processed
+            # Pro-rated FLOPs/busy-time never exceed the full run's, and
+            # busy time fits inside the observation window.
+            assert 0.0 <= m.total_flops <= full.fill_metrics.total_flops * (1 + 1e-9)
+            assert m.busy_device_seconds <= horizon * cached.num_devices + 1e-6
+            assert m.jobs_completed <= full.fill_metrics.jobs_completed
+
+    @given(fractions=st.tuples(
+        st.floats(min_value=0.02, max_value=1.3),
+        st.floats(min_value=0.02, max_value=1.3),
+    ))
+    @settings(max_examples=10, deadline=None)
+    def test_single_tenant_cutoff_monotone(self, fractions):
+        from repro.sim.simulator import ClusterSimulator
+
+        jobs = _horizon_jobs()
+        full = ClusterSimulator(_horizon_executors()).run(jobs)
+        lo, hi = sorted(fractions)
+        results = [
+            ClusterSimulator(_horizon_executors()).run(
+                jobs, horizon_seconds=f * full.horizon_seconds
+            )
+            for f in (lo, hi)
+        ]
+        # A longer observation window only ever adds progress and events.
+        assert (
+            results[0].fill_metrics.total_flops
+            <= results[1].fill_metrics.total_flops * (1 + 1e-9) + 1e-9
+        )
+        assert results[0].events_processed <= results[1].events_processed
+        assert (
+            results[0].fill_metrics.jobs_completed
+            <= results[1].fill_metrics.jobs_completed
+        )
+
+    @given(fraction=st.floats(min_value=0.02, max_value=1.3))
+    @settings(max_examples=12, deadline=None)
+    def test_multi_tenant_cutoff(self, fraction):
+        from types import SimpleNamespace
+
+        from repro.core.config import PipeFillConfig
+        from repro.sim.multi_tenant import MultiTenantSimulator, Tenant
+
+        def stub():
+            return SimpleNamespace(
+                executors=_horizon_executors(1),
+                config=PipeFillConfig(),
+                main_job=SimpleNamespace(tflops_per_device=10.0, bubble_ratio=0.5),
+            )
+
+        jobs = _horizon_jobs()
+
+        def tenants():
+            return [
+                Tenant("a", stub(), jobs=jobs[:3]),
+                Tenant("b", stub(), jobs=jobs[3:]),
+            ]
+
+        full = MultiTenantSimulator(tenants()).run()
+        horizon = fraction * full.horizon_seconds
+        cached = MultiTenantSimulator(tenants()).run(horizon_seconds=horizon)
+        brute = MultiTenantSimulator(tenants(), use_cache=False).run(
+            horizon_seconds=horizon
+        )
+        assert cached.to_dict() == brute.to_dict()
+        agg = cached.aggregate
+        assert sum(cached.events_by_kind.values()) == cached.events_processed
+        assert cached.events_processed <= full.events_processed
+        assert 0.0 <= agg.total_flops <= full.aggregate.total_flops * (1 + 1e-9)
+        assert agg.busy_device_seconds <= horizon * cached.num_devices + 1e-6
+        # Conservation at the cut: placed + backlog + rejected = submitted.
+        placed = sum(
+            len(t.scheduler.records) for t in cached.tenants.values()
+        )
+        assert (
+            placed + cached.backlog_remaining + cached.jobs_rejected_global
+            == agg.jobs_submitted
+        )

@@ -176,3 +176,122 @@ class TestCli:
         exit_code = main(["sweep", str(scenario)])
         assert exit_code == 2
         assert "sweep" in capsys.readouterr().err
+
+
+# -- dynamic-event blocks (faults, elastic tenants, open-loop) -----------------------
+
+
+class TestDynamicBlocks:
+    def with_faults(self, faults):
+        raw = json.loads(json.dumps(MINIMAL))
+        raw["faults"] = faults
+        return raw
+
+    def test_faults_parse(self):
+        spec = ScenarioSpec.from_dict(
+            self.with_faults(
+                [{"tenant": "t0", "executor": 3, "fail_at": 60, "recover_at": 120}]
+            )
+        )
+        assert len(spec.faults) == 1
+        fault = spec.faults[0]
+        assert fault.tenant == "t0"
+        assert fault.executor_index == 3
+        assert (fault.fail_at, fault.recover_at) == (60.0, 120.0)
+
+    def test_fault_unknown_tenant_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown tenant"):
+            ScenarioSpec.from_dict(
+                self.with_faults([{"tenant": "nope", "executor": 0, "fail_at": 60}])
+            )
+
+    def test_fault_executor_out_of_range_rejected(self):
+        with pytest.raises(ScenarioError, match="out of range"):
+            ScenarioSpec.from_dict(
+                self.with_faults([{"tenant": "t0", "executor": 99, "fail_at": 60}])
+            )
+
+    def test_fault_unknown_key_rejected(self):
+        with pytest.raises(ScenarioError, match="blast_radius"):
+            ScenarioSpec.from_dict(
+                self.with_faults(
+                    [{"tenant": "t0", "executor": 0, "fail_at": 60, "blast_radius": 2}]
+                )
+            )
+
+    def test_fault_recover_before_fail_rejected(self):
+        with pytest.raises(ScenarioError, match="recover_at"):
+            ScenarioSpec.from_dict(
+                self.with_faults(
+                    [{"tenant": "t0", "executor": 0, "fail_at": 60, "recover_at": 30}]
+                )
+            )
+
+    def test_elastic_tenant_fields_parse(self):
+        raw = json.loads(json.dumps(MINIMAL))
+        raw["tenants"][0].update(join_at=60, leave_at=300, leave_mode="requeue")
+        tenant = ScenarioSpec.from_dict(raw).tenants[0]
+        assert (tenant.join_at, tenant.leave_at) == (60.0, 300.0)
+        assert tenant.leave_mode == "requeue"
+
+    def test_bad_leave_mode_rejected(self):
+        raw = json.loads(json.dumps(MINIMAL))
+        raw["tenants"][0]["leave_mode"] = "explode"
+        with pytest.raises(ScenarioError, match="leave_mode"):
+            ScenarioSpec.from_dict(raw)
+
+    def test_leave_before_join_rejected(self):
+        raw = json.loads(json.dumps(MINIMAL))
+        raw["tenants"][0].update(join_at=300, leave_at=100)
+        with pytest.raises(ScenarioError, match="leave_at"):
+            ScenarioSpec.from_dict(raw)
+
+    def test_open_loop_flag_parses_and_runs(self):
+        raw = json.loads(json.dumps(MINIMAL))
+        raw["tenants"][0]["workload"]["open_loop"] = True
+        spec = ScenarioSpec.from_dict(raw)
+        assert spec.tenants[0].workload.open_loop
+        result = run_scenario(spec)
+        assert result.aggregate.jobs_submitted > 0
+
+    def test_open_loop_must_be_boolean(self):
+        raw = json.loads(json.dumps(MINIMAL))
+        raw["tenants"][0]["workload"]["open_loop"] = "yes"
+        with pytest.raises(ScenarioError, match="open_loop"):
+            ScenarioSpec.from_dict(raw)
+
+    def test_yaml_syntax_error_is_scenario_error(self, tmp_path):
+        bad = tmp_path / "broken.yaml"
+        bad.write_text("name: {unclosed\n")
+        with pytest.raises(ScenarioError, match="invalid YAML"):
+            load_scenario(bad)
+
+
+class TestValidateCommand:
+    def test_validate_ok(self, capsys):
+        assert main(["validate", str(SMOKE_SCENARIO)]) == 0
+        out = capsys.readouterr().out
+        assert "ok:" in out and "smoke" in out
+
+    def test_validate_reports_dynamics(self, capsys):
+        path = REPO_ROOT / "scenarios" / "faulty_cluster.yaml"
+        assert main(["validate", str(path)]) == 0
+        assert "4 fault(s)" in capsys.readouterr().out
+
+    def test_validate_bad_spec_exits_nonzero(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({**MINIMAL, "mystery": True}))
+        assert main(["validate", str(bad)]) == 2
+        assert "mystery" in capsys.readouterr().err
+
+    def test_validate_bad_fault_exits_nonzero(self, capsys, tmp_path):
+        raw = json.loads(json.dumps(MINIMAL))
+        raw["faults"] = [{"tenant": "t0", "executor": 99, "fail_at": 1}]
+        bad = tmp_path / "badfault.json"
+        bad.write_text(json.dumps(raw))
+        assert main(["validate", str(bad)]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_validate_missing_file_exits_nonzero(self, capsys):
+        assert main(["validate", "scenarios/does-not-exist.yaml"]) == 2
+        assert "error" in capsys.readouterr().err
