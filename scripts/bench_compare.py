@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Diff two ``BENCH_<size>.json`` trajectory files; fail on regression.
+
+Compares the *optimized* events/sec of every case present in both files
+and exits non-zero when any case regressed by more than the threshold
+(default 20%).  CI runs it after the smoke benchmark against the
+committed baseline so events/sec regressions fail the PR instead of
+silently eroding:
+
+    python -m repro bench --size smoke --output BENCH_smoke_new.json
+    python scripts/bench_compare.py BENCH_smoke.json BENCH_smoke_new.json
+
+Shared-runner speeds vary, so CI passes a looser ``--threshold``; the
+default is tuned for before/after comparisons on one machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_cases(path: Path) -> dict:
+    data = json.loads(path.read_text())
+    return {case["name"]: case for case in data.get("cases", [])}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="reference BENCH_<size>.json")
+    parser.add_argument("candidate", type=Path, help="new BENCH_<size>.json to judge")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="maximum tolerated relative events/sec drop (default: 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    base = load_cases(args.baseline)
+    cand = load_cases(args.candidate)
+    shared = [name for name in base if name in cand]
+    if not shared:
+        print("error: the two files share no benchmark cases", file=sys.stderr)
+        return 2
+
+    failed = False
+    print(f"{'case':<24} {'baseline':>10} {'candidate':>10} {'change':>8}")
+    for name in shared:
+        old = base[name]["optimized"]["events_per_second"]
+        new = cand[name]["optimized"]["events_per_second"]
+        change = (new - old) / old if old > 0 else 0.0
+        marker = ""
+        if old > 0 and change < -args.threshold:
+            failed = True
+            marker = f"  REGRESSION (>{args.threshold:.0%} drop)"
+        print(f"{name:<24} {old:>10.0f} {new:>10.0f} {change:>+8.1%}{marker}")
+    only = sorted(set(base) ^ set(cand))
+    if only:
+        print(f"note: cases not in both files (ignored): {only}")
+    if failed:
+        print(
+            f"FAIL: events/sec regressed beyond {args.threshold:.0%} "
+            f"on at least one case",
+            file=sys.stderr,
+        )
+        return 1
+    print("ok: no events/sec regression beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

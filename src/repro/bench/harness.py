@@ -30,6 +30,7 @@ from typing import Any, Dict, List, Optional
 from repro.core.executor import clear_shared_caches
 from repro.sim.multi_tenant import MultiTenantSimulator
 from repro.sim.simulator import ClusterSimulator
+from repro.utils import plancache
 from repro.bench.workloads import (
     SIZES,
     BenchSize,
@@ -47,7 +48,12 @@ class CaseTiming:
 
     ``events_by_kind`` breaks ``events_processed`` down per
     :class:`~repro.sim.events.EventKind` value, so the BENCH trajectory
-    distinguishes arrival/completion work from fault/churn work.
+    distinguishes arrival/completion work from fault/churn work;
+    ``timings_by_kind`` carries the kernel's wall-clock handler seconds
+    per kind, and ``plan_cache`` the persistent plan-cache hit/miss
+    counters of the run (all zeros when the disk cache is disabled).
+    Neither extra block feeds the ``result_digest``, which hashes only
+    the simulation outcome.
     """
 
     setup_seconds: float
@@ -57,6 +63,8 @@ class CaseTiming:
     jobs_completed: int
     result_digest: str
     events_by_kind: Dict[str, int] = field(default_factory=dict)
+    timings_by_kind: Dict[str, float] = field(default_factory=dict)
+    plan_cache: Dict[str, int] = field(default_factory=dict)
 
     @property
     def events_per_second(self) -> float:
@@ -70,6 +78,10 @@ class CaseTiming:
             "run_seconds": round(self.run_seconds, 4),
             "events_processed": self.events_processed,
             "events_by_kind": dict(self.events_by_kind),
+            "timings_by_kind": {
+                kind: round(seconds, 4) for kind, seconds in self.timings_by_kind.items()
+            },
+            "plan_cache": dict(self.plan_cache),
             "events_per_second": round(self.events_per_second, 2),
             "jobs_submitted": self.jobs_submitted,
             "jobs_completed": self.jobs_completed,
@@ -127,6 +139,7 @@ def run_case(case: BenchCase, *, use_cache: bool = True, seed: int = 0) -> CaseT
     happen inside the run, exactly as they do in a real scenario run.
     """
     clear_shared_caches()
+    plancache.reset_stats()
     t0 = time.perf_counter()
     if case.multi_tenant:
         from repro.core.policies import compose_policies, sjf_policy, slack_policy
@@ -162,6 +175,7 @@ def run_case(case: BenchCase, *, use_cache: bool = True, seed: int = 0) -> CaseT
         summary = result.to_dict()
         events = result.events_processed
         events_by_kind = dict(result.events_by_kind)
+        timings_by_kind = dict(result.timings_by_kind)
         submitted, completed = agg.jobs_submitted, agg.jobs_completed
     else:
         system = build_bench_system(case.size)
@@ -194,6 +208,7 @@ def run_case(case: BenchCase, *, use_cache: bool = True, seed: int = 0) -> CaseT
         }
         events = result.events_processed
         events_by_kind = dict(result.events_by_kind)
+        timings_by_kind = dict(result.timings_by_kind)
         submitted, completed = metrics.jobs_submitted, metrics.jobs_completed
 
     return CaseTiming(
@@ -204,6 +219,8 @@ def run_case(case: BenchCase, *, use_cache: bool = True, seed: int = 0) -> CaseT
         jobs_completed=completed,
         result_digest=_digest(summary),
         events_by_kind=events_by_kind,
+        timings_by_kind=timings_by_kind,
+        plan_cache=plancache.stats(),
     )
 
 

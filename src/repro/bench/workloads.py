@@ -76,6 +76,12 @@ SIZES: Dict[str, BenchSize] = {
     "small": BenchSize("small", num_jobs=1_000, pipeline_stages=16, devices_per_stage=1),
     "medium": BenchSize("medium", num_jobs=10_000, pipeline_stages=16, devices_per_stage=4),
     "large": BenchSize("large", num_jobs=100_000, pipeline_stages=16, devices_per_stage=16),
+    # 512 devices per tenant (1024 in the multi-tenant cases): the scale
+    # scenarios/xlarge_cluster.yaml runs at, only tractable with the
+    # incremental candidate indexes.
+    "xlarge": BenchSize(
+        "xlarge", num_jobs=250_000, pipeline_stages=16, devices_per_stage=32
+    ),
     "churn": BenchSize(
         "churn",
         num_jobs=5_000,

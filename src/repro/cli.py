@@ -1,6 +1,6 @@
 """The ``repro`` command-line interface: ``python -m repro <command>``.
 
-Five commands cover the common workflows:
+Six commands cover the common workflows:
 
 ``run``
     Simulate one scenario file and print per-tenant plus aggregate
@@ -39,13 +39,25 @@ Five commands cover the common workflows:
         python -m repro bench --size smoke --json
         python -m repro bench --size medium --baseline
 
-Scenario files are documented in ``docs/scenarios.md``; every command
-exits non-zero with a one-line error for malformed specs.
+``profile``
+    Run one scenario and report the kernel's per-event-kind handler
+    timings plus plan-cache traffic (see ``docs/performance.md``)::
+
+        python -m repro profile scenarios/multi_tenant.yaml
+        python -m repro profile scenarios/multi_tenant.yaml --json -
+
+``run``, ``sweep``, ``bench`` and ``profile`` share a persistent plan
+cache under ``.repro-cache/`` (``--cache-dir`` to relocate,
+``--no-disk-cache`` to opt out), so repeated invocations and sweep
+workers pay each plan search once.  Scenario files are documented in
+``docs/scenarios.md``; every command exits non-zero with a one-line
+error for malformed specs.
 """
 
 from __future__ import annotations
 
 import argparse
+import copy
 import json
 import sys
 from concurrent.futures import ProcessPoolExecutor
@@ -61,7 +73,30 @@ from repro.sim.scenario import (
     run_scenario,
     set_by_path,
 )
+from repro.utils import plancache
 from repro.utils.tables import Table
+
+#: Default location of the persistent plan/estimate cache shared by
+#: ``run``/``sweep``/``bench``/``profile`` (see repro.utils.plancache).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="PATH",
+        help=f"persistent plan-cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="disable the persistent plan cache for this invocation",
+    )
+
+
+def _configure_plancache(args: argparse.Namespace) -> None:
+    plancache.configure(args.cache_dir, enabled=not args.no_disk_cache)
 
 
 def _coerce_scalar(token: str) -> Any:
@@ -117,13 +152,16 @@ def _write_json(payload: Dict[str, Any], destination: str) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    _configure_plancache(args)
     raw = load_scenario_dict(args.scenario)
     spec = ScenarioSpec.from_dict(raw)
     result = run_scenario(spec)
     if args.json != "-":  # '-' means: stdout carries pure JSON instead
         _print_result(spec, result)
     if args.json:
-        _write_json({"scenario": spec.name, **result.to_dict()}, args.json)
+        _write_json(
+            {"scenario": spec.name, **result.to_dict(include_timings=True)}, args.json
+        )
     return 0
 
 
@@ -160,9 +198,17 @@ def cmd_validate(args: argparse.Namespace) -> int:
 # -- sweep -------------------------------------------------------------------------
 
 
-def _sweep_worker(payload: Tuple[Dict[str, Any], str, Any]) -> Dict[str, Any]:
-    """Run one sweep point (executed in a worker process)."""
-    raw, parameter, value = payload
+def _sweep_worker(
+    payload: Tuple[Dict[str, Any], str, Any, Optional[str]]
+) -> Dict[str, Any]:
+    """Run one sweep point (executed in a worker process).
+
+    ``cache_dir`` (``None`` = disabled) points every worker at the same
+    persistent plan cache, so the grid pays each plan search once instead
+    of once per worker.
+    """
+    raw, parameter, value, cache_dir = payload
+    plancache.configure(cache_dir, enabled=cache_dir is not None)
     set_by_path(raw, parameter, value)
     raw.pop("sweep", None)
     spec = ScenarioSpec.from_dict(raw)
@@ -171,6 +217,7 @@ def _sweep_worker(payload: Tuple[Dict[str, Any], str, Any]) -> Dict[str, Any]:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    _configure_plancache(args)
     raw = load_scenario_dict(args.scenario)
     spec = ScenarioSpec.from_dict(raw)
     if args.parameter:
@@ -188,7 +235,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print("error: no sweep values given", file=sys.stderr)
         return 2
 
-    payloads = [(json.loads(json.dumps(raw)), parameter, value) for value in values]
+    # deepcopy instead of a json round-trip: the spec only holds plain
+    # data, and serialising the full document once per sweep point was
+    # measurable on large grids.
+    cache_dir = None if args.no_disk_cache else args.cache_dir
+    payloads = [
+        (copy.deepcopy(raw), parameter, value, cache_dir) for value in values
+    ]
     workers = args.workers or min(len(values), 4)
     if workers <= 1:
         outcomes = [_sweep_worker(p) for p in payloads]
@@ -253,12 +306,88 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- profile -----------------------------------------------------------------------
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run one scenario and report where the simulation time went.
+
+    The kernel accumulates wall-clock handler time per event kind on
+    every run (near-zero overhead), so profiling is just surfacing that
+    accumulator next to the event counts, plus the plan-cache traffic.
+    """
+    import time as _time
+
+    _configure_plancache(args)
+    plancache.reset_stats()
+    spec = load_scenario(args.scenario)
+    t0 = _time.perf_counter()
+    result = run_scenario(spec)
+    wall = _time.perf_counter() - t0
+    counts = dict(result.events_by_kind)
+    timings = dict(result.timings_by_kind)
+    handler_total = sum(timings.values())
+    stdout_json = args.json == "-"
+    if not stdout_json:
+        print(f"Scenario: {spec.name} -- {result.events_processed} events in {wall:.3f}s")
+        table = Table(
+            columns=["event kind", "events", "total (s)", "avg (us)", "share"],
+            title=f"repro profile {args.scenario}",
+            formats={"total (s)": ".4f", "avg (us)": ".1f", "share": ".1%"},
+        )
+        for kind in sorted(counts):
+            seconds = timings.get(kind, 0.0)
+            count = counts[kind]
+            table.add_row(
+                kind,
+                count,
+                seconds,
+                1e6 * seconds / count if count else 0.0,
+                seconds / handler_total if handler_total > 0 else 0.0,
+            )
+        print(table.to_ascii())
+        cache = plancache.stats()
+        if plancache.is_enabled():
+            print(
+                f"plan cache ({plancache.cache_dir()}): "
+                f"{cache['hits']} hit(s), {cache['misses']} miss(es), "
+                f"{cache['writes']} write(s)"
+            )
+        else:
+            print("plan cache: disabled")
+        print(
+            f"handlers: {handler_total:.3f}s of {wall:.3f}s wall-clock "
+            f"({result.events_processed / wall:.0f} events/sec overall)"
+        )
+    if args.json:
+        _write_json(
+            {
+                "scenario": spec.name,
+                "wall_seconds": round(wall, 4),
+                "events_processed": result.events_processed,
+                "events_per_second": round(result.events_processed / wall, 2)
+                if wall > 0
+                else 0.0,
+                "events_by_kind": counts,
+                "timings_by_kind": {k: round(v, 6) for k, v in timings.items()},
+                "plan_cache": {
+                    "enabled": plancache.is_enabled(),
+                    **plancache.stats(),
+                },
+            },
+            args.json,
+        )
+    return 0
+
+
 # -- bench -------------------------------------------------------------------------
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import run_bench, write_bench_json
     from repro.bench.workloads import SIZES
+
+    _configure_plancache(args)
 
     sizes = args.size or ["smoke"]
     stdout_only = args.output == "-"
@@ -341,7 +470,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the result as JSON to PATH ('-' for stdout)",
     )
+    _add_cache_flags(run_p)
     run_p.set_defaults(func=cmd_run)
+
+    profile_p = sub.add_parser(
+        "profile",
+        help="run one scenario and report per-event-kind handler timings",
+    )
+    profile_p.add_argument("scenario", help="path to a .yaml/.json scenario spec")
+    profile_p.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the timing profile as JSON to PATH ('-' for stdout)",
+    )
+    _add_cache_flags(profile_p)
+    profile_p.set_defaults(func=cmd_profile)
 
     validate_p = sub.add_parser(
         "validate", help="load and validate a scenario file without running it"
@@ -363,6 +506,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: min(len(values), 4); 1 disables fan-out)",
     )
     sweep_p.add_argument("--json", metavar="PATH", help="also write results as JSON")
+    _add_cache_flags(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
 
     report_p = sub.add_parser("report", help="regenerate the paper-experiment report")
@@ -406,6 +550,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the benchmark payload as JSON on stdout (silences the table)",
     )
+    _add_cache_flags(bench_p)
     bench_p.set_defaults(func=cmd_bench)
     return parser
 

@@ -35,6 +35,7 @@ from repro.models.configs import ExecutionConfig, JobType, candidate_configs
 from repro.models.efficiency import DEFAULT_EFFICIENCY, EfficiencyModel
 from repro.models.profiles import ModelProfile, best_profile, profile_model
 from repro.pipeline.bubbles import BubbleCycle
+from repro.utils import plancache
 from repro.utils.validation import check_positive
 
 # -- shared estimate caches ----------------------------------------------------
@@ -214,6 +215,22 @@ class FillJobExecutor:
         self._profile_cache: Dict[tuple, ModelProfile] = _SHARED_PROFILES.setdefault(
             device_key, {}
         )
+        # Content hash of this executor's estimate namespace for the
+        # persistent cross-process plan cache (computed lazily: hashing
+        # the cycle is pointless when the disk cache is disabled).
+        self._disk_namespace: Optional[str] = None
+
+    def _disk_key(self, model: ModelSpec, job_type: JobType) -> tuple:
+        if self._disk_namespace is None:
+            self._disk_namespace = "-".join(
+                (
+                    plancache.content_key(self.cycle),
+                    plancache.content_key(self.device),
+                    plancache.content_key(self.config),
+                    plancache.content_key(self.efficiency),
+                )
+            )
+        return (self._disk_namespace, plancache.content_key(model), job_type.value)
 
     # -- memory ---------------------------------------------------------------
 
@@ -329,6 +346,20 @@ class FillJobExecutor:
             # Entries pin their spec, so a hit is always the same object.
             if entry is not None and entry[0] is model:
                 return entry[1]
+        disk_key = None
+        if use_cache and default_configs and plancache.is_enabled():
+            # The persistent cross-process cache: keyed by the same pure
+            # inputs as the in-process memo, so a sweep worker or a second
+            # bench run loads the plan search instead of re-running it.
+            # Pickled estimates round-trip bit-identically, so a disk hit
+            # can never change simulation results.
+            disk_key = self._disk_key(model, job_type)
+            hit, value = plancache.get(disk_key)
+            if hit:
+                if len(self._estimate_cache) >= _MAX_NAMESPACE_ENTRIES:
+                    self._estimate_cache.clear()
+                self._estimate_cache[key] = (model, value)
+                return value
         if configs is None:
             configs = candidate_configs(job_type)
         best: Optional[FillExecutionEstimate] = None
@@ -348,6 +379,8 @@ class FillJobExecutor:
             if len(self._estimate_cache) >= _MAX_NAMESPACE_ENTRIES:
                 self._estimate_cache.clear()
             self._estimate_cache[key] = (model, best)
+            if disk_key is not None:
+                plancache.put(disk_key, best)
         return best
 
     def processing_time(

@@ -31,6 +31,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from functools import partial
+
+from repro.core.candidates import CandidateIndex
 from repro.core.policies import (
     JobView,
     PreemptionRule,
@@ -116,6 +119,25 @@ class GlobalScheduler:
         # sample count), so it is computed once per (tenant, job) instead
         # of once per idle executor per dispatch sweep.
         self._view_cache: Dict[Tuple[str, str], JobView] = {}
+        # One incremental candidate index per tenant over the shared
+        # backlog (scores differ per tenant: processing times depend on
+        # the tenant's bubble cycles).  Maintained on submit / placement /
+        # eviction; a departed tenant's index is dropped for good.
+        self._backlog_indexes: Dict[str, CandidateIndex] = (
+            {
+                name: CandidateIndex(
+                    sched,
+                    policy,
+                    view_provider=partial(self._backlog_view, name),
+                    samples_provider=self._backlog_samples,
+                    state_provider=sched.scheduler_view,
+                )
+                for name, sched in self.tenants.items()
+                if sched.use_cache
+            }
+            if use_cache
+            else {}
+        )
 
     # -- submission -------------------------------------------------------------
 
@@ -137,9 +159,26 @@ class GlobalScheduler:
                 continue
             if sched.fits_any(job):
                 self._backlog.append(job.job_id)
+                self._index_add(job)
                 return True
         self.rejected[job.job_id] = job
         return False
+
+    def _backlog_samples(self, job: FillJob) -> float:
+        """Samples a placement of the backlog job would actually run."""
+        carried = self._evicted.get(job.job_id)
+        return job.num_samples if carried is None else carried.samples_remaining
+
+    def _index_add(self, job: FillJob) -> None:
+        """Index a job that just (re-)entered the backlog on every live
+        tenant (a departed tenant's index was dropped at deactivation;
+        each index skips classes infeasible on its tenant)."""
+        for index in self._backlog_indexes.values():
+            index.add(job)
+
+    def _index_remove(self, job_id: str) -> None:
+        for index in self._backlog_indexes.values():
+            index.remove(job_id)
 
     def backlog_jobs(self, now: Optional[float] = None) -> List[FillJob]:
         """Jobs waiting in the global backlog (arrived by ``now`` if given)."""
@@ -188,7 +227,14 @@ class GlobalScheduler:
     def _best_backlog_job(
         self, tenant: str, executor_index: int, now: float
     ) -> Tuple[Optional[FillJob], float]:
-        """Highest-scoring backlog job runnable on this tenant executor."""
+        """Highest-scoring backlog job runnable on this tenant executor.
+
+        On the cached path the tenant's candidate index answers without
+        re-scoring the backlog (see :mod:`repro.core.candidates`).
+        """
+        index = self._backlog_indexes.get(tenant)
+        if index is not None and index.policy is self.policy:
+            return index.best_for_executor(executor_index, now)
         sched = self.tenants[tenant]
         state_view = sched.scheduler_view(now)
         best_job: Optional[FillJob] = None
@@ -247,16 +293,13 @@ class GlobalScheduler:
         samples rather than restarting.
         """
         self._backlog.remove(job.job_id)
+        self._index_remove(job.job_id)
         self._forget_backlog_views(job.job_id, keep_tenant=tenant)
         self.placements[job.job_id] = tenant
-        record = self.tenants[tenant].submit(job)
+        self.tenants[tenant].submit(job)
         carried = self._evicted.pop(job.job_id, None)
         if carried is not None:
-            record.samples_remaining = carried.samples_remaining
-            record.flops_banked = carried.flops_banked
-            record.flops_executed = carried.flops_banked
-            record.busy_banked_seconds = carried.busy_banked_seconds
-            record.num_preemptions = carried.num_preemptions
+            self.tenants[tenant].restore_progress(job.job_id, carried)
 
     def dispatch_idle(self, now: float) -> List[Assignment]:
         """Dispatch onto every idle executor of every tenant until stable.
@@ -307,12 +350,15 @@ class GlobalScheduler:
         if job.deadline is None:
             return True
         for tenant, sched in self.tenants.items():
+            # Only available devices can rescue the arrival, so consult
+            # the idle set first and skip (cheaply) tenants running full.
+            idle = sched.idle_executor_indices()
+            if not idle:
+                continue
             # The cached backlog view holds exactly the full-sample
             # processing times this check needs.
             times = self._backlog_view(tenant, job).proc_times
-            for idx, ex_state in sched.executors.items():
-                if not ex_state.is_available:
-                    continue
+            for idx in idle:
                 proc = times.get(idx, float("inf"))
                 if proc != float("inf") and now + proc <= job.deadline:
                     return True
@@ -445,6 +491,9 @@ class GlobalScheduler:
         """
         sched = self.tenants[tenant]
         self.departed.add(tenant)
+        # No work is ever routed to a departed tenant again; its backlog
+        # candidate index is dead weight from here on.
+        self._backlog_indexes.pop(tenant, None)
         for idx, state in sched.executors.items():
             if state.is_busy:
                 if requeue:
@@ -467,6 +516,7 @@ class GlobalScheduler:
             self._evicted[job.job_id] = record
             self.placements.pop(job.job_id, None)
             self._backlog.append(job.job_id)
+            self._index_add(job)
             evicted.append(job.job_id)
         return evicted
 

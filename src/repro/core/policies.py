@@ -78,6 +78,20 @@ def sjf_policy(job: JobView, state: SchedulerView, executor_index: int) -> float
     return 1.0 / (job.min_proc_time + _EPS)
 
 
+# Scan/index metadata (consumed by repro.core.candidates):
+#
+# ``scan_kind`` names the closed-form shape of a shipped primitive so the
+# candidate index can evaluate it in a flat loop with *bit-identical*
+# arithmetic; ``static_score`` marks a policy whose score for a fixed
+# JobView depends on neither ``now``, ``rem_times`` nor the executor
+# index, which is what allows keeping candidates in a score-ordered heap
+# between events.  Policies without either attribute still work -- the
+# index falls back to calling them per candidate.
+sjf_policy.static_score = True  # type: ignore[attr-defined]
+sjf_policy.scan_kind = "sjf"  # type: ignore[attr-defined]
+fifo_policy.scan_kind = "fifo"  # type: ignore[attr-defined]
+
+
 def makespan_policy(job: JobView, state: SchedulerView, executor_index: int) -> float:
     """Makespan-minimizing: ``1 / max(proc_times[i], rem_times)``.
 
@@ -117,6 +131,31 @@ def slack_policy(job: JobView, state: SchedulerView, executor_index: int) -> flo
     return 1.0 / (max(slack, 0.0) + _EPS)
 
 
+edf_policy.scan_kind = "edf"  # type: ignore[attr-defined]
+slack_policy.scan_kind = "slack"  # type: ignore[attr-defined]
+makespan_policy.scan_kind = "makespan"  # type: ignore[attr-defined]
+
+
+class ComposedPolicy:
+    """A hierarchical policy: the weighted sum of sub-policies.
+
+    Callable exactly like a plain policy function.  The ``parts`` tuple is
+    exposed so the candidate index (:mod:`repro.core.candidates`) can
+    recognise shipped compositions such as ``slack+sjf`` and evaluate them
+    in a flat scan loop with bit-identical arithmetic; the accumulation
+    order here (left to right, starting from ``0.0``) is therefore part of
+    the contract.
+    """
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Tuple[Tuple[float, SchedulingPolicy], ...]) -> None:
+        self.parts = parts
+
+    def __call__(self, job: JobView, state: SchedulerView, executor_index: int) -> float:
+        return sum(w * policy(job, state, executor_index) for w, policy in self.parts)
+
+
 def compose_policies(
     *weighted: Tuple[float, SchedulingPolicy],
 ) -> SchedulingPolicy:
@@ -131,11 +170,7 @@ def compose_policies(
         raise ValueError("compose_policies needs at least one (weight, policy) pair")
     for weight, _ in weighted:
         check_non_negative(weight, "policy weight")
-
-    def composed(job: JobView, state: SchedulerView, executor_index: int) -> float:
-        return sum(w * policy(job, state, executor_index) for w, policy in weighted)
-
-    return composed
+    return ComposedPolicy(tuple(weighted))
 
 
 #: Registry of named policies usable from experiment configuration.

@@ -17,6 +17,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional
 
+from repro.core.candidates import CandidateIndex
 from repro.core.executor import FillExecutionEstimate, FillJobExecutor
 from repro.core.policies import JobView, SchedulerView, SchedulingPolicy, sjf_policy
 from repro.models.base import ModelSpec
@@ -203,6 +204,31 @@ class FillJobScheduler:
         # cache semantics -- so it is a genuine oracle for shared-cache
         # keying bugs, at pre-optimisation cost.
         self._private_estimates: Dict[tuple, Optional[FillExecutionEstimate]] = {}
+        # Class tables: jobs sharing (model_name, job_type) share estimates
+        # on every executor, so feasibility and seconds-per-sample are
+        # per-*class* state, computed once.  ``exec_classes`` inverts the
+        # table into per-executor feasibility sets for the dispatch index.
+        self._class_times: Dict[tuple, List[tuple]] = {}
+        self._class_exec: Dict[tuple, Dict[int, tuple]] = {}
+        self._class_fits: Dict[tuple, bool] = {}
+        self.exec_classes: Dict[int, set] = {idx: set() for idx in self._executor_order}
+        # Memoised policy-facing occupancy view: rebuilt only when the
+        # clock moved or any executor's busy_until changed since.
+        self._state_version = 0
+        self._state_view_memo: Optional[tuple] = None
+        # The incremental candidate index over this scheduler's own queue
+        # (arrival-order submissions plus preemption/failure re-queues).
+        self._index: Optional[CandidateIndex] = (
+            CandidateIndex(
+                self,
+                policy,
+                view_provider=self.job_view,
+                samples_provider=self._queued_samples,
+                state_provider=self.scheduler_view,
+            )
+            if use_cache
+            else None
+        )
 
     # -- submission -------------------------------------------------------------
 
@@ -216,6 +242,8 @@ class FillJobScheduler:
             record.state = FillJobState.REJECTED
             return record
         self._queue.append(job.job_id)
+        if self._index is not None:
+            self._index.add(job)
         return record
 
     # -- predictions -------------------------------------------------------------
@@ -239,12 +267,54 @@ class FillJobScheduler:
         model = self.model_resolver(job.model_name)
         return self._estimate(executor_index, model, job.job_type)
 
+    # -- job classes --------------------------------------------------------------
+
+    def ensure_class(self, model_name: str, job_type: JobType) -> tuple:
+        """Memoise the per-executor timing table of one job class.
+
+        A *class* is a ``(model_name, job_type)`` pair: all its jobs share
+        one estimate per executor, so feasibility and the
+        ``(samples_per_cycle, cycle_period)`` timing pair are class-wide.
+        Infeasible executors are marked with ``samples_per_cycle = -1``.
+        Only used on the cached fast path.
+        """
+        key = (model_name, job_type)
+        if key in self._class_times:
+            return key
+        model = self.model_resolver(model_name)
+        times: List[tuple] = []
+        exec_map: Dict[int, tuple] = {}
+        for idx in self._executor_order:
+            estimate = self._estimate(idx, model, job_type)
+            if estimate is None or estimate.samples_per_cycle <= 0:
+                times.append((idx, -1.0, 0.0))
+            else:
+                pair = (estimate.samples_per_cycle, estimate.cycle_period)
+                times.append((idx,) + pair)
+                exec_map[idx] = pair
+                self.exec_classes[idx].add(key)
+        self._class_times[key] = times
+        self._class_exec[key] = exec_map
+        self._class_fits[key] = bool(exec_map)
+        return key
+
+    def class_feasible(self, key: tuple) -> bool:
+        """Whether the (ensured) class fits at least one executor."""
+        return self._class_fits[key]
+
+    def class_exec_times(self, key: tuple) -> Dict[int, tuple]:
+        """Feasible executors of the class, with their timing pairs."""
+        return self._class_exec[key]
+
     def fits_any(self, job: FillJob) -> bool:
         """Whether at least one executor can ever run the job.
 
-        Short-circuits at the first finite estimate instead of pricing the
-        job on every executor the way :meth:`processing_times` does.
+        On the cached path this is one class-table lookup; the brute-force
+        mode short-circuits at the first finite estimate instead of
+        pricing the job on every executor.
         """
+        if self.use_cache:
+            return self._class_fits[self.ensure_class(job.model_name, job.job_type)]
         model = self.model_resolver(job.model_name)
         for idx in self._executor_order:
             estimate = self._estimate(idx, model, job.job_type)
@@ -268,11 +338,21 @@ class FillJobScheduler:
                 return cached
         samples = job.num_samples if num_samples is None else num_samples
         times: Dict[int, float] = {}
-        for idx in self.executors:
-            estimate = self.estimate_for(job, idx)
-            times[idx] = (
-                float("inf") if estimate is None else estimate.processing_time(samples)
-            )
+        if self.use_cache:
+            # Same arithmetic as FillExecutionEstimate.processing_time,
+            # sourced from the class table instead of per-job estimate
+            # lookups (bit-identical; the equivalence tests prove it).
+            key = self.ensure_class(job.model_name, job.job_type)
+            if not samples > 0 and self._class_fits[key]:
+                check_positive(samples, "num_samples")
+            for idx, spc, period in self._class_times[key]:
+                times[idx] = float("inf") if spc <= 0 else (samples / spc) * period
+        else:
+            for idx in self.executors:
+                estimate = self.estimate_for(job, idx)
+                times[idx] = (
+                    float("inf") if estimate is None else estimate.processing_time(samples)
+                )
         if num_samples is None and self.use_cache:
             self._full_times[job.job_id] = times
         return times
@@ -347,12 +427,30 @@ class FillJobScheduler:
         self._views.pop(job_id, None)
         self._full_times.pop(job_id, None)
 
+    def _queued_samples(self, job: FillJob) -> float:
+        """Samples a dispatch of the queued job would actually run."""
+        record = self.records.get(job.job_id)
+        return job.num_samples if record is None else record.samples_remaining
+
     def scheduler_view(self, now: float) -> SchedulerView:
-        """The policy-facing view of current executor occupancy."""
-        return SchedulerView(
+        """The policy-facing view of current executor occupancy.
+
+        On the cached path the view is memoised until the clock moves or
+        any executor's ``busy_until`` changes (assignment, completion,
+        preemption): within one dispatch sweep the same view serves every
+        executor between assignments.
+        """
+        if self.use_cache:
+            memo = self._state_view_memo
+            if memo is not None and memo[0] == now and memo[1] == self._state_version:
+                return memo[2]
+        view = SchedulerView(
             now=now,
             rem_times={idx: st.remaining_time(now) for idx, st in self.executors.items()},
         )
+        if self.use_cache:
+            self._state_view_memo = (now, self._state_version, view)
+        return view
 
     def queued_jobs(self, now: Optional[float] = None) -> List[FillJob]:
         """Jobs currently waiting for a device (arrived by ``now`` if given)."""
@@ -428,9 +526,31 @@ class FillJobScheduler:
                 f"only queued jobs can be evicted; {job_id!r} is {record.state}"
             )
         self._queue.remove(job_id)
+        if self._index is not None:
+            self._index.remove(job_id)
         del self.records[job_id]
         self.forget_job(job_id)
         return record
+
+    def restore_progress(self, job_id: str, carried: "JobRecord") -> None:
+        """Restore banked partial progress onto a freshly-submitted record.
+
+        Used by the global scheduler when a job evicted from a departed
+        tenant is re-placed here: the parked record's remaining work and
+        banked totals replace the fresh submission's, and every memo that
+        priced the job at its full sample count (cached view, candidate
+        index entry) is invalidated so dispatch scores only the leftover.
+        """
+        record = self.records[job_id]
+        record.samples_remaining = carried.samples_remaining
+        record.flops_banked = carried.flops_banked
+        record.flops_executed = carried.flops_banked
+        record.busy_banked_seconds = carried.busy_banked_seconds
+        record.num_preemptions = carried.num_preemptions
+        self._forget_view(job_id)
+        if self._index is not None and job_id in self._index:
+            self._index.remove(job_id)
+            self._index.add(record.job)
 
     def select_job_scored(
         self, executor_index: int, now: float
@@ -439,8 +559,13 @@ class FillJobScheduler:
 
         Returns ``(None, -inf)`` when no queued job fits the device.  Used
         directly by the global scheduler, which compares this score against
-        the global backlog's best.
+        the global backlog's best.  On the cached path the answer comes
+        from the incremental candidate index (O(log n) for static-score
+        policies, a feasible-classes-only scan otherwise) instead of
+        re-scoring the whole queue.
         """
+        if self._index is not None and self._index.policy is self.policy:
+            return self._index.best_for_executor(executor_index, now)
         state_view = self.scheduler_view(now)
         best_job: Optional[FillJob] = None
         best_score = -float("inf")
@@ -474,6 +599,8 @@ class FillJobScheduler:
         proc_time = estimate.processing_time(record.samples_remaining)
         completion = now + proc_time
         self._queue.remove(job.job_id)
+        if self._index is not None:
+            self._index.remove(job.job_id)
         self._forget_view(job.job_id)
         record.state = FillJobState.RUNNING
         record.assigned_executor = executor_index
@@ -483,6 +610,7 @@ class FillJobScheduler:
         )
         ex_state.current_job_id = job.job_id
         ex_state.busy_until = completion
+        self._state_version += 1
         self._idle.discard(executor_index)
         return completion
 
@@ -501,6 +629,7 @@ class FillJobScheduler:
         record.samples_remaining = 0.0
         ex_state.current_job_id = None
         ex_state.busy_until = now
+        self._state_version += 1
         self._idle.add(executor_index)
         self._forget_view(job_id)
         self._full_times.pop(job_id, None)  # finished jobs are never re-priced
@@ -540,13 +669,17 @@ class FillJobScheduler:
         record.assigned_executor = None
         record.start_time = None
         record.num_preemptions += 1
+        # Banked progress changed the job's remaining work; the cached view
+        # must be rebuilt (and the candidate index re-scored) so re-dispatch
+        # prices only the leftover samples.
+        self._forget_view(job_id)
         self._queue.append(job_id)
+        if self._index is not None:
+            self._index.add(record.job)
         ex_state.current_job_id = None
         ex_state.busy_until = now
+        self._state_version += 1
         self._idle.add(executor_index)
-        # Banked progress changed the job's remaining work; any cached view
-        # must be rebuilt so re-dispatch prices only the leftover samples.
-        self._forget_view(job_id)
         return job_id
 
     def dispatch(self, executor_index: int, now: float) -> Optional[float]:

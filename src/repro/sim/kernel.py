@@ -24,6 +24,7 @@ by the simulators; see ``docs/scenarios.md`` for the YAML surface.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Dict, Optional
 
 from repro.sim.events import (
@@ -74,10 +75,17 @@ class FaultSpec:
 
 @dataclass(frozen=True)
 class KernelStats:
-    """Event accounting of one kernel run."""
+    """Event accounting of one kernel run.
+
+    ``timings_by_kind`` maps each event-kind value to the wall-clock
+    seconds its handlers consumed over the whole run -- the
+    profiling-grade breakdown behind ``python -m repro profile`` and the
+    ``timings_by_kind`` block of results and ``BENCH_*.json``.
+    """
 
     events_processed: int
     events_by_kind: Dict[str, int] = field(default_factory=dict)
+    timings_by_kind: Dict[str, float] = field(default_factory=dict)
 
 
 class SimKernel:
@@ -107,6 +115,11 @@ class SimKernel:
         self.last_completion = 0.0
         self.events_processed = 0
         self.events_by_kind: Dict[EventKind, int] = {}
+        # Wall-clock seconds spent in handlers, accumulated per kind.  The
+        # overhead is two perf_counter() reads per event (~100ns against
+        # per-event handler costs in the 100us..ms range), so the
+        # accumulator is always on -- every run is a profile.
+        self.timings_by_kind: Dict[EventKind, float] = {}
         self._handlers: Dict[EventKind, EventHandler] = {}
 
     # -- configuration -----------------------------------------------------------
@@ -170,6 +183,7 @@ class SimKernel:
         last event time and the last applied completion (never zero, so
         rate metrics stay well-defined).
         """
+        timings = self.timings_by_kind
         while self.queue:
             event = self.queue.pop()
             if horizon_seconds is not None and event.time > horizon_seconds:
@@ -183,7 +197,9 @@ class SimKernel:
                 raise RuntimeError(
                     f"no handler registered for event kind {event.kind.value!r}"
                 )
+            start = perf_counter()
             handler(event)
+            timings[event.kind] = timings.get(event.kind, 0.0) + (perf_counter() - start)
 
         horizon = (
             horizon_seconds
@@ -204,6 +220,12 @@ class SimKernel:
                 kind.value: count
                 for kind, count in sorted(
                     self.events_by_kind.items(), key=lambda kv: kv[0].value
+                )
+            },
+            timings_by_kind={
+                kind.value: seconds
+                for kind, seconds in sorted(
+                    self.timings_by_kind.items(), key=lambda kv: kv[0].value
                 )
             },
         )

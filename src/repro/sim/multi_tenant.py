@@ -156,6 +156,10 @@ class MultiTenantResult:
     jobs_rejected_global: int
     events_processed: int = 0
     events_by_kind: Mapping[str, int] = field(default_factory=dict)
+    #: Wall-clock seconds spent in handlers, per event kind (see
+    #: ``SimKernel``).  Excluded from ``to_dict()`` by default so result
+    #: digests and equivalence checks stay timing-independent.
+    timings_by_kind: Mapping[str, float] = field(default_factory=dict, compare=False)
 
     @property
     def num_devices(self) -> int:
@@ -172,11 +176,17 @@ class MultiTenantResult:
             / 1e12
         )
 
-    def to_dict(self) -> dict:
-        """JSON-serialisable summary (used by the CLI's ``--json`` output)."""
+    def to_dict(self, *, include_timings: bool = False) -> dict:
+        """JSON-serialisable summary (used by the CLI's ``--json`` output).
+
+        ``include_timings`` adds the wall-clock ``timings_by_kind`` block;
+        it defaults off because the default payload must stay a pure
+        function of the simulation outcome (digests compare it across
+        cache modes and PRs).
+        """
         from repro.sim.metrics import fill_metrics_dict as metrics_dict
 
-        return {
+        payload = {
             "horizon_seconds": self.horizon_seconds,
             "num_devices": self.num_devices,
             "fill_tflops_per_device": self.fill_tflops_per_device,
@@ -198,6 +208,11 @@ class MultiTenantResult:
                 for name, t in self.tenants.items()
             },
         }
+        if include_timings:
+            payload["timings_by_kind"] = {
+                kind: round(seconds, 6) for kind, seconds in self.timings_by_kind.items()
+            }
+        return payload
 
     def summary_table(self) -> Table:
         """Per-tenant rows plus an aggregate row, ready for printing."""
@@ -465,6 +480,7 @@ class MultiTenantSimulator:
             horizon,
             events_processed=stats.events_processed,
             events_by_kind=stats.events_by_kind,
+            timings_by_kind=stats.timings_by_kind,
         )
 
     # -- result assembly ---------------------------------------------------------
@@ -477,6 +493,7 @@ class MultiTenantSimulator:
         *,
         events_processed: int = 0,
         events_by_kind: Optional[Mapping[str, int]] = None,
+        timings_by_kind: Optional[Mapping[str, float]] = None,
     ) -> MultiTenantResult:
         submitted_by: Dict[str, int] = {name: 0 for name in self.tenants}
         for job in stream:
@@ -544,4 +561,5 @@ class MultiTenantSimulator:
             jobs_rejected_global=len(global_sched.rejected),
             events_processed=events_processed,
             events_by_kind=dict(events_by_kind or {}),
+            timings_by_kind=dict(timings_by_kind or {}),
         )

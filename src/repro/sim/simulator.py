@@ -55,6 +55,10 @@ class SimulationResult:
     scheduler: FillJobScheduler = field(repr=False, hash=False, compare=False)
     events_processed: int = 0
     events_by_kind: Mapping[str, int] = field(default_factory=dict)
+    #: Wall-clock seconds spent in handlers, per event kind (see
+    #: ``SimKernel``).  Excluded from ``to_dict()`` by default so result
+    #: digests and equivalence checks stay timing-independent.
+    timings_by_kind: Mapping[str, float] = field(default_factory=dict, compare=False)
 
     @property
     def fill_tflops_per_device(self) -> float:
@@ -73,12 +77,18 @@ class SimulationResult:
             self.horizon_seconds * self.num_devices
         )
 
-    def to_dict(self) -> dict:
-        """JSON-serialisable summary (mirrors ``MultiTenantResult.to_dict``)."""
+    def to_dict(self, *, include_timings: bool = False) -> dict:
+        """JSON-serialisable summary (mirrors ``MultiTenantResult.to_dict``).
+
+        ``include_timings`` adds the wall-clock ``timings_by_kind`` block;
+        it defaults off because the default payload must stay a pure
+        function of the simulation outcome (digests compare it across
+        cache modes and PRs).
+        """
         from repro.sim.metrics import fill_metrics_dict
 
         metrics = fill_metrics_dict(self.fill_metrics)
-        return {
+        payload = {
             "horizon_seconds": self.horizon_seconds,
             "num_devices": self.num_devices,
             "fill_tflops_per_device": self.fill_tflops_per_device,
@@ -87,6 +97,11 @@ class SimulationResult:
             "events_by_kind": dict(self.events_by_kind),
             "fill_metrics": metrics,
         }
+        if include_timings:
+            payload["timings_by_kind"] = {
+                kind: round(seconds, 6) for kind, seconds in self.timings_by_kind.items()
+            }
+        return payload
 
 
 class ClusterSimulator:
@@ -262,4 +277,5 @@ class ClusterSimulator:
             scheduler=scheduler,
             events_processed=stats.events_processed,
             events_by_kind=stats.events_by_kind,
+            timings_by_kind=stats.timings_by_kind,
         )

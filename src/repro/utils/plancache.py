@@ -1,0 +1,208 @@
+"""Content-addressed persistent cache for fill-job execution estimates.
+
+The in-process shared estimate caches (:mod:`repro.core.executor`) make
+plan searches free *within* one process, but every `repro sweep` worker
+and every fresh `repro bench`/`repro run` invocation still re-pays the
+profile + Algorithm-1 cold start.  An estimate is a pure function of
+``(bubble cycle, device, PipeFill config, efficiency model, model spec,
+job type)`` -- all frozen value objects -- so it can be cached *across
+processes* under a content hash of exactly those inputs.
+
+Entries live as individual pickle files under ``<cache-dir>/estimates/``
+(default ``.repro-cache/``), named by the SHA-256 of a canonical JSON
+rendering of the key.  Writes go through a temp file + ``os.replace`` so
+concurrent sweep workers can never observe a torn entry; unreadable or
+corrupt entries are treated as misses and recomputed.  A negative result
+("this job fits no configuration on this cycle") is cached too, as an
+explicit ``None``.
+
+The cache is **disabled by default** for library use (tests and direct
+imports see byte-for-byte the behaviour of the in-process caches alone);
+the CLI commands ``run``/``sweep``/``bench``/``profile`` enable it, with
+``--cache-dir``/``--no-disk-cache`` to relocate or opt out.  Loaded
+estimates are bit-identical to recomputed ones (pickle round-trips floats
+exactly), so enabling the cache never changes simulation results --
+``tests/test_plancache.py`` asserts both the hit path and the equality.
+
+Hygiene: the directory is safe to delete at any time (`rm -rf
+.repro-cache/`); there is no index to corrupt.  Keys embed a
+*code fingerprint* -- a hash of the source of every module the estimate
+computation can touch -- so any code change silently orphans all older
+entries instead of serving plans computed by a different algorithm.
+A warm cache restored onto changed code (e.g. CI's ``restore-keys``
+prefix fallback) therefore degrades to misses, never to wrong results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+#: Format epoch for the entry layout itself (pickle protocol, key shape).
+_FORMAT_VERSION = 1
+
+#: Subpackages whose source feeds the cached computation: models/profiles
+#: (the profiler), pipeline (bubble cycles, partitioning), core (plan
+#: search + estimates), hardware (device/memory models).  Deliberately a
+#: superset: over-invalidation costs one cold run; under-invalidation
+#: silently changes results.
+_FINGERPRINT_SUBPACKAGES = ("core", "hardware", "models", "pipeline")
+
+_enabled = False
+_cache_dir: Optional[Path] = None
+_code_fingerprint: Optional[str] = None
+
+#: Hit/miss/write counters since process start (or the last reset).
+_stats = {"hits": 0, "misses": 0, "writes": 0, "errors": 0}
+
+#: Canonical key JSON per pinned object (model specs and efficiency
+#: models are hashed once; the strong reference keeps ids stable).  The
+#: memo is cleared on configure() and flushed wholesale past the bound,
+#: so long-lived processes hashing many distinct objects cannot leak.
+_object_keys: Dict[int, Tuple[Any, str]] = {}
+_MAX_OBJECT_KEYS = 4096
+
+
+def configure(cache_dir, *, enabled: bool = True) -> None:
+    """Point the cache at a directory (created lazily) and switch it on/off."""
+    global _enabled, _cache_dir
+    _cache_dir = None if cache_dir is None else Path(cache_dir)
+    _enabled = bool(enabled) and _cache_dir is not None
+    _object_keys.clear()
+
+
+def code_fingerprint() -> str:
+    """Hash of the source of every module estimates are computed from.
+
+    Computed once per process by walking the fingerprinted subpackages,
+    so two processes agree on it iff they run the same code -- the
+    property that makes cross-process (and cross-restore) sharing safe.
+    """
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for sub in _FINGERPRINT_SUBPACKAGES:
+            for path in sorted((package_root / sub).rglob("*.py")):
+                digest.update(str(path.relative_to(package_root)).encode())
+                digest.update(b"\x00")
+                digest.update(path.read_bytes())
+                digest.update(b"\x00")
+        _code_fingerprint = digest.hexdigest()[:16]
+    return _code_fingerprint
+
+
+def is_enabled() -> bool:
+    """Whether lookups/writes are live."""
+    return _enabled
+
+
+def cache_dir() -> Optional[Path]:
+    """The configured cache directory (``None`` when unconfigured)."""
+    return _cache_dir
+
+
+def stats() -> Dict[str, int]:
+    """Hit/miss/write/error counters for this process."""
+    return dict(_stats)
+
+
+def reset_stats() -> None:
+    for k in _stats:
+        _stats[k] = 0
+
+
+def _canonical(value: Any) -> Any:
+    """Render a key component as JSON-stable plain data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)  # enums and other atoms; str-enums hit the str branch
+
+
+def content_key(obj: Any) -> str:
+    """Stable content hash of a (frozen dataclass) key component.
+
+    Memoised per object identity with the object pinned, so repeated
+    estimate lookups hash each cycle/model/config exactly once.
+    """
+    entry = _object_keys.get(id(obj))
+    if entry is not None and entry[0] is obj:
+        return entry[1]
+    text = json.dumps(_canonical(obj), sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(text.encode()).hexdigest()
+    if len(_object_keys) >= _MAX_OBJECT_KEYS:
+        _object_keys.clear()  # bound the pinned-object memo (cheap to refill)
+    _object_keys[id(obj)] = (obj, digest)
+    return digest
+
+
+def _entry_path(key_parts: Tuple[str, ...]) -> Path:
+    assert _cache_dir is not None
+    text = "/".join((f"v{_FORMAT_VERSION}", code_fingerprint()) + key_parts)
+    digest = hashlib.sha256(text.encode()).hexdigest()
+    return _cache_dir / "estimates" / f"{digest}.pkl"
+
+
+def get(key_parts: Tuple[str, ...]) -> Tuple[bool, Any]:
+    """Look an entry up; returns ``(hit, value)``.
+
+    A missing, unreadable or corrupt file is a miss (never an error for
+    the caller); ``value`` may legitimately be ``None`` on a hit.
+    """
+    if not _enabled:
+        return False, None
+    path = _entry_path(key_parts)
+    try:
+        with open(path, "rb") as fh:
+            value = pickle.load(fh)
+    except FileNotFoundError:
+        _stats["misses"] += 1
+        return False, None
+    except Exception:
+        _stats["misses"] += 1
+        _stats["errors"] += 1
+        return False, None
+    _stats["hits"] += 1
+    return True, value
+
+
+def put(key_parts: Tuple[str, ...], value: Any) -> None:
+    """Store an entry atomically (best effort; IO errors are swallowed)."""
+    if not _enabled:
+        return
+    path = _entry_path(key_parts)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except Exception:
+        # Best effort means *any* failure (IO, an unpicklable estimate
+        # component, ...) degrades to "not cached", never to a crash the
+        # uncached run would not have had.
+        _stats["errors"] += 1
+        return
+    _stats["writes"] += 1

@@ -20,6 +20,28 @@ from repro.sim.mainjob import AnalyticMainJob
 from repro.utils.units import GIB
 
 
+@pytest.fixture(autouse=True)
+def _plancache_isolation(request, tmp_path_factory, monkeypatch):
+    """Keep the persistent plan cache out of the repository during tests.
+
+    The CLI commands enable the disk cache at ``.repro-cache`` by default;
+    under pytest that default is redirected to a temp directory, and the
+    module-level switch is reset afterwards so a CLI test can never leak
+    an enabled cache into library tests.
+    """
+    import repro.cli as cli
+    from repro.utils import plancache
+
+    monkeypatch.setattr(
+        cli,
+        "DEFAULT_CACHE_DIR",
+        str(tmp_path_factory.mktemp("repro-cache")),
+        raising=True,
+    )
+    yield
+    plancache.configure(None, enabled=False)
+
+
 @pytest.fixture(scope="session")
 def bert_base_model():
     """BERT-base fill-job model."""

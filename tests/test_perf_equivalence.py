@@ -33,9 +33,11 @@ from repro.utils.units import GIB
 
 SCENARIO_DIR = Path(__file__).resolve().parent.parent / "scenarios"
 
-#: The shipped scenarios the equivalence guarantee is asserted over
-#: (faulty_cluster and elastic_tenants exercise the dynamic-event paths:
-#: down executors, tenant churn and open-loop arrivals).
+#: The shipped scenarios the optimized-vs-brute-force equivalence is
+#: asserted over (faulty_cluster and elastic_tenants exercise the
+#: dynamic-event paths: down executors, tenant churn and open-loop
+#: arrivals).  large_cluster is covered by the golden digests below
+#: instead: its brute-force run is too slow for tier-1.
 SHIPPED_SCENARIOS = [
     "smoke",
     "quickstart",
@@ -44,6 +46,37 @@ SHIPPED_SCENARIOS = [
     "faulty_cluster",
     "elastic_tenants",
 ]
+
+#: Golden result digests of every shipped scenario, captured on the
+#: dispatch-sweep implementation *before* the incremental candidate
+#: indexes landed (PR 4).  They pin the simulation outcome bit-for-bit:
+#: any change to dispatch order, scoring arithmetic or tie-breaking -- in
+#: the heaps, the inlined scans or the class tables -- flips a digest.
+#: Regenerate only for *intentional* semantic changes, with:
+#:   PYTHONPATH=src python - <<'EOF'
+#:   import json, hashlib
+#:   from repro.sim.scenario import load_scenario, run_scenario
+#:   for n in [...]:
+#:       d = run_scenario(load_scenario(f"scenarios/{n}.yaml")).to_dict()
+#:       text = json.dumps(d, sort_keys=True).encode()
+#:       print(n, hashlib.sha256(text).hexdigest()[:16])
+#:   EOF
+GOLDEN_DIGESTS = {
+    "smoke": "d6343cb1485d95a3",
+    "quickstart": "cd8bb06e40c1a820",
+    "multi_tenant": "98166af63411c397",
+    "deadline_rush": "28f3652f17702c41",
+    "faulty_cluster": "2f4a8c424d2b2c51",
+    "elastic_tenants": "bee74b546615ada3",
+    "large_cluster": "a9d0b433aef863d8",
+}
+
+
+def result_digest(payload) -> str:
+    """The bench harness's digest (shared, so the two can never diverge)."""
+    from repro.bench.harness import _digest
+
+    return _digest(payload)
 
 
 def make_executors(durations=(1.5, 1.5), period=4.0):
@@ -76,6 +109,21 @@ class TestScenarioEquivalence:
         assert json.dumps(optimized, sort_keys=True) == json.dumps(
             brute, sort_keys=True
         )
+
+
+class TestGoldenDigests:
+    """Every shipped scenario reproduces its pre-index golden digest."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_DIGESTS))
+    def test_scenario_matches_golden_digest(self, name):
+        spec = load_scenario(SCENARIO_DIR / f"{name}.yaml")
+        assert result_digest(run_scenario(spec).to_dict()) == GOLDEN_DIGESTS[name]
+
+    def test_every_shipped_scenario_has_a_golden(self):
+        shipped = {p.stem for p in SCENARIO_DIR.glob("*.yaml")}
+        # xlarge_cluster is validated (CI) and benchmarked (`bench --size
+        # xlarge`) but too large for a tier-1 golden run.
+        assert shipped - {"xlarge_cluster"} == set(GOLDEN_DIGESTS)
 
 
 class TestExecutorCacheCorrectness:

@@ -1,0 +1,97 @@
+"""Tests for the per-event-kind timing accumulator and `repro profile`.
+
+The kernel times every handler invocation (always on -- the overhead is
+two clock reads per event) and surfaces the accumulator as
+``timings_by_kind`` in kernel stats, simulation results, bench payloads
+and the ``repro profile`` command.  Timings must never leak into the
+digest-bearing default ``to_dict()`` payloads, which are compared across
+cache modes and PRs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.sim.events import EventKind
+from repro.sim.kernel import SimKernel
+from repro.sim.scenario import load_scenario, run_scenario
+
+
+class TestKernelTimings:
+    def test_timings_cover_exactly_the_processed_kinds(self):
+        kernel = SimKernel()
+        seen = []
+        kernel.on(EventKind.JOB_ARRIVAL, seen.append)
+        kernel.on(EventKind.JOB_COMPLETION, seen.append)
+        kernel.schedule(1.0, EventKind.JOB_ARRIVAL, job_id="a")
+        kernel.schedule(2.0, EventKind.JOB_COMPLETION, job_id="a", executor_index=0)
+        kernel.schedule(3.0, EventKind.JOB_ARRIVAL, job_id="b")
+        kernel.run()
+        stats = kernel.stats()
+        assert set(stats.timings_by_kind) == set(stats.events_by_kind)
+        assert all(seconds >= 0.0 for seconds in stats.timings_by_kind.values())
+        assert stats.events_by_kind == {"job_arrival": 2, "job_completion": 1}
+
+    def test_scenario_results_carry_timings(self):
+        result = run_scenario(load_scenario("scenarios/smoke.yaml"))
+        assert set(result.timings_by_kind) == set(result.events_by_kind)
+        assert sum(result.timings_by_kind.values()) > 0.0
+
+    def test_default_to_dict_is_timing_free(self):
+        result = run_scenario(load_scenario("scenarios/smoke.yaml"))
+        assert "timings_by_kind" not in result.to_dict()
+        with_timings = result.to_dict(include_timings=True)
+        assert set(with_timings["timings_by_kind"]) == set(result.events_by_kind)
+        # The timing block is strictly additive over the digest payload.
+        stripped = dict(with_timings)
+        stripped.pop("timings_by_kind")
+        assert json.dumps(stripped, sort_keys=True) == json.dumps(
+            result.to_dict(), sort_keys=True
+        )
+
+
+class TestProfileCommand:
+    def test_profile_emits_per_kind_timings(self, capsys, tmp_path):
+        out = tmp_path / "profile.json"
+        exit_code = main(["profile", "scenarios/smoke.yaml", "--json", str(out)])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "job_arrival" in captured and "plan cache" in captured
+        payload = json.loads(out.read_text())
+        assert payload["scenario"] == "smoke"
+        assert set(payload["timings_by_kind"]) == set(payload["events_by_kind"])
+        assert payload["events_processed"] == sum(payload["events_by_kind"].values())
+        assert payload["plan_cache"]["enabled"] is True
+
+    def test_profile_respects_no_disk_cache(self, capsys, tmp_path):
+        out = tmp_path / "profile.json"
+        exit_code = main(
+            ["profile", "scenarios/smoke.yaml", "--no-disk-cache", "--json", str(out)]
+        )
+        assert exit_code == 0
+        assert json.loads(out.read_text())["plan_cache"]["enabled"] is False
+
+    def test_run_json_includes_timings(self, tmp_path):
+        out = tmp_path / "result.json"
+        assert main(["run", "scenarios/smoke.yaml", "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert set(payload["timings_by_kind"]) == set(payload["events_by_kind"])
+
+
+class TestBenchPayloadBlocks:
+    def test_bench_case_carries_timings_and_cache_stats(self):
+        from repro.bench.harness import BenchCase, run_case
+        from repro.bench.workloads import SIZES
+
+        case = BenchCase(
+            "single_tenant", SIZES["smoke"], multi_tenant=False, preemption=False
+        )
+        timing = run_case(case)
+        payload = timing.to_dict()
+        assert set(payload["timings_by_kind"]) == set(payload["events_by_kind"])
+        assert set(payload["plan_cache"]) == {"hits", "misses", "writes", "errors"}
+        # The digest hashes the simulation outcome only; wall-clock noise
+        # in the timing block must not perturb it (cross-checked by the
+        # plancache and equivalence suites).
+        assert "timings_by_kind" not in payload["result_digest"]
