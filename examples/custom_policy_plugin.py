@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Write, register and sweep a custom scheduling policy + preemption rule.
+
+This is the extension walk-through for the library API (`repro.api`):
+
+1. register a custom scheduling policy with ``@register_policy`` — the
+   name immediately works in scenario files, ``Experiment`` builders,
+   sweep grids and the CLI;
+2. register a custom preemption rule the same way;
+3. build an :class:`~repro.api.Experiment` programmatically and compare
+   the custom policy against the shipped ones in one sweep;
+4. show the equivalent *installable* plugin: the same registrations
+   shipped by a separate package through the ``repro.plugins``
+   entry-point group (see ``examples/plugins/repro-toy-plugin/``).
+
+Run with ``python examples/custom_policy_plugin.py``.
+"""
+
+from __future__ import annotations
+
+from repro.api import Experiment, register_policy, register_preemption_rule
+
+# ----------------------------------------------------------------------------------
+# 1. A custom policy: value-density scheduling.  Policies are plain
+#    callables ``f(job, state, executor_index) -> score`` (highest score
+#    runs next); registration gives the callable a *name*, which is what
+#    sweep grids, scenario files and result payloads carry.
+# ----------------------------------------------------------------------------------
+
+
+@register_policy("deadline-density")
+def deadline_density_policy(job, state, executor_index):
+    """Prefer short jobs, boosted when a deadline is closing in.
+
+    Score is 1/processing-time (SJF) multiplied by an urgency factor that
+    grows as the job's slack shrinks — a smooth blend of SJF and
+    least-slack-first rather than a weighted composition.
+    """
+    proc = job.proc_times.get(executor_index, job.min_proc_time)
+    if proc == float("inf"):
+        proc = job.min_proc_time
+    base = 1.0 / (proc + 1e-12)
+    if job.deadline is None:
+        return base
+    slack = max(0.0, job.deadline - state.now - proc)
+    urgency = 1.0 + 1.0 / (1.0 + slack / 60.0)  # 2x boost at zero slack
+    return base * urgency
+
+
+# ----------------------------------------------------------------------------------
+# 2. A custom preemption rule: only preempt deadline-free victims, and
+#    only when the arrival would otherwise miss its deadline.
+# ----------------------------------------------------------------------------------
+
+
+@register_preemption_rule("polite-deadline")
+def polite_deadline_rule(arriving, running, state):
+    """Preempt only victims without deadlines, for arrivals that need it."""
+    if arriving.deadline is None or running.deadline is not None:
+        return 0.0
+    proc_here = arriving.proc_times.get(running.executor_index, float("inf"))
+    if proc_here == float("inf"):
+        return 0.0
+    wait = running.remaining_time(state.now)
+    would_miss_waiting = state.now + wait + proc_here > arriving.deadline
+    can_make_it_now = state.now + proc_here <= arriving.deadline
+    if not (would_miss_waiting and can_make_it_now):
+        return 0.0
+    return wait + 1e-12  # favour the victim blocking the device longest
+
+
+# ----------------------------------------------------------------------------------
+# 3. Use both from a programmatically-built experiment.
+# ----------------------------------------------------------------------------------
+
+
+SCENARIO = {
+    "name": "custom-policy-demo",
+    "horizon_seconds": 1800,
+    "tenants": [
+        {
+            "name": "llm-5b",
+            "model": "gpt-5b",
+            "parallel": {
+                "tensor_parallel": 1,
+                "pipeline_stages": 16,
+                "data_parallel": 1,
+                "microbatch_size": 2,
+                "global_batch_size": 16,
+            },
+            "workload": {
+                "arrival_rate_per_hour": 120,
+                "models": ["bert-base", "efficientnet"],
+                "deadline_fraction": 0.5,
+            },
+        }
+    ],
+}
+
+
+def main() -> None:
+    exp = Experiment.from_dict(SCENARIO).with_preemption("polite-deadline")
+
+    print("Sweeping the registered custom policy against shipped ones:\n")
+    grid = exp.sweep(
+        parameter="policy",
+        values=["sjf", "slack+sjf", "deadline-density"],
+        workers=1,
+    )
+    for point in grid:
+        agg = point.aggregate
+        hit = (
+            f"{agg['deadline_hit_rate']:.0%}" if agg["deadlines_total"] else "n/a"
+        )
+        print(
+            f"  {point.value:18s} completed={agg['jobs_completed']:3d} "
+            f"avg JCT={agg['average_jct']:6.1f}s deadline hit rate={hit}"
+        )
+
+    payload = grid.to_dict()
+    assert payload["schema_version"] == 1
+    print("\nSweep payload validates against frozen schema v1.")
+    print(
+        "\nTo ship these registrations as an installable plugin, declare\n"
+        '  [project.entry-points."repro.plugins"]\n'
+        '  my-plugin = "my_package.plugin_module"\n'
+        "in your package (see examples/plugins/repro-toy-plugin/) -- repro\n"
+        "discovers installed plugins automatically on first name lookup."
+    )
+
+
+if __name__ == "__main__":
+    main()

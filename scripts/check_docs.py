@@ -1,10 +1,11 @@
 #!/usr/bin/env python
 """Docs check: documented python code blocks and the examples execute.
 
-Extracts every fenced ```python block from README.md and docs/scenarios.md
-and runs each one in a fresh interpreter (with ``src`` on the path), then
-runs ``examples/quickstart.py``.  Any failure prints the offending snippet
-and exits non-zero.  Used by CI and runnable locally:
+Extracts every fenced ```python block from README.md, docs/scenarios.md
+and docs/api.md and runs each one in a fresh interpreter (with ``src`` on
+the path), then runs ``examples/quickstart.py`` and
+``examples/custom_policy_plugin.py``.  Any failure prints the offending
+snippet and exits non-zero.  Used by CI and runnable locally:
 
     python scripts/check_docs.py
 """
@@ -21,8 +22,15 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 #: Documents whose ```python blocks must execute.  README blocks must
 #: exist (the quickstart is load-bearing); other docs may have none.
-DOCS = [REPO_ROOT / "README.md", REPO_ROOT / "docs" / "scenarios.md"]
-EXAMPLES = [REPO_ROOT / "examples" / "quickstart.py"]
+DOCS = [
+    REPO_ROOT / "README.md",
+    REPO_ROOT / "docs" / "scenarios.md",
+    REPO_ROOT / "docs" / "api.md",
+]
+EXAMPLES = [
+    REPO_ROOT / "examples" / "quickstart.py",
+    REPO_ROOT / "examples" / "custom_policy_plugin.py",
+]
 
 BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 

@@ -23,7 +23,14 @@ The package is organised in layers:
   distribution, Alibaba-style trace generation and per-tenant arrival
   streams.
 * :mod:`repro.experiments` -- one harness per paper table/figure.
-* :mod:`repro.cli` -- the ``python -m repro run|sweep|report`` command line.
+* :mod:`repro.api` -- the stable public library API: the
+  :class:`~repro.api.Experiment` facade, typed results with a versioned
+  JSON schema, and streaming run observers.  **Embed through this.**
+* :mod:`repro.registry` -- unified plugin registries (policies,
+  preemption rules, arrival processes, fault models, bench sizes) with
+  ``repro.plugins`` entry-point discovery.
+* :mod:`repro.cli` -- the ``python -m repro run|sweep|report`` command
+  line, a thin shell over :mod:`repro.api`.
 """
 
 from repro._version import __version__

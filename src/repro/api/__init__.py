@@ -1,0 +1,84 @@
+"""``repro.api`` -- the stable, embeddable public API of the simulator.
+
+This package is the supported surface for programmatic users; everything
+the CLI can do routes through it:
+
+* :class:`Experiment` -- load / build / refine / run scenarios
+  (``from_yaml``, ``from_dict``, ``from_spec``, ``with_*`` builders,
+  ``run``, ``sweep``, ``profile``, ``iter_events``).
+* :class:`RunResult` / :class:`SweepResult` / :class:`ProfileResult` --
+  typed outcomes whose ``to_dict()`` payloads carry ``schema_version``
+  and are frozen as schema v1 (:mod:`repro.api.schema` validates them).
+* :class:`RunObserver` / :class:`EventStream` -- streaming lifecycle
+  callbacks and step-wise iteration over a live simulation.
+* :mod:`repro.registry` (re-exported helpers) -- decorator registration
+  of policies, preemption rules, arrival processes, fault models and
+  bench sizes, plus ``repro.plugins`` entry-point discovery for
+  third-party packages.
+
+Quick start::
+
+    from repro.api import Experiment
+
+    result = Experiment.from_yaml("scenarios/quickstart.yaml").run()
+    print(result.summary_table().to_ascii())
+    payload = result.to_dict()          # schema_version == 1
+
+Compatibility: ``repro.sim.scenario.run_scenario`` / ``load_scenario``
+remain as deprecation shims over this facade and produce bit-identical
+results.
+"""
+
+from repro.api.experiment import EventStream, Experiment
+from repro.api.results import (
+    SCHEMA_VERSION,
+    ProfileResult,
+    RunResult,
+    SweepPoint,
+    SweepResult,
+    result_digest,
+)
+from repro.api.schema import (
+    SchemaError,
+    validate_bench_payload,
+    validate_profile_payload,
+    validate_run_payload,
+    validate_sweep_payload,
+)
+from repro.registry import (
+    ENTRY_POINT_GROUP,
+    load_entry_point_plugins,
+    register_arrival_process,
+    register_bench_size,
+    register_fault_model,
+    register_policy,
+    register_preemption_rule,
+)
+from repro.sim.observers import RunObserver
+from repro.sim.scenario import ScenarioError, ScenarioSpec
+
+__all__ = [
+    "Experiment",
+    "EventStream",
+    "RunObserver",
+    "RunResult",
+    "SweepResult",
+    "SweepPoint",
+    "ProfileResult",
+    "SCHEMA_VERSION",
+    "result_digest",
+    "SchemaError",
+    "validate_run_payload",
+    "validate_sweep_payload",
+    "validate_profile_payload",
+    "validate_bench_payload",
+    "ScenarioError",
+    "ScenarioSpec",
+    "ENTRY_POINT_GROUP",
+    "load_entry_point_plugins",
+    "register_policy",
+    "register_preemption_rule",
+    "register_arrival_process",
+    "register_fault_model",
+    "register_bench_size",
+]

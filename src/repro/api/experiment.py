@@ -1,0 +1,466 @@
+"""The :class:`Experiment` facade: the one programmatic entry point.
+
+An ``Experiment`` is an immutable handle on a scenario -- loaded from
+YAML/JSON, built from a raw dict, or wrapped around an existing
+:class:`~repro.sim.scenario.ScenarioSpec` -- with builder-style
+refinement and every execution mode of the CLI::
+
+    from repro.api import Experiment
+
+    exp = (
+        Experiment.from_yaml("scenarios/multi_tenant.yaml")
+        .with_policy("slack+sjf")
+        .with_override("tenants.0.workload.arrival_rate_per_hour", 240)
+    )
+    result = exp.run()                     # -> RunResult
+    grid = exp.sweep(parameter="policy", values=["sjf", "edf+sjf"])
+    profile = exp.profile()                # -> ProfileResult
+    for event in exp.iter_events():        # step-wise embedding
+        ...
+
+Builder methods return *new* experiments (the receiver is never
+mutated), so refinements fork cheaply and scenario state can never leak
+between runs.  Validation is lazy -- ``validate()`` (or the first
+``run``/``sweep``/``profile``) parses the raw document into a
+:class:`~repro.sim.scenario.ScenarioSpec` and raises
+:class:`~repro.sim.scenario.ScenarioError` on malformed input.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+from repro import registry
+from repro.api.results import ProfileResult, RunResult, SweepPoint, SweepResult
+from repro.sim.events import Event
+from repro.sim.multi_tenant import MultiTenantResult, MultiTenantSimulator
+from repro.sim.observers import RunObserver
+from repro.sim.scenario import (
+    ScenarioError,
+    ScenarioSpec,
+    build_tenants,
+    load_scenario_dict,
+    set_by_path,
+    spec_to_dict,
+)
+from repro.utils import plancache
+
+
+class EventStream:
+    """Pull-style run handle: iterate simulation events one at a time.
+
+    Yields every processed :class:`~repro.sim.events.Event` *after* its
+    state changes were applied.  When the stream is exhausted, ``result``
+    holds the :class:`~repro.api.results.RunResult`; ``finish()`` drains
+    whatever remains and returns it (abandoning a stream midway simply
+    leaves the simulation unfinished).
+    """
+
+    def __init__(
+        self, events: Iterator[Event], wrap: Callable[[MultiTenantResult], RunResult]
+    ) -> None:
+        self._events = events
+        self._wrap = wrap
+        self.result: Optional[RunResult] = None
+
+    def __iter__(self) -> "EventStream":
+        return self
+
+    def __next__(self) -> Event:
+        try:
+            return next(self._events)
+        except StopIteration as stop:
+            if self.result is None and stop.value is not None:
+                self.result = self._wrap(stop.value)
+            raise StopIteration from None
+
+    def finish(self) -> RunResult:
+        """Drain the remaining events and return the final result."""
+        for _ in self:
+            pass
+        assert self.result is not None
+        return self.result
+
+    def close(self) -> None:
+        """Abandon the stream (the partial simulation is discarded)."""
+        self._events.close()
+
+
+def _sweep_worker(
+    payload: Tuple[Dict[str, Any], str, Any, Optional[str], Tuple]
+) -> Dict[str, Any]:
+    """Run one sweep grid point (executed in a worker process).
+
+    ``cache_dir`` (``None`` = disabled) points every worker at the same
+    persistent plan cache, so the grid pays each plan search once instead
+    of once per worker.  ``registrations`` replays the parent's
+    policy/preemption registrations referenced by the grid, so custom
+    registered callables resolve even under the ``spawn``/``forkserver``
+    start methods, where workers re-import ``repro`` from scratch.
+    """
+    raw, parameter, value, cache_dir, registrations = payload
+    plancache.configure(cache_dir, enabled=cache_dir is not None)
+    for kind, name, obj in registrations:
+        target = registry.policies if kind == "policy" else registry.preemption_rules
+        target.register(name, obj, overwrite=True)
+    set_by_path(raw, parameter, value)
+    raw.pop("sweep", None)
+    result = Experiment.from_dict(raw).run()
+    return {"parameter": parameter, "value": value, **result.raw.to_dict()}
+
+
+def _shippable_registrations(
+    spec: ScenarioSpec, parameter: str, values: Sequence[Any]
+) -> Tuple[Tuple[str, str, Callable], ...]:
+    """The (kind, name, callable) triples sweep workers must replay.
+
+    Covers the base spec's policy/preemption plus, when the swept
+    parameter IS one of those fields, every string value of the grid.
+    Entries that cannot pickle (lambdas, closures) are skipped: a forked
+    worker inherits them anyway, and a spawned one could never receive
+    them -- the pre-pool pickling error would be the same failure, later
+    and N times over.
+    """
+    import pickle
+
+    wanted = {("policy", spec.policy)}
+    if spec.preemption is not None:
+        wanted.add(("preemption", spec.preemption))
+    if parameter in ("policy", "preemption"):
+        wanted.update((parameter, v) for v in values if isinstance(v, str))
+    shipped = []
+    for kind, name in sorted(wanted):
+        target = registry.policies if kind == "policy" else registry.preemption_rules
+        if name not in target:
+            continue
+        obj = target.get(name)
+        try:
+            pickle.dumps(obj)
+        except Exception:
+            continue
+        shipped.append((kind, registry.Registry._key(name), obj))
+    return tuple(shipped)
+
+
+class Experiment:
+    """An immutable, runnable scenario (see the module docstring)."""
+
+    def __init__(
+        self,
+        raw: Optional[Mapping[str, Any]] = None,
+        *,
+        spec: Optional[ScenarioSpec] = None,
+    ) -> None:
+        if raw is None and spec is None:
+            raise ValueError(
+                "Experiment needs a raw scenario dict or a ScenarioSpec; use "
+                "Experiment.from_yaml / .from_dict / .from_spec"
+            )
+        self._raw: Optional[Dict[str, Any]] = (
+            copy.deepcopy(dict(raw)) if raw is not None else None
+        )
+        self._spec: Optional[ScenarioSpec] = spec
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_yaml(cls, path: Union[str, Path]) -> "Experiment":
+        """Load a ``.yaml``/``.yml``/``.json`` scenario file."""
+        return cls(load_scenario_dict(path))
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "Experiment":
+        """Wrap a raw scenario document (deep-copied; never mutated)."""
+        return cls(raw)
+
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec) -> "Experiment":
+        """Wrap an already-validated :class:`ScenarioSpec` as-is."""
+        return cls(spec=spec)
+
+    @classmethod
+    def _from_owned(cls, raw: Dict[str, Any]) -> "Experiment":
+        """Adopt a document the caller owns (skips the defensive deepcopy).
+
+        Builders fork via :meth:`to_raw` (already a fresh copy) and hand
+        the copy straight here, so a chained builder pays one copy per
+        step instead of two.
+        """
+        exp = cls.__new__(cls)
+        exp._raw = raw
+        exp._spec = None
+        return exp
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The scenario name (without forcing full validation)."""
+        if self._spec is not None:
+            return self._spec.name
+        assert self._raw is not None
+        return str(self._raw.get("name", "unnamed-scenario"))
+
+    def to_raw(self) -> Dict[str, Any]:
+        """A deep copy of the scenario document this experiment runs."""
+        if self._raw is not None:
+            return copy.deepcopy(self._raw)
+        assert self._spec is not None
+        return spec_to_dict(self._spec)
+
+    def validate(self) -> ScenarioSpec:
+        """Parse + validate, returning the :class:`ScenarioSpec`.
+
+        Raises :class:`~repro.sim.scenario.ScenarioError` on any
+        malformed field; cached, so repeated calls are free.
+        """
+        if self._spec is None:
+            assert self._raw is not None
+            self._spec = ScenarioSpec.from_dict(self._raw)
+        return self._spec
+
+    @property
+    def spec(self) -> ScenarioSpec:
+        """The validated spec (alias for :meth:`validate`)."""
+        return self.validate()
+
+    # -- builders (every method returns a NEW Experiment) --------------------------
+
+    def with_override(self, path: str, value: Any) -> "Experiment":
+        """Fork with one dotted-path override applied (``"tenants.0.model"``).
+
+        The override semantics are exactly the sweep grid's
+        (:func:`~repro.sim.scenario.set_by_path`): integer segments index
+        lists, the final segment may create a new mapping key, and
+        validation of the overridden document is deferred to
+        :meth:`validate`.
+        """
+        raw = self.to_raw()
+        set_by_path(raw, path, value)
+        return Experiment._from_owned(raw)
+
+    def with_policy(
+        self,
+        policy: Union[str, Callable],
+        *,
+        name: Optional[str] = None,
+        overwrite: bool = False,
+    ) -> "Experiment":
+        """Fork with a different scheduling policy.
+
+        Accepts a registered name (``"sjf"``) or a policy *callable*.  A
+        callable is registered on the spot -- under ``name`` or its
+        ``__name__`` -- so the experiment's scenario document, sweep
+        grids and result payloads all refer to it by that name exactly
+        like a shipped policy.  ``overwrite=True`` rebinds a name already
+        taken by a *different* object (e.g. a function redefined in a
+        notebook cell).
+        """
+        return self.with_override("policy", _ensure_registered(
+            registry.policies, policy, name, overwrite=overwrite
+        ))
+
+    def with_preemption(
+        self,
+        rule: Optional[Union[str, Callable]],
+        *,
+        name: Optional[str] = None,
+        overwrite: bool = False,
+    ) -> "Experiment":
+        """Fork with a preemption rule (name or callable); ``None`` disables."""
+        if rule is None:
+            raw = self.to_raw()
+            raw.pop("preemption", None)
+            return Experiment._from_owned(raw)
+        return self.with_override("preemption", _ensure_registered(
+            registry.preemption_rules, rule, name, overwrite=overwrite
+        ))
+
+    def with_seed(self, seed: int) -> "Experiment":
+        """Fork with a different base RNG seed."""
+        return self.with_override("seed", int(seed))
+
+    def with_horizon(self, horizon_seconds: float) -> "Experiment":
+        """Fork with a different simulation horizon."""
+        return self.with_override("horizon_seconds", float(horizon_seconds))
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(
+        self,
+        *,
+        observers: Optional[Sequence[RunObserver]] = None,
+        use_cache: bool = True,
+    ) -> RunResult:
+        """Simulate the scenario end-to-end.
+
+        ``observers`` wires streaming lifecycle callbacks into the run
+        (see :class:`repro.api.RunObserver`); without observers the
+        simulation takes the kernel's plain, branch-free loop.
+        ``use_cache=False`` selects the brute-force reference scheduler
+        mode the equivalence tests compare against.
+        """
+        spec = self.validate()
+        simulator = self._build_simulator(spec, use_cache)
+        raw_result = simulator.run(
+            faults=spec.faults,
+            horizon_seconds=spec.horizon_seconds,
+            observers=observers,
+        )
+        return RunResult(scenario=spec.name, spec=spec, raw=raw_result)
+
+    def iter_events(
+        self,
+        *,
+        observers: Optional[Sequence[RunObserver]] = None,
+        use_cache: bool = True,
+    ) -> EventStream:
+        """Run step-wise: an :class:`EventStream` yielding each event.
+
+        The generator twin of :meth:`run` for embedding loops that need
+        control between events (animations, coupled co-simulations,
+        early-exit searches)::
+
+            stream = exp.iter_events()
+            for event in stream:
+                ...                        # state is already applied
+            print(stream.result.digest())  # same result as exp.run()
+        """
+        spec = self.validate()
+        simulator = self._build_simulator(spec, use_cache)
+        events = simulator.iter_run(
+            faults=spec.faults,
+            horizon_seconds=spec.horizon_seconds,
+            observers=observers,
+        )
+        return EventStream(
+            events,
+            lambda raw_result: RunResult(
+                scenario=spec.name, spec=spec, raw=raw_result
+            ),
+        )
+
+    def sweep(
+        self,
+        *,
+        parameter: Optional[str] = None,
+        values: Optional[Sequence[Any]] = None,
+        workers: int = 0,
+    ) -> SweepResult:
+        """Re-run the scenario across a parameter grid, in parallel.
+
+        The grid comes from ``parameter``/``values`` or, when omitted,
+        the scenario's own ``sweep`` block.  **Every grid point is
+        validated before any worker spawns** -- a typo'd override path or
+        an invalid value raises :class:`ScenarioError` immediately
+        instead of after N worker processes fan out.
+
+        ``workers`` defaults to ``min(len(values), 4)``; ``1`` runs
+        in-process.  Workers inherit the caller's persistent plan-cache
+        configuration, so the grid pays each plan search once.
+        """
+        spec = self.validate()
+        if parameter is None:
+            if spec.sweep is None:
+                raise ScenarioError(
+                    "scenario has no 'sweep' block; pass parameter= and values="
+                )
+            parameter, values = spec.sweep.parameter, list(spec.sweep.values)
+        if not values:
+            raise ScenarioError("no sweep values given")
+
+        base = self.to_raw()
+        # Fail fast: apply + validate every point up front (validation is
+        # pure dict work -- no models or systems are built).
+        for value in values:
+            point = copy.deepcopy(base)
+            try:
+                set_by_path(point, parameter, value)
+            except (ScenarioError, LookupError) as exc:
+                raise ScenarioError(
+                    f"sweep parameter {parameter!r} does not resolve: {exc}"
+                ) from None
+            point.pop("sweep", None)
+            ScenarioSpec.from_dict(point)
+
+        cache_dir = (
+            str(plancache.cache_dir()) if plancache.is_enabled() else None
+        )
+        registrations = _shippable_registrations(spec, parameter, values)
+        payloads = [
+            (copy.deepcopy(base), parameter, value, cache_dir, registrations)
+            for value in values
+        ]
+        workers = workers or min(len(values), 4)
+        if workers <= 1:
+            outcomes = [_sweep_worker(p) for p in payloads]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(_sweep_worker, payloads))
+        points = tuple(
+            SweepPoint(
+                parameter=o["parameter"],
+                value=o["value"],
+                payload={
+                    k: v for k, v in o.items() if k not in ("parameter", "value")
+                },
+            )
+            for o in outcomes
+        )
+        return SweepResult(scenario=spec.name, parameter=parameter, points=points)
+
+    def profile(self, *, use_cache: bool = True) -> ProfileResult:
+        """Run once and report where the simulation time went.
+
+        The kernel accumulates per-event-kind handler timings on every
+        run; profiling surfaces that accumulator next to wall-clock time
+        and the persistent plan-cache counters (reset at the start of the
+        profiled run).
+        """
+        plancache.reset_stats()
+        t0 = time.perf_counter()
+        run = self.run(use_cache=use_cache)
+        wall = time.perf_counter() - t0
+        return ProfileResult(
+            run=run,
+            wall_seconds=wall,
+            plan_cache={"enabled": plancache.is_enabled(), **plancache.stats()},
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    @staticmethod
+    def _build_simulator(spec: ScenarioSpec, use_cache: bool) -> MultiTenantSimulator:
+        return MultiTenantSimulator(
+            build_tenants(spec),
+            policy=spec.policy,
+            preemption_rule=spec.preemption,
+            use_cache=use_cache,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Experiment({self.name!r})"
+
+
+def _ensure_registered(
+    target: registry.Registry,
+    obj: Union[str, Callable],
+    name: Optional[str],
+    *,
+    overwrite: bool = False,
+) -> str:
+    """Resolve ``obj`` to a registered name, registering callables on the fly."""
+    if isinstance(obj, str):
+        target.get(obj)  # fail fast on unknown names
+        return obj
+    resolved = name or target.name_of(obj) or getattr(obj, "__name__", None)
+    if not resolved:
+        raise ValueError(
+            f"cannot derive a registry name for {obj!r}; pass name=..."
+        )
+    target.register(resolved, obj, overwrite=overwrite)  # idempotent for the same object
+    return resolved

@@ -1,0 +1,211 @@
+"""Typed, versioned results of the :class:`repro.api.Experiment` facade.
+
+Every result type serialises through ``to_dict()`` into a payload carrying
+``schema_version``; the shapes are **frozen as schema v1** (the exact JSON
+the CLI emitted before the payloads were versioned, plus the version
+marker) and structurally checked by :mod:`repro.api.schema`.  Downstream
+consumers can therefore parse the payloads without importing this
+package, and future shape changes must bump the version instead of
+silently breaking them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.sim.multi_tenant import MultiTenantResult, TenantResult
+from repro.sim.scenario import ScenarioSpec
+from repro.utils.tables import Table
+
+#: Version stamped into every ``to_dict()`` payload.  Bump only with a
+#: deliberate, documented schema change.
+SCHEMA_VERSION = 1
+
+
+def result_digest(core_payload: Mapping[str, Any]) -> str:
+    """The canonical 16-hex digest of a simulation-outcome payload.
+
+    Hashes the *simulation core* only -- the un-versioned
+    ``MultiTenantResult.to_dict()`` shape with no timings -- so digests
+    are comparable across the facade, the CLI, the deprecated shims and
+    the historical golden files, and never depend on wall-clock noise.
+    """
+    text = json.dumps(core_payload, sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one :meth:`repro.api.Experiment.run`.
+
+    Wraps the raw :class:`~repro.sim.multi_tenant.MultiTenantResult`
+    (available as ``.raw`` for full access to per-tenant schedulers) and
+    adds the scenario identity, the versioned serialization and the
+    canonical digest.
+    """
+
+    scenario: str
+    spec: ScenarioSpec
+    raw: MultiTenantResult
+
+    # -- delegated conveniences ----------------------------------------------------
+
+    @property
+    def horizon_seconds(self) -> float:
+        return self.raw.horizon_seconds
+
+    @property
+    def tenants(self) -> Mapping[str, TenantResult]:
+        return self.raw.tenants
+
+    @property
+    def aggregate(self):
+        return self.raw.aggregate
+
+    @property
+    def num_devices(self) -> int:
+        return self.raw.num_devices
+
+    @property
+    def fill_tflops_per_device(self) -> float:
+        return self.raw.fill_tflops_per_device
+
+    @property
+    def backlog_remaining(self) -> int:
+        return self.raw.backlog_remaining
+
+    @property
+    def events_processed(self) -> int:
+        return self.raw.events_processed
+
+    @property
+    def events_by_kind(self) -> Mapping[str, int]:
+        return self.raw.events_by_kind
+
+    @property
+    def timings_by_kind(self) -> Mapping[str, float]:
+        return self.raw.timings_by_kind
+
+    def summary_table(self) -> Table:
+        """Per-tenant rows plus an aggregate row, ready for printing."""
+        return self.raw.summary_table()
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_dict(self, *, include_timings: bool = False) -> Dict[str, Any]:
+        """Schema-v1 run payload (see ``docs/api.md`` for the reference)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "scenario": self.scenario,
+            **self.raw.to_dict(include_timings=include_timings),
+        }
+
+    def digest(self) -> str:
+        """Canonical digest of the simulation outcome (timing-free)."""
+        return result_digest(self.raw.to_dict())
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point of a sweep: the override applied and its outcome.
+
+    ``payload`` is the point's simulation-core dict (the un-versioned
+    ``MultiTenantResult.to_dict()`` shape; points cross process
+    boundaries, so the full result object stays in the worker).
+    """
+
+    parameter: str
+    value: Any
+    payload: Mapping[str, Any]
+
+    @property
+    def aggregate(self) -> Mapping[str, Any]:
+        return self.payload["aggregate"]
+
+    def digest(self) -> str:
+        return result_digest(dict(self.payload))
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of one :meth:`repro.api.Experiment.sweep`."""
+
+    scenario: str
+    parameter: str
+    points: Tuple[SweepPoint, ...]
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Schema-v1 sweep payload: one entry per grid point."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "scenario": self.scenario,
+            "sweep": [
+                {"parameter": p.parameter, "value": p.value, **p.payload}
+                for p in self.points
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class ProfileResult:
+    """Outcome of one :meth:`repro.api.Experiment.profile`.
+
+    Carries the full :class:`RunResult` (``.run``) plus the wall-clock
+    measurement and the persistent plan-cache counters of the run.
+    """
+
+    run: RunResult
+    wall_seconds: float
+    plan_cache: Mapping[str, Any]
+
+    @property
+    def scenario(self) -> str:
+        return self.run.scenario
+
+    @property
+    def events_processed(self) -> int:
+        return self.run.events_processed
+
+    @property
+    def events_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.run.events_processed / self.wall_seconds
+
+    @property
+    def events_by_kind(self) -> Mapping[str, int]:
+        return self.run.events_by_kind
+
+    @property
+    def timings_by_kind(self) -> Mapping[str, float]:
+        return self.run.timings_by_kind
+
+    @property
+    def handler_seconds(self) -> float:
+        """Total wall-clock seconds spent inside event handlers."""
+        return sum(self.run.timings_by_kind.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Schema-v1 profile payload (the ``repro profile --json`` shape)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "scenario": self.scenario,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "events_processed": self.events_processed,
+            "events_per_second": round(self.events_per_second, 2),
+            "events_by_kind": dict(self.events_by_kind),
+            "timings_by_kind": {
+                kind: round(seconds, 6)
+                for kind, seconds in self.timings_by_kind.items()
+            },
+            "plan_cache": dict(self.plan_cache),
+        }

@@ -272,6 +272,9 @@ def run_bench(
 
     return {
         "schema": "repro-bench/v1",
+        # Mirrors repro.api.results.SCHEMA_VERSION so every CLI JSON
+        # payload carries the same version marker.
+        "schema_version": 1,
         "size": size.name,
         "num_jobs": size.num_jobs,
         "created_unix": int(time.time()),

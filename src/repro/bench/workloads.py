@@ -17,7 +17,9 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro import registry
 
 from repro.core.scheduler import FillJob
 from repro.core.system import PipeFillSystem
@@ -70,27 +72,38 @@ class BenchSize:
         return self.pipeline_stages * self.devices_per_stage
 
 
-#: The sized workloads `repro bench` knows about.
-SIZES: Dict[str, BenchSize] = {
-    "smoke": BenchSize("smoke", num_jobs=200, pipeline_stages=8, devices_per_stage=1),
-    "small": BenchSize("small", num_jobs=1_000, pipeline_stages=16, devices_per_stage=1),
-    "medium": BenchSize("medium", num_jobs=10_000, pipeline_stages=16, devices_per_stage=4),
-    "large": BenchSize("large", num_jobs=100_000, pipeline_stages=16, devices_per_stage=16),
-    # 512 devices per tenant (1024 in the multi-tenant cases): the scale
-    # scenarios/xlarge_cluster.yaml runs at, only tractable with the
-    # incremental candidate indexes.
-    "xlarge": BenchSize(
-        "xlarge", num_jobs=250_000, pipeline_stages=16, devices_per_stage=32
-    ),
-    "churn": BenchSize(
+registry.register_bench_size(
+    BenchSize("smoke", num_jobs=200, pipeline_stages=8, devices_per_stage=1)
+)
+registry.register_bench_size(
+    BenchSize("small", num_jobs=1_000, pipeline_stages=16, devices_per_stage=1)
+)
+registry.register_bench_size(
+    BenchSize("medium", num_jobs=10_000, pipeline_stages=16, devices_per_stage=4)
+)
+registry.register_bench_size(
+    BenchSize("large", num_jobs=100_000, pipeline_stages=16, devices_per_stage=16)
+)
+# 512 devices per tenant (1024 in the multi-tenant cases): the scale
+# scenarios/xlarge_cluster.yaml runs at, only tractable with the
+# incremental candidate indexes.
+registry.register_bench_size(
+    BenchSize("xlarge", num_jobs=250_000, pipeline_stages=16, devices_per_stage=32)
+)
+registry.register_bench_size(
+    BenchSize(
         "churn",
         num_jobs=5_000,
         pipeline_stages=16,
         devices_per_stage=2,
         num_tenants=3,
         churn=True,
-    ),
-}
+    )
+)
+
+#: Live view of the sized workloads `repro bench` knows about; extend with
+#: :func:`repro.registry.register_bench_size` (directly or from a plugin).
+SIZES: Mapping[str, BenchSize] = registry.bench_sizes.view()
 
 #: Fraction of the arrival window covered by the churn tenant's presence.
 _CHURN_JOIN_FRACTION = 0.2

@@ -1,5 +1,12 @@
 """The ``repro`` command-line interface: ``python -m repro <command>``.
 
+The CLI is a thin argparse shell over the public library API
+(:mod:`repro.api`): every command builds an
+:class:`~repro.api.Experiment` and prints/serialises its typed result, so
+anything the CLI does is equally available to notebooks and services, and
+all ``--json`` payloads carry a ``schema_version`` (frozen schema v1, see
+``docs/api.md``).
+
 Six commands cover the common workflows:
 
 ``run``
@@ -8,6 +15,7 @@ Six commands cover the common workflows:
 
         python -m repro run scenarios/multi_tenant.yaml
         python -m repro run scenarios/quickstart.yaml --json -
+        python -m repro run scenarios/smoke.yaml --set policy=edf+sjf
 
 ``validate``
     Load and validate a scenario spec (including ``faults:`` and elastic
@@ -19,7 +27,9 @@ Six commands cover the common workflows:
 ``sweep``
     Re-run a scenario across a parameter grid, fanning the runs out over
     worker processes.  The grid comes from the scenario's ``sweep`` block
-    or from ``--parameter/--values`` overrides::
+    or from ``--parameter/--values`` overrides; every grid point is
+    validated *before* any worker spawns, so a typo'd path or value is a
+    one-line error instead of N worker tracebacks::
 
         python -m repro sweep scenarios/multi_tenant.yaml
         python -m repro sweep scenarios/multi_tenant.yaml \\
@@ -46,6 +56,14 @@ Six commands cover the common workflows:
         python -m repro profile scenarios/multi_tenant.yaml
         python -m repro profile scenarios/multi_tenant.yaml --json -
 
+``run``, ``validate``, ``sweep`` and ``profile`` accept repeatable
+``--set PATH=VALUE`` dotted-path overrides (the sweep-grid syntax, e.g.
+``--set tenants.0.workload.arrival_rate_per_hour=240``).  Scheduling
+policies, preemption rules, arrival processes, fault models and bench
+sizes all resolve through the unified registries (:mod:`repro.registry`),
+so plugins installed under the ``repro.plugins`` entry-point group are
+addressable by name from every command.
+
 ``run``, ``sweep``, ``bench`` and ``profile`` share a persistent plan
 cache under ``.repro-cache/`` (``--cache-dir`` to relocate,
 ``--no-disk-cache`` to opt out), so repeated invocations and sweep
@@ -57,22 +75,14 @@ error for malformed specs.
 from __future__ import annotations
 
 import argparse
-import copy
 import json
 import sys
-from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence
 
 from repro._version import __version__
-from repro.sim.scenario import (
-    ScenarioError,
-    ScenarioSpec,
-    load_scenario,
-    load_scenario_dict,
-    run_scenario,
-    set_by_path,
-)
+from repro.api import Experiment, ProfileResult, RunResult, ScenarioError, SweepResult
+from repro.sim.scenario import ScenarioSpec
 from repro.utils import plancache
 from repro.utils.tables import Table
 
@@ -95,12 +105,22 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_set_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--set",
+        action="append",
+        dest="overrides",
+        metavar="PATH=VALUE",
+        help="dotted-path scenario override (repeatable), e.g. --set policy=edf+sjf",
+    )
+
+
 def _configure_plancache(args: argparse.Namespace) -> None:
     plancache.configure(args.cache_dir, enabled=not args.no_disk_cache)
 
 
 def _coerce_scalar(token: str) -> Any:
-    """Parse a CLI sweep value: int, float, bool, null or plain string."""
+    """Parse a CLI override value: int, float, bool, null or plain string."""
     lowered = token.lower()
     if lowered in ("true", "false"):
         return lowered == "true"
@@ -114,7 +134,18 @@ def _coerce_scalar(token: str) -> Any:
     return token
 
 
-def _print_result(spec: ScenarioSpec, result, *, stream=None) -> None:
+def _experiment(args: argparse.Namespace) -> Experiment:
+    """The command's Experiment: the scenario file plus ``--set`` overrides."""
+    exp = Experiment.from_yaml(args.scenario)
+    for item in getattr(args, "overrides", None) or ():
+        path, sep, value = item.partition("=")
+        if not sep or not path:
+            raise ScenarioError(f"--set expects PATH=VALUE, got {item!r}")
+        exp = exp.with_override(path, _coerce_scalar(value))
+    return exp
+
+
+def _print_result(spec: ScenarioSpec, result: RunResult, *, stream=None) -> None:
     stream = stream or sys.stdout
     header = f"Scenario: {spec.name}"
     if spec.description:
@@ -153,15 +184,12 @@ def _write_json(payload: Dict[str, Any], destination: str) -> None:
 
 def cmd_run(args: argparse.Namespace) -> int:
     _configure_plancache(args)
-    raw = load_scenario_dict(args.scenario)
-    spec = ScenarioSpec.from_dict(raw)
-    result = run_scenario(spec)
+    exp = _experiment(args)
+    result = exp.run()
     if args.json != "-":  # '-' means: stdout carries pure JSON instead
-        _print_result(spec, result)
+        _print_result(exp.spec, result)
     if args.json:
-        _write_json(
-            {"scenario": spec.name, **result.to_dict(include_timings=True)}, args.json
-        )
+        _write_json(result.to_dict(include_timings=True), args.json)
     return 0
 
 
@@ -174,7 +202,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
     A malformed spec raises :class:`ScenarioError`, which ``main`` turns
     into a one-line error on stderr and exit code 2.
     """
-    spec = load_scenario(args.scenario)
+    spec = _experiment(args).validate()
     dynamics = []
     if spec.faults:
         dynamics.append(f"{len(spec.faults)} fault(s)")
@@ -198,60 +226,28 @@ def cmd_validate(args: argparse.Namespace) -> int:
 # -- sweep -------------------------------------------------------------------------
 
 
-def _sweep_worker(
-    payload: Tuple[Dict[str, Any], str, Any, Optional[str]]
-) -> Dict[str, Any]:
-    """Run one sweep point (executed in a worker process).
-
-    ``cache_dir`` (``None`` = disabled) points every worker at the same
-    persistent plan cache, so the grid pays each plan search once instead
-    of once per worker.
-    """
-    raw, parameter, value, cache_dir = payload
-    plancache.configure(cache_dir, enabled=cache_dir is not None)
-    set_by_path(raw, parameter, value)
-    raw.pop("sweep", None)
-    spec = ScenarioSpec.from_dict(raw)
-    result = run_scenario(spec)
-    return {"parameter": parameter, "value": value, **result.to_dict()}
-
-
 def cmd_sweep(args: argparse.Namespace) -> int:
     _configure_plancache(args)
-    raw = load_scenario_dict(args.scenario)
-    spec = ScenarioSpec.from_dict(raw)
-    if args.parameter:
-        parameter = args.parameter
-        values = [_coerce_scalar(v) for v in args.values.split(",")] if args.values else []
-    elif spec.sweep is not None:
-        parameter, values = spec.sweep.parameter, list(spec.sweep.values)
-    else:
-        print(
-            "error: scenario has no 'sweep' block; pass --parameter and --values",
-            file=sys.stderr,
-        )
-        return 2
-    if not values:
-        print("error: no sweep values given", file=sys.stderr)
-        return 2
+    exp = _experiment(args)
+    parameter = args.parameter or None
+    values = (
+        [_coerce_scalar(v) for v in args.values.split(",")]
+        if args.parameter and args.values
+        else [] if args.parameter else None
+    )
+    # Fail-fast validation of every grid point happens inside the facade,
+    # before any worker process spawns.
+    result = exp.sweep(parameter=parameter, values=values, workers=args.workers)
+    _print_sweep_table(exp.spec, result)
+    if args.json:
+        _write_json(result.to_dict(), args.json)
+    return 0
 
-    # deepcopy instead of a json round-trip: the spec only holds plain
-    # data, and serialising the full document once per sweep point was
-    # measurable on large grids.
-    cache_dir = None if args.no_disk_cache else args.cache_dir
-    payloads = [
-        (copy.deepcopy(raw), parameter, value, cache_dir) for value in values
-    ]
-    workers = args.workers or min(len(values), 4)
-    if workers <= 1:
-        outcomes = [_sweep_worker(p) for p in payloads]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(_sweep_worker, payloads))
 
+def _print_sweep_table(spec: ScenarioSpec, result: SweepResult) -> None:
     table = Table(
         columns=[
-            parameter,
+            result.parameter,
             "completed",
             "submitted",
             "fill TFLOP/s per GPU",
@@ -260,7 +256,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "deadline hit rate",
             "preemptions",
         ],
-        title=f"Sweep of {parameter!r} on scenario {spec.name!r}",
+        title=f"Sweep of {result.parameter!r} on scenario {spec.name!r}",
         formats={
             "fill TFLOP/s per GPU": ".2f",
             "avg JCT (s)": ".1f",
@@ -268,22 +264,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "deadline hit rate": ".1%",
         },
     )
-    for outcome in outcomes:
-        agg = outcome["aggregate"]
+    for point in result.points:
+        agg = point.aggregate
         table.add_row(
-            str(outcome["value"]),
+            str(point.value),
             agg["jobs_completed"],
             agg["jobs_submitted"],
-            outcome["fill_tflops_per_device"],
+            point.payload["fill_tflops_per_device"],
             agg["average_jct"],
             agg["makespan"],
             agg["deadline_hit_rate"] if agg["deadlines_total"] else None,
             agg["num_preemptions"],
         )
     print(table.to_ascii())
-    if args.json:
-        _write_json({"scenario": spec.name, "sweep": outcomes}, args.json)
-    return 0
 
 
 # -- report ------------------------------------------------------------------------
@@ -310,74 +303,55 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    """Run one scenario and report where the simulation time went.
-
-    The kernel accumulates wall-clock handler time per event kind on
-    every run (near-zero overhead), so profiling is just surfacing that
-    accumulator next to the event counts, plus the plan-cache traffic.
-    """
-    import time as _time
-
+    """Run one scenario and report where the simulation time went."""
     _configure_plancache(args)
-    plancache.reset_stats()
-    spec = load_scenario(args.scenario)
-    t0 = _time.perf_counter()
-    result = run_scenario(spec)
-    wall = _time.perf_counter() - t0
-    counts = dict(result.events_by_kind)
-    timings = dict(result.timings_by_kind)
-    handler_total = sum(timings.values())
+    exp = _experiment(args)
+    profile = exp.profile()
     stdout_json = args.json == "-"
     if not stdout_json:
-        print(f"Scenario: {spec.name} -- {result.events_processed} events in {wall:.3f}s")
-        table = Table(
-            columns=["event kind", "events", "total (s)", "avg (us)", "share"],
-            title=f"repro profile {args.scenario}",
-            formats={"total (s)": ".4f", "avg (us)": ".1f", "share": ".1%"},
-        )
-        for kind in sorted(counts):
-            seconds = timings.get(kind, 0.0)
-            count = counts[kind]
-            table.add_row(
-                kind,
-                count,
-                seconds,
-                1e6 * seconds / count if count else 0.0,
-                seconds / handler_total if handler_total > 0 else 0.0,
-            )
-        print(table.to_ascii())
-        cache = plancache.stats()
-        if plancache.is_enabled():
-            print(
-                f"plan cache ({plancache.cache_dir()}): "
-                f"{cache['hits']} hit(s), {cache['misses']} miss(es), "
-                f"{cache['writes']} write(s)"
-            )
-        else:
-            print("plan cache: disabled")
-        print(
-            f"handlers: {handler_total:.3f}s of {wall:.3f}s wall-clock "
-            f"({result.events_processed / wall:.0f} events/sec overall)"
-        )
+        _print_profile(args.scenario, exp.spec, profile)
     if args.json:
-        _write_json(
-            {
-                "scenario": spec.name,
-                "wall_seconds": round(wall, 4),
-                "events_processed": result.events_processed,
-                "events_per_second": round(result.events_processed / wall, 2)
-                if wall > 0
-                else 0.0,
-                "events_by_kind": counts,
-                "timings_by_kind": {k: round(v, 6) for k, v in timings.items()},
-                "plan_cache": {
-                    "enabled": plancache.is_enabled(),
-                    **plancache.stats(),
-                },
-            },
-            args.json,
-        )
+        _write_json(profile.to_dict(), args.json)
     return 0
+
+
+def _print_profile(scenario_path: str, spec: ScenarioSpec, profile: ProfileResult) -> None:
+    counts = dict(profile.events_by_kind)
+    timings = dict(profile.timings_by_kind)
+    handler_total = profile.handler_seconds
+    wall = profile.wall_seconds
+    print(
+        f"Scenario: {spec.name} -- {profile.events_processed} events in {wall:.3f}s"
+    )
+    table = Table(
+        columns=["event kind", "events", "total (s)", "avg (us)", "share"],
+        title=f"repro profile {scenario_path}",
+        formats={"total (s)": ".4f", "avg (us)": ".1f", "share": ".1%"},
+    )
+    for kind in sorted(counts):
+        seconds = timings.get(kind, 0.0)
+        count = counts[kind]
+        table.add_row(
+            kind,
+            count,
+            seconds,
+            1e6 * seconds / count if count else 0.0,
+            seconds / handler_total if handler_total > 0 else 0.0,
+        )
+    print(table.to_ascii())
+    cache = profile.plan_cache
+    if cache.get("enabled"):
+        print(
+            f"plan cache ({plancache.cache_dir()}): "
+            f"{cache['hits']} hit(s), {cache['misses']} miss(es), "
+            f"{cache['writes']} write(s)"
+        )
+    else:
+        print("plan cache: disabled")
+    print(
+        f"handlers: {handler_total:.3f}s of {wall:.3f}s wall-clock "
+        f"({profile.events_processed / wall:.0f} events/sec overall)"
+    )
 
 
 # -- bench -------------------------------------------------------------------------
@@ -470,6 +444,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the result as JSON to PATH ('-' for stdout)",
     )
+    _add_set_flag(run_p)
     _add_cache_flags(run_p)
     run_p.set_defaults(func=cmd_run)
 
@@ -483,6 +458,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the timing profile as JSON to PATH ('-' for stdout)",
     )
+    _add_set_flag(profile_p)
     _add_cache_flags(profile_p)
     profile_p.set_defaults(func=cmd_profile)
 
@@ -490,6 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="load and validate a scenario file without running it"
     )
     validate_p.add_argument("scenario", help="path to a .yaml/.json scenario spec")
+    _add_set_flag(validate_p)
     validate_p.set_defaults(func=cmd_validate)
 
     sweep_p = sub.add_parser("sweep", help="run a scenario across a parameter grid")
@@ -506,6 +483,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: min(len(values), 4); 1 disables fan-out)",
     )
     sweep_p.add_argument("--json", metavar="PATH", help="also write results as JSON")
+    _add_set_flag(sweep_p)
     _add_cache_flags(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
 

@@ -19,8 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Mapping, Optional, Sequence, Tuple
 
+from repro import registry
 from repro.utils.validation import check_non_negative
 
 _EPS = 1e-12
@@ -173,24 +174,27 @@ def compose_policies(
     return ComposedPolicy(tuple(weighted))
 
 
-#: Registry of named policies usable from experiment configuration.
-POLICIES: Dict[str, SchedulingPolicy] = {
-    "fifo": fifo_policy,
-    "sjf": sjf_policy,
-    "makespan": makespan_policy,
-    "edf": edf_policy,
-    "edf+sjf": compose_policies((1_000.0, edf_policy), (1.0, sjf_policy)),
-    "slack": slack_policy,
-    "slack+sjf": compose_policies((1_000.0, slack_policy), (1.0, sjf_policy)),
-}
+registry.register_policy("fifo", fifo_policy)
+registry.register_policy("sjf", sjf_policy)
+registry.register_policy("makespan", makespan_policy)
+registry.register_policy("edf", edf_policy)
+registry.register_policy(
+    "edf+sjf", compose_policies((1_000.0, edf_policy), (1.0, sjf_policy))
+)
+registry.register_policy("slack", slack_policy)
+registry.register_policy(
+    "slack+sjf", compose_policies((1_000.0, slack_policy), (1.0, sjf_policy))
+)
+
+#: Live view of the named policies usable from experiment configuration.
+#: The single source of truth is :data:`repro.registry.policies`; register
+#: new entries with ``@repro.registry.register_policy("name")``.
+POLICIES: Mapping[str, SchedulingPolicy] = registry.policies.view()
 
 
 def get_policy(name: str) -> SchedulingPolicy:
-    """Look up a policy by name."""
-    try:
-        return POLICIES[name.lower()]
-    except KeyError:
-        raise KeyError(f"unknown policy {name!r}; known: {sorted(POLICIES)}") from None
+    """Look up a policy by name (shipped or plugin-registered)."""
+    return registry.policies.get(name)
 
 
 # -- preemption -------------------------------------------------------------------
@@ -260,17 +264,13 @@ def deadline_preemption_rule(
     return wait * (1.0 - running.progress(state.now)) + _EPS
 
 
-#: Registry of named preemption rules usable from scenario specs.
-PREEMPTION_RULES: Dict[str, PreemptionRule] = {
-    "deadline": deadline_preemption_rule,
-}
+registry.register_preemption_rule("deadline", deadline_preemption_rule)
+
+#: Live view of the named preemption rules usable from scenario specs
+#: (source of truth: :data:`repro.registry.preemption_rules`).
+PREEMPTION_RULES: Mapping[str, PreemptionRule] = registry.preemption_rules.view()
 
 
 def get_preemption_rule(name: str) -> PreemptionRule:
-    """Look up a preemption rule by name."""
-    try:
-        return PREEMPTION_RULES[name.lower()]
-    except KeyError:
-        raise KeyError(
-            f"unknown preemption rule {name!r}; known: {sorted(PREEMPTION_RULES)}"
-        ) from None
+    """Look up a preemption rule by name (shipped or plugin-registered)."""
+    return registry.preemption_rules.get(name)

@@ -37,6 +37,7 @@ from repro.sim.multi_tenant import (
     Tenant,
     TenantResult,
 )
+from repro.sim.observers import ObserverFanout, RunObserver
 from repro.sim.simulator import ClusterSimulator, SimulationResult
 
 __all__ = [
@@ -57,6 +58,8 @@ __all__ = [
     "MultiTenantSimulator",
     "Tenant",
     "TenantResult",
+    "ObserverFanout",
+    "RunObserver",
     "ClusterSimulator",
     "SimulationResult",
 ]

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterator, Optional
 
 from repro.sim.events import (
     STALE_COMPLETION_EPSILON,
@@ -121,6 +121,7 @@ class SimKernel:
         # accumulator is always on -- every run is a profile.
         self.timings_by_kind: Dict[EventKind, float] = {}
         self._handlers: Dict[EventKind, EventHandler] = {}
+        self._event_observer: Optional[EventHandler] = None
 
     # -- configuration -----------------------------------------------------------
 
@@ -129,6 +130,18 @@ class SimKernel:
         if kind in self._handlers:
             raise ValueError(f"a handler for {kind.value!r} is already registered")
         self._handlers[kind] = handler
+
+    def set_event_observer(self, observer: Optional[EventHandler]) -> None:
+        """Install one passive callback fired for *every* processed event.
+
+        The observer runs just before the event's handler (with ``now``
+        already advanced to the event time) and must not mutate simulator
+        state; it is how the streaming observer API
+        (:mod:`repro.api.observers`) taps the run.  With no observer
+        installed, :meth:`run` takes a loop with no observer branch at
+        all, so the hook costs nothing unless used.
+        """
+        self._event_observer = observer
 
     # -- scheduling --------------------------------------------------------------
 
@@ -183,6 +196,14 @@ class SimKernel:
         last event time and the last applied completion (never zero, so
         rate metrics stay well-defined).
         """
+        if self._event_observer is not None:
+            # The observed loop pays the extra call; the plain loop below
+            # stays branch-free so unobserved runs cost exactly what they
+            # did before the observer API existed.
+            for _ in self._iter_events(horizon_seconds):
+                pass
+            return self._resolve_horizon(horizon_seconds)
+
         timings = self.timings_by_kind
         while self.queue:
             event = self.queue.pop()
@@ -201,6 +222,44 @@ class SimKernel:
             handler(event)
             timings[event.kind] = timings.get(event.kind, 0.0) + (perf_counter() - start)
 
+        return self._resolve_horizon(horizon_seconds)
+
+    def iter_run(self, horizon_seconds: Optional[float] = None) -> Iterator[Event]:
+        """Generator twin of :meth:`run`: yield each event after handling it.
+
+        Powers step-wise embedding (``Experiment.iter_events``): the
+        consumer sees every processed event with all of its state changes
+        already applied, may inspect simulator state between events, and
+        receives the resolved horizon as the generator's return value.
+        """
+        yield from self._iter_events(horizon_seconds)
+        return self._resolve_horizon(horizon_seconds)
+
+    def _iter_events(self, horizon_seconds: Optional[float]) -> Iterator[Event]:
+        """The instrumented event loop: observer before, yield after."""
+        timings = self.timings_by_kind
+        observer = self._event_observer
+        while self.queue:
+            event = self.queue.pop()
+            if horizon_seconds is not None and event.time > horizon_seconds:
+                self.now = horizon_seconds
+                break
+            self.events_processed += 1
+            self.events_by_kind[event.kind] = self.events_by_kind.get(event.kind, 0) + 1
+            self.now = event.time
+            handler = self._handlers.get(event.kind)
+            if handler is None:
+                raise RuntimeError(
+                    f"no handler registered for event kind {event.kind.value!r}"
+                )
+            if observer is not None:
+                observer(event)
+            start = perf_counter()
+            handler(event)
+            timings[event.kind] = timings.get(event.kind, 0.0) + (perf_counter() - start)
+            yield event
+
+    def _resolve_horizon(self, horizon_seconds: Optional[float]) -> float:
         horizon = (
             horizon_seconds
             if horizon_seconds is not None

@@ -36,7 +36,7 @@ Quick example (two tenants sharing one backlog)::
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.core.global_scheduler import Assignment, GlobalScheduler
 from repro.core.policies import PreemptionRule, SchedulingPolicy, sjf_policy
@@ -45,6 +45,7 @@ from repro.core.system import PipeFillSystem
 from repro.core.config import main_job_overhead_fraction
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.kernel import FaultSpec, OpenLoopArrivals, SimKernel, schedule_faults
+from repro.sim.observers import ObserverFanout, RunObserver
 from repro.sim.metrics import (
     FillJobMetrics,
     UtilizationReport,
@@ -264,6 +265,15 @@ class MultiTenantResult:
         return table
 
 
+@dataclass
+class _RunSetup:
+    """Everything one run builds before the event loop starts."""
+
+    kernel: SimKernel
+    global_sched: GlobalScheduler
+    jobs_by_id: Dict[str, FillJob]
+
+
 class MultiTenantSimulator:
     """Drives N concurrent main jobs over one shared fill-job backlog.
 
@@ -274,29 +284,33 @@ class MultiTenantSimulator:
         carry ``join_at``/``leave_at`` times (elastic capacity) and an
         open-loop ``arrival_process``.
     policy:
-        Fill-job scheduling policy applied by the global scheduler.
+        Fill-job scheduling policy applied by the global scheduler: a
+        callable, or a name resolved through the policy registry
+        (``"sjf"``, ``"edf+sjf"``, any ``@register_policy`` name).
     preemption_rule:
         Optional preemption rule (e.g.
-        :func:`~repro.core.policies.deadline_preemption_rule`); ``None``
-        disables preemption.
+        :func:`~repro.core.policies.deadline_preemption_rule` or the
+        registered name ``"deadline"``); ``None`` disables preemption.
     """
 
     def __init__(
         self,
         tenants: Sequence[Tenant],
         *,
-        policy: SchedulingPolicy = sjf_policy,
-        preemption_rule: Optional[PreemptionRule] = None,
+        policy: Union[SchedulingPolicy, str] = sjf_policy,
+        preemption_rule: Optional[Union[PreemptionRule, str]] = None,
         use_cache: bool = True,
     ) -> None:
+        from repro.registry import resolve_policy, resolve_preemption_rule
+
         if not tenants:
             raise ValueError("the multi-tenant simulator needs at least one tenant")
         names = [t.name for t in tenants]
         if len(set(names)) != len(names):
             raise ValueError(f"tenant names must be unique, got {names}")
         self.tenants: Dict[str, Tenant] = {t.name: t for t in tenants}
-        self.policy = policy
-        self.preemption_rule = preemption_rule
+        self.policy = resolve_policy(policy)
+        self.preemption_rule = resolve_preemption_rule(preemption_rule)
         self.use_cache = use_cache
 
     # -- helpers -----------------------------------------------------------------
@@ -342,7 +356,7 @@ class MultiTenantSimulator:
                 tenant=a.tenant,
             )
 
-    # -- main entry point --------------------------------------------------------
+    # -- main entry points -------------------------------------------------------
 
     def run(
         self,
@@ -350,6 +364,7 @@ class MultiTenantSimulator:
         extra_jobs: Iterable[FillJob] = (),
         faults: Sequence[FaultSpec] = (),
         horizon_seconds: Optional[float] = None,
+        observers: Optional[Sequence["RunObserver"]] = None,
     ) -> MultiTenantResult:
         """Simulate all tenants' arrival streams over the shared backlog.
 
@@ -366,7 +381,47 @@ class MultiTenantSimulator:
             Stop the clock here; running jobs contribute pro-rated FLOPs.
             Defaults to the time the last job completes.  Required when
             any tenant carries an open-loop ``arrival_process``.
+        observers:
+            Optional :class:`~repro.sim.observers.RunObserver` instances
+            receiving streaming lifecycle callbacks.  Without observers
+            the run takes the kernel's plain loop -- the observer API
+            costs nothing unless used.
         """
+        setup = self._setup(extra_jobs, faults, horizon_seconds, observers)
+        horizon = setup.kernel.run(horizon_seconds)
+        return self._finish(setup, horizon)
+
+    def iter_run(
+        self,
+        *,
+        extra_jobs: Iterable[FillJob] = (),
+        faults: Sequence[FaultSpec] = (),
+        horizon_seconds: Optional[float] = None,
+        observers: Optional[Sequence["RunObserver"]] = None,
+    ):
+        """Generator twin of :meth:`run` for step-wise embedding.
+
+        Yields every processed :class:`~repro.sim.events.Event` *after*
+        its state changes are applied (inspect schedulers between events
+        freely) and returns the :class:`MultiTenantResult` as the
+        generator's ``StopIteration`` value -- retrieve it with
+        ``result = yield from sim.iter_run(...)`` or via
+        :class:`repro.api.EventStream`.
+        """
+        setup = self._setup(extra_jobs, faults, horizon_seconds, observers)
+        horizon = yield from setup.kernel.iter_run(horizon_seconds)
+        return self._finish(setup, horizon)
+
+    # -- run assembly ------------------------------------------------------------
+
+    def _setup(
+        self,
+        extra_jobs: Iterable[FillJob],
+        faults: Sequence[FaultSpec],
+        horizon_seconds: Optional[float],
+        observers: Optional[Sequence["RunObserver"]] = None,
+    ) -> "_RunSetup":
+        """Build the kernel, schedulers and handlers for one run."""
         global_sched = self._build_global_scheduler()
         stream = self._arrival_stream(extra_jobs)
         jobs_by_id: Dict[str, FillJob] = {job.job_id: job for job in stream}
@@ -429,7 +484,7 @@ class MultiTenantSimulator:
             # preemption victims.
             self._push_assignments(queue, global_sched.dispatch_idle(now))
 
-        def on_completion(event: Event) -> None:
+        def on_completion(event: Event) -> bool:
             assert event.tenant is not None and event.executor_index is not None
             sched = global_sched.tenants[event.tenant]
             state = sched.executors[event.executor_index]
@@ -437,10 +492,11 @@ class MultiTenantSimulator:
             # (different job, or the same job re-dispatched with a later
             # completion) since this event was scheduled.
             if kernel.is_stale_completion(state.current_job_id, state.busy_until, event):
-                return
+                return False
             global_sched.complete(event.tenant, event.executor_index, kernel.now)
             kernel.note_completion()
             self._push_assignments(queue, global_sched.dispatch_idle(kernel.now))
+            return True
 
         def on_failure(event: Event) -> None:
             assert event.tenant is not None and event.executor_index is not None
@@ -465,18 +521,60 @@ class MultiTenantSimulator:
             # Evicted jobs re-entered the backlog; place them elsewhere now.
             self._push_assignments(queue, global_sched.dispatch_idle(kernel.now))
 
-        kernel.on(EventKind.JOB_ARRIVAL, on_arrival)
-        kernel.on(EventKind.JOB_COMPLETION, on_completion)
-        kernel.on(EventKind.EXECUTOR_FAILURE, on_failure)
-        kernel.on(EventKind.EXECUTOR_RECOVERY, on_recovery)
-        kernel.on(EventKind.TENANT_JOIN, on_tenant_join)
-        kernel.on(EventKind.TENANT_LEAVE, on_tenant_leave)
+        # Observer wiring happens at registration time: without observers
+        # the *unwrapped* closures are registered and the kernel takes its
+        # plain loop, so observed and unobserved runs differ only when the
+        # API is actually used.
+        fanout = None
+        if observers:
+            fanout = ObserverFanout(observers, kernel)
+            kernel.set_event_observer(fanout.on_event)
 
-        horizon = kernel.run(horizon_seconds)
-        stats = kernel.stats()
+            def observed_completion(event: Event, _notify=fanout) -> None:
+                if on_completion(event):
+                    _notify.on_job_completed(
+                        event.job_id, event.tenant, event.executor_index, kernel.now
+                    )
+
+            def observed_failure(event: Event, _notify=fanout) -> None:
+                on_failure(event)
+                _notify.on_executor_lost(
+                    event.tenant, event.executor_index, kernel.now
+                )
+
+            def observed_join(event: Event, _notify=fanout) -> None:
+                on_tenant_join(event)
+                _notify.on_tenant_change(event.tenant, "join", kernel.now)
+
+            def observed_leave(event: Event, _notify=fanout) -> None:
+                on_tenant_leave(event)
+                _notify.on_tenant_change(event.tenant, "leave", kernel.now)
+
+        kernel.on(EventKind.JOB_ARRIVAL, on_arrival)
+        kernel.on(
+            EventKind.JOB_COMPLETION,
+            observed_completion if fanout is not None else on_completion,
+        )
+        kernel.on(
+            EventKind.EXECUTOR_FAILURE,
+            observed_failure if fanout is not None else on_failure,
+        )
+        kernel.on(EventKind.EXECUTOR_RECOVERY, on_recovery)
+        kernel.on(
+            EventKind.TENANT_JOIN,
+            observed_join if fanout is not None else on_tenant_join,
+        )
+        kernel.on(
+            EventKind.TENANT_LEAVE,
+            observed_leave if fanout is not None else on_tenant_leave,
+        )
+        return _RunSetup(kernel=kernel, global_sched=global_sched, jobs_by_id=jobs_by_id)
+
+    def _finish(self, setup: "_RunSetup", horizon: float) -> MultiTenantResult:
+        stats = setup.kernel.stats()
         return self._collect(
-            global_sched,
-            list(jobs_by_id.values()),
+            setup.global_sched,
+            list(setup.jobs_by_id.values()),
             horizon,
             events_processed=stats.events_processed,
             events_by_kind=stats.events_by_kind,

@@ -33,27 +33,43 @@ shape is::
           models: [bert-base]    # optional Table 1 subset
           deadline_fraction: 0.3 # optional
           open_loop: true        # stream arrivals lazily (long horizons)
+          arrival_process: poisson   # registered open-loop source
     faults:                      # optional scheduled executor failures
       - tenant: llm-40b-8k
         executor: 3
         fail_at: 1200
         recover_at: 2400         # omit for a permanent failure
+    fault_model:                 # optional *generated* failures
+      name: periodic-waves       # any registered fault model
+      waves: 6
     sweep:                       # optional, used by `repro sweep`
       parameter: policy
       values: [sjf, edf+sjf]
+
+``policy``, ``preemption``, ``workload.arrival_process`` and
+``fault_model.name`` all resolve through the unified registries
+(:mod:`repro.registry`), so plugin-registered extensions are addressable
+from scenario files exactly like the shipped ones.
 
 Unknown keys raise immediately with the offending key name, so typos in a
 scenario file fail loudly instead of silently running defaults.
 ``python -m repro validate <scenario>`` runs exactly this validation
 without simulating anything.
+
+The run/load helpers this module used to expose directly are now thin
+deprecation shims over :class:`repro.api.Experiment` -- new code should
+use the facade.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro import registry
 
 from repro.core.config import PipeFillConfig
 from repro.core.policies import get_policy, get_preemption_rule
@@ -62,7 +78,7 @@ from repro.models.configs import JobType
 from repro.models.registry import build_model
 from repro.pipeline.parallelism import ParallelConfig
 from repro.sim.kernel import FaultSpec
-from repro.sim.multi_tenant import LEAVE_MODES, MultiTenantResult, MultiTenantSimulator, Tenant
+from repro.sim.multi_tenant import LEAVE_MODES, MultiTenantResult, Tenant
 from repro.utils.units import GIB
 from repro.utils.validation import check_positive
 from repro.workloads.generator import TenantWorkloadSpec, build_tenant_fill_job_traces
@@ -104,6 +120,7 @@ def workload_from_dict(raw: Mapping[str, Any], *, where: str) -> TenantWorkloadS
             "deadline_slack_factor",
             "seed",
             "open_loop",
+            "arrival_process",
         ],
         where,
     )
@@ -119,6 +136,11 @@ def workload_from_dict(raw: Mapping[str, Any], *, where: str) -> TenantWorkloadS
     open_loop = raw.get("open_loop", False)
     if not isinstance(open_loop, bool):
         raise ScenarioError(f"open_loop in {where} must be a boolean, got {open_loop!r}")
+    arrival_process = str(raw.get("arrival_process", "poisson"))
+    try:
+        registry.arrival_processes.get(arrival_process)  # validate eagerly
+    except KeyError as exc:
+        raise ScenarioError(f"{where}: {exc.args[0]}") from None
     return TenantWorkloadSpec(
         arrival_rate_per_hour=float(raw.get("arrival_rate_per_hour", 120.0)),
         models=raw.get("models"),
@@ -127,6 +149,7 @@ def workload_from_dict(raw: Mapping[str, Any], *, where: str) -> TenantWorkloadS
         deadline_slack_factor=float(raw.get("deadline_slack_factor", 4.0)),
         seed=raw.get("seed"),
         open_loop=open_loop,
+        arrival_process=arrival_process,
     )
 
 
@@ -290,6 +313,35 @@ def fault_from_dict(raw: Mapping[str, Any], *, index: int) -> FaultSpec:
         raise ScenarioError(f"bad {where}: {exc}") from None
 
 
+def faults_from_model(
+    raw: Mapping[str, Any],
+    tenants: Sequence[TenantSpec],
+    horizon_seconds: float,
+) -> Sequence[FaultSpec]:
+    """Materialize the ``fault_model`` block into concrete fault specs.
+
+    The block names a registered fault model and passes every other key
+    through as a keyword parameter; the generated faults are validated
+    exactly like an explicit ``faults:`` list.
+    """
+    raw = _require_mapping(raw, "fault_model")
+    name = raw.get("name")
+    if not name:
+        raise ScenarioError("fault_model needs a 'name' (a registered fault model)")
+    try:
+        model = registry.fault_models.get(str(name))
+    except KeyError as exc:
+        raise ScenarioError(exc.args[0]) from None
+    params = {k: v for k, v in raw.items() if k != "name"}
+    try:
+        faults = model(tenants, float(horizon_seconds), **params)
+    except TypeError as exc:
+        raise ScenarioError(f"fault_model {name!r}: {exc}") from None
+    except ValueError as exc:
+        raise ScenarioError(f"fault_model {name!r}: {exc}") from None
+    return tuple(faults)
+
+
 @dataclass(frozen=True)
 class SweepSpec:
     """The optional ``sweep`` block: one dotted parameter path and values."""
@@ -364,6 +416,7 @@ class ScenarioSpec:
                 "seed",
                 "tenants",
                 "faults",
+                "fault_model",
                 "sweep",
             ],
             "scenario",
@@ -375,19 +428,101 @@ class ScenarioSpec:
         if not isinstance(faults_raw, (list, tuple)):
             raise ScenarioError("'faults' must be a list of fault blocks")
         sweep = raw.get("sweep")
+        tenants = tuple(TenantSpec.from_dict(t) for t in tenants_raw)
+        horizon_seconds = float(raw.get("horizon_seconds", 3600.0))
+        faults = tuple(fault_from_dict(f, index=i) for i, f in enumerate(faults_raw))
+        # A fault_model block *generates* additional faults from the parsed
+        # tenants; they are materialized here so the resulting spec always
+        # carries one explicit, fully-validated fault list.
+        fault_model = raw.get("fault_model")
+        if fault_model is not None:
+            faults = faults + tuple(
+                faults_from_model(fault_model, tenants, horizon_seconds)
+            )
         return ScenarioSpec(
             name=str(raw.get("name", "unnamed-scenario")),
             description=str(raw.get("description", "")),
-            horizon_seconds=float(raw.get("horizon_seconds", 3600.0)),
+            horizon_seconds=horizon_seconds,
             policy=str(raw.get("policy", "sjf")),
             preemption=raw.get("preemption"),
             seed=int(raw.get("seed", 0)),
-            tenants=tuple(TenantSpec.from_dict(t) for t in tenants_raw),
-            faults=tuple(
-                fault_from_dict(f, index=i) for i, f in enumerate(faults_raw)
-            ),
+            tenants=tenants,
+            faults=faults,
             sweep=None if sweep is None else SweepSpec.from_dict(sweep),
         )
+
+
+def spec_to_dict(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Serialize a :class:`ScenarioSpec` back to its raw-dict scenario form.
+
+    The inverse of :meth:`ScenarioSpec.from_dict`:
+    ``ScenarioSpec.from_dict(spec_to_dict(spec)) == spec`` for any valid
+    spec.  ``fault_model`` blocks do not survive the round trip -- they
+    are materialized into the explicit ``faults`` list at parse time --
+    but the resulting scenario is semantically identical.  This is what
+    lets :class:`repro.api.Experiment` apply dotted-path overrides to
+    programmatically-built specs.
+    """
+    raw: Dict[str, Any] = {
+        "name": spec.name,
+        "description": spec.description,
+        "horizon_seconds": spec.horizon_seconds,
+        "policy": spec.policy,
+        "seed": spec.seed,
+        "tenants": [],
+    }
+    if spec.preemption is not None:
+        raw["preemption"] = spec.preemption
+    for t in spec.tenants:
+        workload: Dict[str, Any] = {
+            "arrival_rate_per_hour": t.workload.arrival_rate_per_hour,
+            "deadline_fraction": t.workload.deadline_fraction,
+            "deadline_slack_factor": t.workload.deadline_slack_factor,
+            "open_loop": t.workload.open_loop,
+            "arrival_process": t.workload.arrival_process,
+        }
+        if t.workload.models is not None:
+            workload["models"] = list(t.workload.models)
+        if t.workload.job_type is not None:
+            workload["job_type"] = t.workload.job_type.value
+        if t.workload.seed is not None:
+            workload["seed"] = t.workload.seed
+        tenant: Dict[str, Any] = {
+            "name": t.name,
+            "model": t.model,
+            "schedule": t.schedule,
+            "parallel": dict(t.parallel),
+            "devices_per_stage": t.devices_per_stage,
+            "offload_main_job": t.offload_main_job,
+            "workload": workload,
+            "leave_mode": t.leave_mode,
+        }
+        if t.fill_fraction is not None:
+            tenant["fill_fraction"] = t.fill_fraction
+        if t.bubble_free_memory_gib is not None:
+            tenant["bubble_free_memory_gib"] = t.bubble_free_memory_gib
+        if t.join_at is not None:
+            tenant["join_at"] = t.join_at
+        if t.leave_at is not None:
+            tenant["leave_at"] = t.leave_at
+        raw["tenants"].append(tenant)
+    if spec.faults:
+        raw["faults"] = []
+        for f in spec.faults:
+            fault: Dict[str, Any] = {
+                "tenant": f.tenant,
+                "executor": f.executor_index,
+                "fail_at": f.fail_at,
+            }
+            if f.recover_at is not None:
+                fault["recover_at"] = f.recover_at
+            raw["faults"].append(fault)
+    if spec.sweep is not None:
+        raw["sweep"] = {
+            "parameter": spec.sweep.parameter,
+            "values": list(spec.sweep.values),
+        }
+    return raw
 
 
 # -- loading -----------------------------------------------------------------------
@@ -424,8 +559,22 @@ def load_scenario_dict(path: Union[str, Path]) -> Dict[str, Any]:
 
 
 def load_scenario(path: Union[str, Path]) -> ScenarioSpec:
-    """Load and validate a YAML/JSON scenario file."""
-    return ScenarioSpec.from_dict(load_scenario_dict(path))
+    """Load and validate a YAML/JSON scenario file.
+
+    .. deprecated::
+        Use ``repro.api.Experiment.from_yaml(path)`` (call
+        ``.validate()`` for the bare :class:`ScenarioSpec`).  This shim
+        forwards there and will be removed in a future major version.
+    """
+    warnings.warn(
+        "load_scenario() is deprecated; use "
+        "repro.api.Experiment.from_yaml(path).validate()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import Experiment
+
+    return Experiment.from_yaml(path).validate()
 
 
 def set_by_path(raw: Dict[str, Any], path: str, value: Any) -> None:
@@ -517,13 +666,18 @@ def run_scenario(spec: ScenarioSpec, *, use_cache: bool = True) -> MultiTenantRe
     ``use_cache=False`` runs the schedulers in their brute-force reference
     mode (no memoised estimates or views); the equivalence tests use it to
     prove the optimised path produces identical results.
+
+    .. deprecated::
+        Use ``repro.api.Experiment.from_spec(spec).run()``.  This shim
+        forwards there (same simulation, bit-identical results) and
+        returns the raw :class:`MultiTenantResult` for compatibility.
     """
-    simulator = MultiTenantSimulator(
-        build_tenants(spec),
-        policy=get_policy(spec.policy),
-        preemption_rule=(
-            None if spec.preemption is None else get_preemption_rule(spec.preemption)
-        ),
-        use_cache=use_cache,
+    warnings.warn(
+        "run_scenario() is deprecated; use repro.api.Experiment.from_spec(spec)"
+        ".run() (its RunResult wraps this function's return value as .raw)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return simulator.run(faults=spec.faults, horizon_seconds=spec.horizon_seconds)
+    from repro.api import Experiment
+
+    return Experiment.from_spec(spec).run(use_cache=use_cache).raw

@@ -19,10 +19,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import registry
 from repro.core.scheduler import FillJob
 from repro.hardware.device import DeviceSpec, V100_16GB
 from repro.models.configs import JobType
@@ -327,6 +328,13 @@ class ArrivalProcess:
             index += 1
 
 
+# The shipped open-loop source: a homogeneous Poisson process over the
+# synthetic-trace job mix.  Scenario workload blocks select arrival
+# processes by registered name (``arrival_process: poisson`` is the
+# default); plugins may register alternatives (bursty, diurnal, replay).
+registry.register_arrival_process("poisson", ArrivalProcess)
+
+
 @dataclass(frozen=True)
 class TenantWorkloadSpec:
     """The fill-job arrival stream one tenant contributes to the backlog.
@@ -339,9 +347,11 @@ class TenantWorkloadSpec:
     but must be set before :func:`build_tenant_fill_job_traces`.
 
     With ``open_loop=True`` the tenant's stream is not materialized at
-    all: :func:`~repro.sim.scenario.build_tenants` wires an
-    :class:`ArrivalProcess` into the tenant instead, and the simulator
-    pulls arrivals lazily (required for long-horizon runs).
+    all: :func:`~repro.sim.scenario.build_tenants` wires an arrival
+    process into the tenant instead, and the simulator pulls arrivals
+    lazily (required for long-horizon runs).  ``arrival_process`` names
+    the source's registered factory (:data:`repro.registry.
+    arrival_processes`); the shipped default is ``"poisson"``.
     """
 
     name: str = ""
@@ -352,14 +362,21 @@ class TenantWorkloadSpec:
     deadline_slack_factor: float = 4.0
     seed: Optional[int] = None
     open_loop: bool = False
+    arrival_process: str = "poisson"
 
     def build_arrival_process(
         self, *, seed: int, end_time: Optional[float] = None
-    ) -> ArrivalProcess:
-        """The open-loop source equivalent to this spec's parameters."""
+    ) -> Iterable[FillJob]:
+        """The open-loop source equivalent to this spec's parameters.
+
+        The factory comes from the arrival-process registry, so a tenant
+        block saying ``arrival_process: my-bursty`` streams jobs from a
+        plugin-registered source with the exact same call contract.
+        """
         if not self.name:
             raise ValueError("an arrival process needs a non-empty tenant name")
-        return ArrivalProcess(
+        factory = registry.arrival_processes.get(self.arrival_process)
+        return factory(
             name=self.name,
             arrival_rate_per_hour=self.arrival_rate_per_hour,
             models=self.models,
