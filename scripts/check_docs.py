@@ -26,6 +26,7 @@ DOCS = [
     REPO_ROOT / "README.md",
     REPO_ROOT / "docs" / "scenarios.md",
     REPO_ROOT / "docs" / "api.md",
+    REPO_ROOT / "docs" / "testing.md",
 ]
 EXAMPLES = [
     REPO_ROOT / "examples" / "quickstart.py",

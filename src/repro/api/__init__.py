@@ -11,6 +11,11 @@ the CLI can do routes through it:
   and are frozen as schema v1 (:mod:`repro.api.schema` validates them).
 * :class:`RunObserver` / :class:`EventStream` -- streaming lifecycle
   callbacks and step-wise iteration over a live simulation.
+* :class:`InvariantObserver` / :class:`InvariantViolation` /
+  :class:`RunContext` -- the runtime invariant engine
+  (:mod:`repro.verify`): attach the observer to any run to assert
+  conservation, clock and accounting invariants on every event, and
+  register custom invariants via :func:`register_invariant`.
 * :mod:`repro.registry` (re-exported helpers) -- decorator registration
   of policies, preemption rules, arrival processes, fault models and
   bench sizes, plus ``repro.plugins`` entry-point discovery for
@@ -51,16 +56,33 @@ from repro.registry import (
     register_arrival_process,
     register_bench_size,
     register_fault_model,
+    register_fuzz_budget,
+    register_invariant,
     register_policy,
     register_preemption_rule,
 )
-from repro.sim.observers import RunObserver
+from repro.sim.observers import RunContext, RunObserver
 from repro.sim.scenario import ScenarioError, ScenarioSpec
+from repro.verify import (
+    DifferentialMismatch,
+    FuzzBudget,
+    InvariantObserver,
+    InvariantViolation,
+    ScenarioFuzzer,
+    run_fuzz_campaign,
+)
 
 __all__ = [
     "Experiment",
     "EventStream",
     "RunObserver",
+    "RunContext",
+    "InvariantObserver",
+    "InvariantViolation",
+    "DifferentialMismatch",
+    "FuzzBudget",
+    "ScenarioFuzzer",
+    "run_fuzz_campaign",
     "RunResult",
     "SweepResult",
     "SweepPoint",
@@ -81,4 +103,6 @@ __all__ = [
     "register_arrival_process",
     "register_fault_model",
     "register_bench_size",
+    "register_invariant",
+    "register_fuzz_budget",
 ]

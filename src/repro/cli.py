@@ -7,7 +7,7 @@ anything the CLI does is equally available to notebooks and services, and
 all ``--json`` payloads carry a ``schema_version`` (frozen schema v1, see
 ``docs/api.md``).
 
-Six commands cover the common workflows:
+Seven commands cover the common workflows:
 
 ``run``
     Simulate one scenario file and print per-tenant plus aggregate
@@ -55,6 +55,16 @@ Six commands cover the common workflows:
 
         python -m repro profile scenarios/multi_tenant.yaml
         python -m repro profile scenarios/multi_tenant.yaml --json -
+
+``fuzz``
+    Run a property-based verification campaign: generate random valid
+    scenarios from a seeded fuzzer, execute each under the runtime
+    invariant engine, cross-check with the differential oracles, and
+    shrink any failure to a minimal reproducer under ``repro-failures/``
+    (see ``docs/testing.md``)::
+
+        python -m repro fuzz --seed 0 --runs 25 --budget smoke
+        python -m repro fuzz --seed 7 --runs 100 --budget deep --json -
 
 ``run``, ``validate``, ``sweep`` and ``profile`` accept repeatable
 ``--set PATH=VALUE`` dotted-path overrides (the sweep-grid syntax, e.g.
@@ -354,6 +364,37 @@ def _print_profile(scenario_path: str, spec: ScenarioSpec, profile: ProfileResul
     )
 
 
+# -- fuzz --------------------------------------------------------------------------
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Run one property-based verification campaign (see docs/testing.md)."""
+    from repro.verify import run_fuzz_campaign
+
+    _configure_plancache(args)
+    stdout_json = args.json == "-"
+    say = (lambda line: None) if stdout_json else print
+    report = run_fuzz_campaign(
+        seed=args.seed,
+        runs=args.runs,
+        budget=args.budget,
+        out_dir=args.out,
+        differential=not args.no_differential,
+        shrink=not args.no_shrink,
+        log=say,
+    )
+    if args.json:
+        _write_json(report.to_dict(), args.json)
+    if not report.ok:
+        print(
+            f"error: {len(report.failures)} failing scenario(s); "
+            f"reproducers under {args.out}/",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 # -- bench -------------------------------------------------------------------------
 
 
@@ -498,6 +539,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only this experiment id (repeatable), e.g. --only 'Figure 9'",
     )
     report_p.set_defaults(func=cmd_report)
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="fuzz random scenarios under the invariant engine and oracles",
+    )
+    from repro.registry import fuzz_budgets as _FUZZ_BUDGETS
+
+    fuzz_p.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (default: 0)"
+    )
+    fuzz_p.add_argument(
+        "--runs", type=int, default=25, help="scenarios to generate (default: 25)"
+    )
+    fuzz_p.add_argument(
+        "--budget",
+        default="smoke",
+        choices=_FUZZ_BUDGETS.names(),
+        help="size/complexity preset (default: smoke)",
+    )
+    fuzz_p.add_argument(
+        "--out",
+        default="repro-failures",
+        metavar="DIR",
+        help="directory for shrunk failure reproducers (default: repro-failures)",
+    )
+    fuzz_p.add_argument(
+        "--no-differential",
+        action="store_true",
+        help="skip the differential oracles (invariants only)",
+    )
+    fuzz_p.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="write failing scenarios as-is instead of shrinking them",
+    )
+    fuzz_p.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the campaign report as JSON to PATH ('-' for stdout)",
+    )
+    _add_cache_flags(fuzz_p)
+    fuzz_p.set_defaults(func=cmd_fuzz)
 
     bench_p = sub.add_parser(
         "bench", help="run the simulator performance benchmarks"

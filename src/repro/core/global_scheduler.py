@@ -570,3 +570,22 @@ class GlobalScheduler:
         lost from aggregate metrics.
         """
         return list(self._evicted.values())
+
+    def migrated_progress(self) -> Tuple[float, float, float]:
+        """``(flops, samples, busy_seconds)`` imported by migrated jobs.
+
+        Sums the ``*_imported`` markers over every live tenant record:
+        progress that was banked on a since-departed tenant's devices by
+        jobs later re-placed elsewhere.  Per-tenant metrics exclude those
+        shares (the new host's devices never supplied them), so result
+        collection adds this exactly once to the aggregate.  Progress
+        still parked in ``_evicted`` is *not* included -- those records
+        are accounted through :meth:`evicted_records`.
+        """
+        flops = samples = busy = 0.0
+        for sched in self.tenants.values():
+            for record in sched.records.values():
+                flops += record.flops_imported
+                samples += record.samples_imported
+                busy += record.busy_imported_seconds
+        return flops, samples, busy

@@ -113,6 +113,13 @@ class JobRecord:
     FLOPs.  Preemption banks the partial progress of the interrupted
     segment into ``flops_banked`` / ``busy_banked_seconds`` and shrinks
     ``samples_remaining`` so re-dispatch only schedules the leftover work.
+
+    The ``*_imported`` fields mark the share of the banked totals that was
+    accrued on a *previous* host tenant's devices before the job migrated
+    here (evicted from a departed tenant, re-placed by the global
+    scheduler): the banked totals must keep it so remaining work is priced
+    correctly, but per-tenant device accounting must exclude it -- this
+    tenant's devices never supplied that time.
     """
 
     job: FillJob
@@ -125,6 +132,9 @@ class JobRecord:
     busy_banked_seconds: float = 0.0
     samples_remaining: float = field(init=False, default=0.0)
     num_preemptions: int = 0
+    flops_imported: float = 0.0
+    busy_imported_seconds: float = 0.0
+    samples_imported: float = 0.0
 
     def __post_init__(self) -> None:
         self.samples_remaining = self.job.num_samples
@@ -547,6 +557,12 @@ class FillJobScheduler:
         record.flops_executed = carried.flops_banked
         record.busy_banked_seconds = carried.busy_banked_seconds
         record.num_preemptions = carried.num_preemptions
+        # Everything banked so far happened on other tenants' devices
+        # (including anything the carried record itself imported); mark it
+        # so this tenant's metrics attribute only locally-supplied time.
+        record.flops_imported = carried.flops_banked
+        record.busy_imported_seconds = carried.busy_banked_seconds
+        record.samples_imported = carried.job.num_samples - carried.samples_remaining
         self._forget_view(job_id)
         if self._index is not None and job_id in self._index:
             self._index.remove(job_id)

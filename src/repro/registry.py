@@ -239,6 +239,11 @@ arrival_processes = Registry(
 fault_models = Registry("fault model", seed_module="repro.sim.faultmodels")
 #: Bench workload sizes: :class:`repro.bench.workloads.BenchSize` values.
 bench_sizes = Registry("bench size", seed_module="repro.bench.workloads")
+#: Runtime invariants: zero-argument factories producing
+#: :class:`repro.verify.invariants.Invariant` checkers.
+invariants = Registry("invariant", seed_module="repro.verify.invariants")
+#: Fuzz budget presets: :class:`repro.verify.fuzz.FuzzBudget` values.
+fuzz_budgets = Registry("fuzz budget", seed_module="repro.verify.fuzz")
 
 
 def register_policy(name: str, policy: Any = None, *, overwrite: bool = False):
@@ -277,6 +282,24 @@ def register_fault_model(name: str, model: Any = None, *, overwrite: bool = Fals
 def register_bench_size(size: Any, *, overwrite: bool = False) -> Any:
     """Register a :class:`~repro.bench.workloads.BenchSize` under its name."""
     return bench_sizes.register(size.name, size, overwrite=overwrite)
+
+
+def register_invariant(name: str, factory: Any = None, *, overwrite: bool = False):
+    """Register a runtime invariant (decorator or direct call).
+
+    ``factory`` is a zero-argument callable (typically an
+    :class:`~repro.verify.invariants.Invariant` subclass) producing a
+    fresh checker per run; every default-constructed
+    :class:`~repro.verify.invariants.InvariantObserver` checks all
+    registered invariants, so plugins extend the verification surface by
+    registering here (directly or via ``repro.plugins`` entry points).
+    """
+    return invariants.register(name, factory, overwrite=overwrite)
+
+
+def register_fuzz_budget(budget: Any, *, overwrite: bool = False) -> Any:
+    """Register a :class:`~repro.verify.fuzz.FuzzBudget` under its name."""
+    return fuzz_budgets.register(budget.name, budget, overwrite=overwrite)
 
 
 def resolve_policy(policy: Any) -> Callable:

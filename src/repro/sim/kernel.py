@@ -19,6 +19,13 @@ Dynamic cluster events (failures, elastic tenants) are configured with
 :class:`FaultSpec` / the ``join_at``/``leave_at`` fields of
 :class:`~repro.sim.multi_tenant.Tenant` and translated into kernel events
 by the simulators; see ``docs/scenarios.md`` for the YAML surface.
+
+The kernel also hosts the observation points the rest of the stack hangs
+off: :meth:`SimKernel.set_event_observer` feeds both the streaming
+:class:`~repro.sim.observers.RunObserver` API and the runtime invariant
+engine (:class:`repro.verify.InvariantObserver`), which checks
+simulator-wide invariants at every event boundary; see
+``docs/testing.md``.
 """
 
 from __future__ import annotations

@@ -168,9 +168,13 @@ def collect_fill_metrics(
             continue
         if record.state is FillJobState.COMPLETED:
             completed += 1
-            total_flops += record.flops_executed
-            total_samples += job.num_samples
-            busy_seconds += record.busy_banked_seconds
+            # A job that migrated in from a departed tenant banked part of
+            # its progress on that tenant's devices; attribute only the
+            # locally-supplied share here (the ``*_imported`` markers; the
+            # aggregate re-adds the migrated share exactly once).
+            total_flops += record.flops_executed - record.flops_imported
+            total_samples += job.num_samples - record.samples_imported
+            busy_seconds += record.busy_banked_seconds - record.busy_imported_seconds
             if record.met_deadline:
                 deadlines_met += 1
         elif record.state is FillJobState.RUNNING and record.start_time is not None:
@@ -184,17 +188,28 @@ def collect_fill_metrics(
                 fraction = max(
                     0.0, min(1.0, (horizon - record.start_time) / segment_duration)
                 )
-            total_flops += record.flops_banked + fraction * segment_flops
+            total_flops += (
+                record.flops_banked + fraction * segment_flops - record.flops_imported
+            )
             samples_done = job.num_samples - record.samples_remaining
-            total_samples += samples_done + fraction * record.samples_remaining
-            busy_seconds += record.busy_banked_seconds + max(
-                0.0, min(horizon, scheduled_end) - record.start_time
+            total_samples += (
+                samples_done
+                + fraction * record.samples_remaining
+                - record.samples_imported
+            )
+            busy_seconds += (
+                record.busy_banked_seconds
+                - record.busy_imported_seconds
+                + max(0.0, min(horizon, scheduled_end) - record.start_time)
             )
         else:
-            # Queued: only earlier preempted segments count.
-            total_flops += record.flops_banked
-            total_samples += job.num_samples - record.samples_remaining
-            busy_seconds += record.busy_banked_seconds
+            # Queued: only earlier preempted segments count, minus whatever
+            # was banked on a previous host's devices before migrating in.
+            total_flops += record.flops_banked - record.flops_imported
+            total_samples += (
+                job.num_samples - record.samples_remaining - record.samples_imported
+            )
+            busy_seconds += record.busy_banked_seconds - record.busy_imported_seconds
     return FillJobMetrics(
         jobs_submitted=len(scheduler.records),
         jobs_completed=completed,

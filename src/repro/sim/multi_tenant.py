@@ -45,7 +45,7 @@ from repro.core.system import PipeFillSystem
 from repro.core.config import main_job_overhead_fraction
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.kernel import FaultSpec, OpenLoopArrivals, SimKernel, schedule_faults
-from repro.sim.observers import ObserverFanout, RunObserver
+from repro.sim.observers import ObserverFanout, RunContext, RunObserver
 from repro.sim.metrics import (
     FillJobMetrics,
     UtilizationReport,
@@ -272,6 +272,7 @@ class _RunSetup:
     kernel: SimKernel
     global_sched: GlobalScheduler
     jobs_by_id: Dict[str, FillJob]
+    fanout: Optional[ObserverFanout] = None
 
 
 class MultiTenantSimulator:
@@ -568,11 +569,28 @@ class MultiTenantSimulator:
             EventKind.TENANT_LEAVE,
             observed_leave if fanout is not None else on_tenant_leave,
         )
-        return _RunSetup(kernel=kernel, global_sched=global_sched, jobs_by_id=jobs_by_id)
+        if fanout is not None:
+            # Fired once the run is fully assembled: deep observers (e.g.
+            # the invariant engine in ``repro.verify``) grab read-only
+            # handles on the kernel and schedulers here.
+            fanout.on_run_started(
+                RunContext(
+                    kernel=kernel,
+                    scheduler=global_sched,
+                    tenants=dict(self.tenants),
+                    horizon_seconds=horizon_seconds,
+                )
+            )
+        return _RunSetup(
+            kernel=kernel,
+            global_sched=global_sched,
+            jobs_by_id=jobs_by_id,
+            fanout=fanout,
+        )
 
     def _finish(self, setup: "_RunSetup", horizon: float) -> MultiTenantResult:
         stats = setup.kernel.stats()
-        return self._collect(
+        result = self._collect(
             setup.global_sched,
             list(setup.jobs_by_id.values()),
             horizon,
@@ -580,6 +598,9 @@ class MultiTenantSimulator:
             events_by_kind=stats.events_by_kind,
             timings_by_kind=stats.timings_by_kind,
         )
+        if setup.fanout is not None:
+            setup.fanout.on_run_finished(result)
+        return result
 
     # -- result assembly ---------------------------------------------------------
 
@@ -636,17 +657,27 @@ class MultiTenantSimulator:
         )
         # Jobs evicted from a departed tenant and never re-placed carry
         # banked progress that no tenant's records hold anymore; the work
-        # was physically executed, so the aggregate must keep it.
+        # was physically executed, so the aggregate must keep it.  Jobs
+        # that *were* re-placed keep that migrated-in progress marked on
+        # their new record, excluded from the new host's per-tenant
+        # metrics (its devices never supplied it) -- re-add it here, once.
         parked = global_sched.evicted_records()
+        migrated_flops, migrated_samples, migrated_busy = (
+            global_sched.migrated_progress()
+        )
         aggregate = replace(
             merged,
             jobs_submitted=len(global_sched.jobs),
             jobs_rejected=merged.jobs_rejected + len(global_sched.rejected),
             deadlines_total=merged.deadlines_total + unplaced_deadlines,
-            total_flops=merged.total_flops + sum(r.flops_banked for r in parked),
+            total_flops=merged.total_flops
+            + migrated_flops
+            + sum(r.flops_banked for r in parked),
             total_samples=merged.total_samples
+            + migrated_samples
             + sum(r.job.num_samples - r.samples_remaining for r in parked),
             busy_device_seconds=merged.busy_device_seconds
+            + migrated_busy
             + sum(r.busy_banked_seconds for r in parked),
             num_preemptions=merged.num_preemptions
             + sum(r.num_preemptions for r in parked),

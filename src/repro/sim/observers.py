@@ -33,9 +33,31 @@ the API costs nothing unless used.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping, Optional
 
 from repro.sim.events import Event
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Read-only handle on one live run, passed to ``on_run_started``.
+
+    Gives deep observers (dashboards, the invariant engine of
+    :mod:`repro.verify`) access to the run's machinery without the
+    simulator leaking it through every callback.  Everything here must be
+    treated as read-only: mutating the kernel or a scheduler from an
+    observer voids the bit-identical-results guarantee.
+    """
+
+    #: The :class:`~repro.sim.kernel.SimKernel` driving the run.
+    kernel: object
+    #: The run's :class:`~repro.core.global_scheduler.GlobalScheduler`.
+    scheduler: object
+    #: The participating :class:`~repro.sim.multi_tenant.Tenant` objects.
+    tenants: Mapping[str, object]
+    #: The requested horizon (``None`` for open-ended runs).
+    horizon_seconds: Optional[float] = None
 
 
 class RunObserver:
@@ -48,6 +70,14 @@ class RunObserver:
 
     #: Fire ``on_progress`` every this many processed events.
     progress_every: int = 1000
+
+    def on_run_started(self, context: RunContext) -> None:
+        """The run is assembled (handlers registered, events scheduled)
+        but no event has been processed yet."""
+
+    def on_run_finished(self, result) -> None:
+        """The run completed; ``result`` is the raw
+        :class:`~repro.sim.multi_tenant.MultiTenantResult`."""
 
     def on_event(self, event: Event, now: float) -> None:
         """Any event was popped (before its handler applies it)."""
@@ -86,6 +116,16 @@ class ObserverFanout:
             1, min(int(o.progress_every) for o in self._observers)
         )
         self._countdown = self._progress_every
+
+    # -- run lifecycle -----------------------------------------------------------
+
+    def on_run_started(self, context: RunContext) -> None:
+        for observer in self._observers:
+            observer.on_run_started(context)
+
+    def on_run_finished(self, result) -> None:
+        for observer in self._observers:
+            observer.on_run_finished(result)
 
     # -- kernel hook -------------------------------------------------------------
 

@@ -1,0 +1,590 @@
+"""The runtime invariant engine: machine-checked simulator correctness.
+
+An :class:`InvariantObserver` rides along any run through the streaming
+:class:`~repro.sim.observers.RunObserver` API and checks, while the run
+executes, the invariants the simulator's design promises:
+
+* **clock-monotonic** -- the kernel clock never moves backwards and every
+  event is handled exactly at its scheduled time;
+* **horizon-cutoff** -- the clock never advances past the requested
+  horizon;
+* **job-conservation** -- every submitted job is, at all times, in exactly
+  one of the global backlog, exactly one tenant's records, or the
+  rejected set; completed jobs stay completed;
+* **executor-states** -- no executor is simultaneously down and busy, and
+  executor occupancy and job records always agree (no assignment to a
+  down device can survive an event boundary);
+* **progress-never-lost** -- preempted/interrupted work is never lost:
+  per job, banked FLOPs and preemption counts never decrease and
+  remaining samples never increase;
+* **tenant-accounting** -- at the end of the run, per-tenant metrics sum
+  to the aggregate (including progress parked on evicted records) and no
+  tenant reports more busy device-seconds than physically possible.
+
+A failed check raises a structured :class:`InvariantViolation` naming the
+invariant, the simulation time and the offending state, which aborts the
+run at the exact event where the state first went wrong -- the property
+the fuzz campaign (:mod:`repro.verify.campaign`) and the shrinker build
+on.
+
+Custom invariants plug in through :func:`repro.registry.register_invariant`
+(including via ``repro.plugins`` entry points): register a zero-argument
+factory returning an :class:`Invariant`, and every default-constructed
+:class:`InvariantObserver` picks it up.
+
+The observer is strictly read-only and therefore digest-neutral: a run
+under :class:`InvariantObserver` produces bit-identical results to an
+unobserved run (the golden-digest tests assert exactly this).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.scheduler import FillJobState
+from repro.registry import register_invariant
+from repro.sim.events import Event
+from repro.sim.observers import RunContext, RunObserver
+
+#: Relative tolerance for floating-point monotonicity/accounting checks.
+REL_TOL = 1e-9
+#: Absolute tolerance floor (banked FLOPs are ~1e12-scale, times ~1e3).
+ABS_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One structured invariant violation."""
+
+    invariant: str
+    message: str
+    time: Optional[float] = None
+    event: Optional[str] = None
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "invariant": self.invariant,
+            "message": self.message,
+            "time": self.time,
+            "event": self.event,
+            "details": dict(self.details),
+        }
+
+
+class InvariantViolation(AssertionError):
+    """Raised when a runtime invariant fails; carries the :class:`Violation`."""
+
+    def __init__(self, violation: Violation) -> None:
+        self.violation = violation
+        at = "" if violation.time is None else f" at t={violation.time:g}"
+        via = "" if violation.event is None else f" (event {violation.event})"
+        super().__init__(f"[{violation.invariant}]{at}{via}: {violation.message}")
+
+
+class Invariant:
+    """Base class for one machine-checked invariant.
+
+    Subclasses override :meth:`on_event` (called at event boundaries,
+    *before* the event's handler applies it) and/or :meth:`on_finished`
+    (called once with the run's result) and report failures through
+    :meth:`fail`.  ``expensive = True`` marks checkers whose sweep is
+    O(jobs + executors); the observer throttles those on large runs (see
+    :class:`InvariantObserver`).  One instance checks one run: the
+    observer constructs a fresh checker per run from its factory.
+    """
+
+    name = "invariant"
+    expensive = False
+
+    def bind(self, context: RunContext) -> None:
+        """Attach the run's read-only context before any event fires."""
+        self.context = context
+
+    def on_event(self, event: Event, now: float) -> None:
+        """Check state as left by the previous event's handler."""
+
+    def on_finished(self, result) -> None:
+        """Check the final state and the collected result."""
+
+    def fail(
+        self,
+        message: str,
+        *,
+        now: Optional[float] = None,
+        event: Optional[Event] = None,
+        **details: Any,
+    ) -> None:
+        raise InvariantViolation(
+            Violation(
+                invariant=self.name,
+                message=message,
+                time=now,
+                event=None if event is None else event.kind.value,
+                details=details,
+            )
+        )
+
+
+def _decreased(new: float, old: float) -> bool:
+    """Whether ``new`` is below ``old`` beyond floating-point tolerance."""
+    return new < old - max(ABS_TOL, REL_TOL * abs(old))
+
+
+@register_invariant("clock-monotonic")
+class ClockMonotonic(Invariant):
+    """The kernel clock only moves forward and matches each event's time."""
+
+    name = "clock-monotonic"
+
+    def bind(self, context: RunContext) -> None:
+        super().bind(context)
+        self._last: Optional[float] = None
+
+    def on_event(self, event: Event, now: float) -> None:
+        if now < 0:
+            self.fail(f"clock went negative ({now})", now=now, event=event)
+        if now != event.time:
+            self.fail(
+                f"clock {now} does not match event time {event.time}",
+                now=now,
+                event=event,
+                event_time=event.time,
+            )
+        if self._last is not None and now < self._last:
+            self.fail(
+                f"clock moved backwards: {self._last} -> {now}",
+                now=now,
+                event=event,
+                previous=self._last,
+            )
+        self._last = now
+
+
+@register_invariant("horizon-cutoff")
+class HorizonCutoff(Invariant):
+    """The clock never advances past the requested horizon."""
+
+    name = "horizon-cutoff"
+
+    def on_event(self, event: Event, now: float) -> None:
+        horizon = self.context.horizon_seconds
+        if horizon is not None and now > horizon + max(ABS_TOL, REL_TOL * horizon):
+            self.fail(
+                f"event handled at {now}, past the horizon {horizon}",
+                now=now,
+                event=event,
+                horizon=horizon,
+            )
+
+    def on_finished(self, result) -> None:
+        horizon = self.context.horizon_seconds
+        if horizon is not None and result.horizon_seconds != horizon:
+            self.fail(
+                f"result horizon {result.horizon_seconds} != requested {horizon}",
+                horizon=horizon,
+            )
+
+
+@register_invariant("job-conservation")
+class JobConservation(Invariant):
+    """Every submitted job lives in exactly one place at all times."""
+
+    name = "job-conservation"
+    expensive = True
+
+    def bind(self, context: RunContext) -> None:
+        super().bind(context)
+        self._completed: Set[str] = set()
+
+    def _check(self, now: Optional[float], event: Optional[Event]) -> None:
+        scheduler = self.context.scheduler
+        try:
+            # job_states() itself raises when a job is double-booked
+            # across the backlog and a tenant (or across two tenants).
+            states = scheduler.job_states()
+        except RuntimeError as exc:
+            self.fail(str(exc), now=now, event=event)
+            return
+        submitted = set(scheduler.jobs)
+        tracked = set(states)
+        if tracked != submitted:
+            lost = sorted(submitted - tracked)[:5]
+            phantom = sorted(tracked - submitted)[:5]
+            self.fail(
+                f"{len(submitted - tracked)} submitted job(s) lost, "
+                f"{len(tracked - submitted)} phantom job(s) tracked",
+                now=now,
+                event=event,
+                lost=lost,
+                phantom=phantom,
+            )
+        for job_id in self._completed:
+            state = states.get(job_id)
+            if state is not FillJobState.COMPLETED:
+                self.fail(
+                    f"completed job {job_id!r} regressed to {state}",
+                    now=now,
+                    event=event,
+                    job_id=job_id,
+                )
+        self._completed.update(
+            job_id
+            for job_id, state in states.items()
+            if state is FillJobState.COMPLETED
+        )
+
+    def on_event(self, event: Event, now: float) -> None:
+        self._check(now, event)
+
+    def on_finished(self, result) -> None:
+        self._check(None, None)
+
+
+@register_invariant("executor-states")
+class ExecutorStates(Invariant):
+    """Executor occupancy and job records always agree.
+
+    In particular no executor is ever down *and* busy across an event
+    boundary, so work is never assigned to (or left running on) a device
+    that is down.
+    """
+
+    name = "executor-states"
+    expensive = True
+
+    def _check(self, now: Optional[float], event: Optional[Event]) -> None:
+        for tenant, sched in self.context.scheduler.tenants.items():
+            for idx, state in sched.executors.items():
+                if state.is_down and state.is_busy:
+                    self.fail(
+                        f"executor {idx} of tenant {tenant!r} is down and busy "
+                        f"(running {state.current_job_id!r})",
+                        now=now,
+                        event=event,
+                        tenant=tenant,
+                        executor=idx,
+                        job_id=state.current_job_id,
+                    )
+                job_id = state.current_job_id
+                if job_id is None:
+                    continue
+                record = sched.records.get(job_id)
+                if record is None:
+                    self.fail(
+                        f"executor {idx} of tenant {tenant!r} runs unknown "
+                        f"job {job_id!r}",
+                        now=now,
+                        event=event,
+                        tenant=tenant,
+                        executor=idx,
+                        job_id=job_id,
+                    )
+                elif (
+                    record.state is not FillJobState.RUNNING
+                    or record.assigned_executor != idx
+                ):
+                    self.fail(
+                        f"executor {idx} of tenant {tenant!r} runs {job_id!r} "
+                        f"but its record says state={record.state.value} "
+                        f"executor={record.assigned_executor}",
+                        now=now,
+                        event=event,
+                        tenant=tenant,
+                        executor=idx,
+                        job_id=job_id,
+                    )
+            for job_id, record in sched.records.items():
+                if record.state is not FillJobState.RUNNING:
+                    continue
+                executor = sched.executors.get(record.assigned_executor)
+                if executor is None or executor.current_job_id != job_id:
+                    self.fail(
+                        f"running job {job_id!r} of tenant {tenant!r} claims "
+                        f"executor {record.assigned_executor} which carries "
+                        f"{None if executor is None else executor.current_job_id!r}",
+                        now=now,
+                        event=event,
+                        tenant=tenant,
+                        job_id=job_id,
+                    )
+
+    def on_event(self, event: Event, now: float) -> None:
+        self._check(now, event)
+
+    def on_finished(self, result) -> None:
+        self._check(None, None)
+
+
+@register_invariant("progress-never-lost")
+class ProgressNeverLost(Invariant):
+    """Banked progress survives preemption, failures and tenant churn.
+
+    Tracks a per-job high-water mark over every record holding the job
+    (tenant records and progress parked on evicted records): banked FLOPs,
+    banked busy time and the preemption count never decrease, and
+    remaining samples never increase.
+    """
+
+    name = "progress-never-lost"
+    expensive = True
+
+    def bind(self, context: RunContext) -> None:
+        super().bind(context)
+        # job_id -> (flops_banked, busy_banked_seconds, samples_remaining,
+        #            num_preemptions)
+        self._marks: Dict[str, Tuple[float, float, float, int]] = {}
+
+    def _records(self):
+        for sched in self.context.scheduler.tenants.values():
+            for record in sched.records.values():
+                yield record
+        for record in self.context.scheduler.evicted_records():
+            yield record
+
+    def _check(self, now: Optional[float], event: Optional[Event]) -> None:
+        for record in self._records():
+            job_id = record.job.job_id
+            current = (
+                record.flops_banked,
+                record.busy_banked_seconds,
+                record.samples_remaining,
+                record.num_preemptions,
+            )
+            mark = self._marks.get(job_id)
+            if mark is not None:
+                flops, busy, samples, preemptions = mark
+                if _decreased(current[0], flops):
+                    self.fail(
+                        f"job {job_id!r} lost banked FLOPs: "
+                        f"{flops:.6g} -> {current[0]:.6g}",
+                        now=now,
+                        event=event,
+                        job_id=job_id,
+                    )
+                if _decreased(current[1], busy):
+                    self.fail(
+                        f"job {job_id!r} lost banked busy seconds: "
+                        f"{busy:.6g} -> {current[1]:.6g}",
+                        now=now,
+                        event=event,
+                        job_id=job_id,
+                    )
+                if _decreased(-current[2], -samples):
+                    self.fail(
+                        f"job {job_id!r} regained samples: "
+                        f"{samples:.6g} -> {current[2]:.6g}",
+                        now=now,
+                        event=event,
+                        job_id=job_id,
+                    )
+                if current[3] < preemptions:
+                    self.fail(
+                        f"job {job_id!r} preemption count went backwards: "
+                        f"{preemptions} -> {current[3]}",
+                        now=now,
+                        event=event,
+                        job_id=job_id,
+                    )
+            self._marks[job_id] = (
+                max(current[0], mark[0]) if mark else current[0],
+                max(current[1], mark[1]) if mark else current[1],
+                min(current[2], mark[2]) if mark else current[2],
+                max(current[3], mark[3]) if mark else current[3],
+            )
+
+    def on_event(self, event: Event, now: float) -> None:
+        self._check(now, event)
+
+    def on_finished(self, result) -> None:
+        self._check(None, None)
+
+
+@register_invariant("tenant-accounting")
+class TenantAccounting(Invariant):
+    """Per-tenant results sum to the aggregate, and capacity is respected."""
+
+    name = "tenant-accounting"
+
+    @staticmethod
+    def _close(a: float, b: float) -> bool:
+        return math.isclose(a, b, rel_tol=REL_TOL, abs_tol=ABS_TOL)
+
+    def on_finished(self, result) -> None:
+        scheduler = self.context.scheduler
+        aggregate = result.aggregate
+        tenants = list(result.tenants.values())
+        parked = scheduler.evicted_records()
+        migrated_flops, _, migrated_busy = scheduler.migrated_progress()
+
+        completed = sum(t.fill_metrics.jobs_completed for t in tenants)
+        if aggregate.jobs_completed != completed:
+            self.fail(
+                f"aggregate jobs_completed {aggregate.jobs_completed} != "
+                f"sum of tenants {completed}"
+            )
+        placed = sum(len(s.records) for s in scheduler.tenants.values())
+        accounted = placed + result.backlog_remaining + result.jobs_rejected_global
+        if aggregate.jobs_submitted != len(scheduler.jobs):
+            self.fail(
+                f"aggregate jobs_submitted {aggregate.jobs_submitted} != "
+                f"{len(scheduler.jobs)} submitted jobs"
+            )
+        if accounted != aggregate.jobs_submitted:
+            self.fail(
+                f"placed ({placed}) + backlog ({result.backlog_remaining}) + "
+                f"rejected ({result.jobs_rejected_global}) = {accounted} != "
+                f"submitted {aggregate.jobs_submitted}"
+            )
+
+        flops = (
+            sum(t.fill_metrics.total_flops for t in tenants)
+            + sum(r.flops_banked for r in parked)
+            + migrated_flops
+        )
+        if not self._close(aggregate.total_flops, flops):
+            self.fail(
+                f"aggregate total_flops {aggregate.total_flops:.6g} != "
+                f"tenant sum + parked + migrated {flops:.6g}"
+            )
+        busy = (
+            sum(t.fill_metrics.busy_device_seconds for t in tenants)
+            + sum(r.busy_banked_seconds for r in parked)
+            + migrated_busy
+        )
+        if not self._close(aggregate.busy_device_seconds, busy):
+            self.fail(
+                f"aggregate busy_device_seconds {aggregate.busy_device_seconds:.6g} "
+                f"!= tenant sum + parked + migrated {busy:.6g}"
+            )
+        preemptions = sum(t.fill_metrics.num_preemptions for t in tenants) + sum(
+            r.num_preemptions for r in parked
+        )
+        if aggregate.num_preemptions != preemptions:
+            self.fail(
+                f"aggregate num_preemptions {aggregate.num_preemptions} != "
+                f"tenant sum + parked {preemptions}"
+            )
+
+        by_kind = sum(result.events_by_kind.values())
+        if result.events_processed != by_kind:
+            self.fail(
+                f"events_processed {result.events_processed} != "
+                f"sum of events_by_kind {by_kind}"
+            )
+
+        for tenant in tenants:
+            capacity = result.horizon_seconds * tenant.num_devices
+            busy = tenant.fill_metrics.busy_device_seconds
+            if busy > capacity + max(ABS_TOL, REL_TOL * capacity):
+                self.fail(
+                    f"tenant {tenant.name!r} reports {busy:.6g} busy "
+                    f"device-seconds over a capacity of {capacity:.6g}",
+                    tenant=tenant.name,
+                )
+
+
+#: Factory for one invariant: a name, an :class:`Invariant` subclass (or
+#: zero-argument factory), or a pre-built instance.
+InvariantLike = Union[str, type, Invariant]
+
+
+class InvariantObserver(RunObserver):
+    """A :class:`~repro.sim.observers.RunObserver` that enforces invariants.
+
+    Parameters
+    ----------
+    invariants:
+        Which invariants to check: registered names, :class:`Invariant`
+        factories, or instances.  Defaults to *every* registered
+        invariant (the shipped six plus any plugin registrations).
+    check_every:
+        Stride (in events) for the O(jobs + executors) state sweeps.
+        Cheap per-event checks (clock, horizon) always run on every
+        event.  The default (``None``) adapts the stride to the number of
+        submitted jobs, keeping the sweep cost a bounded fraction of the
+        run; pass ``1`` to sweep at every event boundary (what the fuzz
+        campaign uses on its small scenarios).
+
+    The observer never mutates simulator state, so any run under it is
+    digest-identical to the same run without it.
+    """
+
+    #: No periodic progress callbacks needed; keep the fanout cadence huge.
+    progress_every = 1_000_000_000
+
+    def __init__(
+        self,
+        invariants: Optional[Sequence[InvariantLike]] = None,
+        *,
+        check_every: Optional[int] = None,
+    ) -> None:
+        self._selected = None if invariants is None else list(invariants)
+        self._check_every = check_every
+        self._context: Optional[RunContext] = None
+        self._cheap: List[Invariant] = []
+        self._expensive: List[Invariant] = []
+        self._countdown = 1
+
+    @staticmethod
+    def _instantiate(item: InvariantLike) -> Invariant:
+        if isinstance(item, Invariant):
+            return item
+        if isinstance(item, str):
+            from repro import registry
+
+            item = registry.invariants.get(item)
+        checker = item() if callable(item) else item
+        if not isinstance(checker, Invariant):
+            raise TypeError(
+                f"invariant factory {item!r} did not produce an Invariant, "
+                f"got {type(checker).__name__}"
+            )
+        return checker
+
+    def checkers(self) -> List[Invariant]:
+        """The bound checkers of the current (or last) run."""
+        return self._cheap + self._expensive
+
+    # -- RunObserver callbacks ---------------------------------------------------
+
+    def on_run_started(self, context: RunContext) -> None:
+        selected = self._selected
+        if selected is None:
+            from repro import registry
+
+            selected = registry.invariants.names()
+        self._context = context
+        self._cheap = []
+        self._expensive = []
+        for item in selected:
+            checker = self._instantiate(item)
+            checker.bind(context)
+            (self._expensive if checker.expensive else self._cheap).append(checker)
+        self._countdown = 1
+
+    def _stride(self) -> int:
+        if self._check_every is not None:
+            return max(1, int(self._check_every))
+        assert self._context is not None
+        # Adaptive: sweeps cost O(jobs), so spacing them ~jobs/8 events
+        # apart bounds the total overhead at a constant factor of the run
+        # while still sweeping every event on small scenarios.
+        return max(1, len(self._context.scheduler.jobs) // 8)
+
+    def on_event(self, event: Event, now: float) -> None:
+        for checker in self._cheap:
+            checker.on_event(event, now)
+        self._countdown -= 1
+        if self._countdown <= 0:
+            for checker in self._expensive:
+                checker.on_event(event, now)
+            self._countdown = self._stride()
+
+    def on_run_finished(self, result) -> None:
+        for checker in self._cheap:
+            checker.on_finished(result)
+        for checker in self._expensive:
+            checker.on_finished(result)

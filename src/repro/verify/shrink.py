@@ -1,0 +1,213 @@
+"""Greedy failure shrinker: minimize a failing scenario to a reproducer.
+
+Given a raw scenario dict and a predicate that decides whether a
+candidate still exhibits the failure (an invariant violation, an oracle
+mismatch, a crash...), :func:`shrink_spec` repeatedly applies structural
+reductions -- drop tenants, drop faults, shorten the horizon, strip
+elasticity/deadlines/open-loop streams, thin the workload -- keeping a
+candidate only when it still *validates* and still *fails*.  The result
+is a locally-minimal reproducer: no single remaining reduction can be
+applied without losing the failure.
+
+:func:`write_reproducer` serializes the shrunk spec to
+``repro-failures/<seed>.yaml`` with a provenance header, ready to be
+replayed with ``python -m repro run`` or pinned under
+``scenarios/regressions/``.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Union
+
+from repro.sim.scenario import ScenarioError, ScenarioSpec
+
+#: Predicate deciding whether a candidate raw spec still fails.
+FailurePredicate = Callable[[Dict[str, Any]], bool]
+
+#: Never shrink the horizon below this (seconds); degenerate horizons stop
+#: exercising the failure's scheduling behaviour.
+MIN_HORIZON_SECONDS = 60.0
+
+
+def _is_valid(raw: Mapping[str, Any]) -> bool:
+    try:
+        ScenarioSpec.from_dict(raw)
+    except ScenarioError:
+        return False
+    return True
+
+
+def _drop_foreign_faults(raw: Dict[str, Any]) -> None:
+    """Remove faults (and fault-model pins) referencing dropped tenants."""
+    names = {t.get("name") for t in raw.get("tenants", ())}
+    faults = [f for f in raw.get("faults", ()) if f.get("tenant") in names]
+    if faults:
+        raw["faults"] = faults
+    else:
+        raw.pop("faults", None)
+    model = raw.get("fault_model")
+    if model is not None and model.get("tenant") not in (None, *names):
+        raw.pop("fault_model", None)
+
+
+def _candidates(raw: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    """Reduction candidates in decreasing order of aggressiveness.
+
+    Each candidate is a deep copy; aggressive reductions (drop a whole
+    tenant, drop all faults) come first so one accepted step removes as
+    much as possible before the fine-grained ones run.
+    """
+    tenants: List[Dict[str, Any]] = list(raw.get("tenants", ()))
+
+    if len(tenants) > 1:
+        for i in range(len(tenants)):
+            candidate = copy.deepcopy(raw)
+            del candidate["tenants"][i]
+            _drop_foreign_faults(candidate)
+            yield candidate
+
+    if raw.get("faults"):
+        candidate = copy.deepcopy(raw)
+        candidate.pop("faults")
+        yield candidate
+        faults = list(raw["faults"])
+        if len(faults) > 1:
+            half = len(faults) // 2
+            for keep in (faults[:half], faults[half:]):
+                candidate = copy.deepcopy(raw)
+                candidate["faults"] = copy.deepcopy(keep)
+                yield candidate
+            for i in range(len(faults)):
+                candidate = copy.deepcopy(raw)
+                del candidate["faults"][i]
+                yield candidate
+    if raw.get("fault_model") is not None:
+        candidate = copy.deepcopy(raw)
+        candidate.pop("fault_model")
+        yield candidate
+
+    horizon = float(raw.get("horizon_seconds", 3600.0))
+    for factor in (0.25, 0.5):
+        shorter = round(horizon * factor)
+        if shorter >= MIN_HORIZON_SECONDS:
+            candidate = copy.deepcopy(raw)
+            candidate["horizon_seconds"] = float(shorter)
+            yield candidate
+
+    if raw.get("preemption") is not None:
+        candidate = copy.deepcopy(raw)
+        candidate.pop("preemption")
+        yield candidate
+    if raw.get("sweep") is not None:
+        candidate = copy.deepcopy(raw)
+        candidate.pop("sweep")
+        yield candidate
+
+    for i, tenant in enumerate(tenants):
+        for key in ("join_at", "leave_at", "leave_mode"):
+            if key in tenant:
+                candidate = copy.deepcopy(raw)
+                candidate["tenants"][i].pop(key, None)
+                if key == "leave_at":
+                    candidate["tenants"][i].pop("leave_mode", None)
+                yield candidate
+        workload = tenant.get("workload") or {}
+        if workload.get("open_loop"):
+            candidate = copy.deepcopy(raw)
+            candidate["tenants"][i]["workload"].pop("open_loop")
+            yield candidate
+        if workload.get("deadline_fraction"):
+            candidate = copy.deepcopy(raw)
+            candidate["tenants"][i]["workload"].pop("deadline_fraction")
+            candidate["tenants"][i]["workload"].pop("deadline_slack_factor", None)
+            yield candidate
+        models = workload.get("models")
+        if models and len(models) > 1:
+            candidate = copy.deepcopy(raw)
+            candidate["tenants"][i]["workload"]["models"] = [models[0]]
+            yield candidate
+        rate = workload.get("arrival_rate_per_hour")
+        if rate is not None and float(rate) > 2.0:
+            candidate = copy.deepcopy(raw)
+            candidate["tenants"][i]["workload"]["arrival_rate_per_hour"] = round(
+                float(rate) / 2.0, 1
+            )
+            yield candidate
+
+
+def shrink_spec(
+    raw: Mapping[str, Any],
+    still_fails: FailurePredicate,
+    *,
+    max_evaluations: int = 200,
+) -> Dict[str, Any]:
+    """Greedily minimize ``raw`` while ``still_fails`` holds.
+
+    ``still_fails`` receives a candidate raw dict (already known to pass
+    validation) and returns whether the original failure reproduces on
+    it; exceptions it raises are treated as "does not reproduce" so a
+    *differently*-broken candidate never gets adopted.  At most
+    ``max_evaluations`` candidates are evaluated; the best spec found so
+    far is returned either way.  The input must itself fail, otherwise a
+    ``ValueError`` is raised (shrinking a passing spec is meaningless).
+    """
+    current = copy.deepcopy(dict(raw))
+    if not _is_valid(current) or not _probe(still_fails, current):
+        raise ValueError("shrink_spec needs a spec that validates and fails")
+    evaluations = 0
+    progress = True
+    while progress and evaluations < max_evaluations:
+        progress = False
+        for candidate in _candidates(current):
+            if evaluations >= max_evaluations:
+                break
+            if not _is_valid(candidate):
+                continue
+            evaluations += 1
+            if _probe(still_fails, candidate):
+                current = candidate
+                progress = True
+                break  # restart the candidate scan from the smaller spec
+    return current
+
+
+def _probe(still_fails: FailurePredicate, candidate: Dict[str, Any]) -> bool:
+    try:
+        return bool(still_fails(copy.deepcopy(candidate)))
+    except Exception:
+        return False
+
+
+def write_reproducer(
+    raw: Mapping[str, Any],
+    path: Union[str, Path],
+    *,
+    header: Optional[str] = None,
+) -> Path:
+    """Write a shrunk spec as a runnable scenario file with provenance.
+
+    Emits YAML when available (the shape every other scenario file uses),
+    falling back to JSON -- both load through ``python -m repro run``.
+    Parent directories are created; the written path is returned.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        import yaml
+    except ImportError:  # pragma: no cover - yaml ships with the image
+        # JSON admits no comments, so the provenance header is dropped.
+        if path.suffix != ".json":
+            path = path.with_suffix(".json")
+        path.write_text(json.dumps(dict(raw), indent=2) + "\n")
+        return path
+    lines = []
+    if header:
+        lines.extend(f"# {line}".rstrip() for line in header.splitlines())
+        lines.append("#")
+    lines.append(f"# Replay with: python -m repro run {path}")
+    body = yaml.safe_dump(dict(raw), sort_keys=False, default_flow_style=False)
+    path.write_text("\n".join(lines) + "\n" + body)
+    return path

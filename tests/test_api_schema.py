@@ -34,7 +34,7 @@ SCENARIO_DIR = REPO_ROOT / "scenarios"
 #: commit 154801b (pre-repro.api) for every shipped scenario.
 GOLDEN_DIGESTS = {
     "deadline_rush": "28f3652f17702c41",
-    "elastic_tenants": "bee74b546615ada3",
+    "elastic_tenants": "f19e1117dfa29619",
     "faulty_cluster": "2f4a8c424d2b2c51",
     "large_cluster": "a9d0b433aef863d8",
     "multi_tenant": "98166af63411c397",

@@ -67,7 +67,7 @@ GOLDEN_DIGESTS = {
     "multi_tenant": "98166af63411c397",
     "deadline_rush": "28f3652f17702c41",
     "faulty_cluster": "2f4a8c424d2b2c51",
-    "elastic_tenants": "bee74b546615ada3",
+    "elastic_tenants": "f19e1117dfa29619",
     "large_cluster": "a9d0b433aef863d8",
 }
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import math
 
+import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
@@ -396,3 +397,95 @@ class TestHorizonCutoffProperties:
             placed + cached.backlog_remaining + cached.jobs_rejected_global
             == agg.jobs_submitted
         )
+
+
+# ---------------------------------------------------------------------------
+# Fuzzed-scenario invariants (the repro.verify stack)
+# ---------------------------------------------------------------------------
+
+
+campaign_seeds = st.integers(min_value=0, max_value=2**16)
+spec_indices = st.integers(min_value=0, max_value=63)
+
+
+class TestFuzzedScenarioProperties:
+    """The invariant engine holds over the whole fuzzable scenario space."""
+
+    def test_invariants_hold_over_200_smoke_scenarios(self):
+        """One deterministic sweep: 200 fuzzed smoke scenarios, every event
+        checked by every registered invariant, all differential-free."""
+        from repro.api import Experiment, InvariantObserver
+        from repro.verify import ScenarioFuzzer
+
+        fuzzer = ScenarioFuzzer(seed=0, budget="smoke")
+        events = 0
+        for raw in fuzzer.specs(200):
+            result = Experiment.from_dict(raw).run(
+                observers=[InvariantObserver(check_every=1)]
+            )
+            events += result.raw.events_processed
+        assert events > 0
+
+    @given(seed=campaign_seeds, index=spec_indices)
+    @settings(max_examples=25, deadline=None)
+    def test_invariants_hold_at_random_coordinates(self, seed, index):
+        """Hypothesis roams the (seed, index) plane the fixed sweep misses."""
+        from repro.api import Experiment, InvariantObserver
+        from repro.verify import ScenarioFuzzer
+
+        raw = ScenarioFuzzer(seed=seed, budget="smoke").spec_dict(index)
+        Experiment.from_dict(raw).run(observers=[InvariantObserver(check_every=1)])
+
+    @given(seed=campaign_seeds, index=spec_indices)
+    @settings(max_examples=60, deadline=None)
+    def test_generated_specs_always_validate(self, seed, index):
+        from repro.sim.scenario import ScenarioSpec
+        from repro.verify import ScenarioFuzzer
+
+        raw = ScenarioFuzzer(seed=seed, budget="smoke").spec_dict(index)
+        spec = ScenarioSpec.from_dict(raw)
+        assert spec.horizon_seconds == raw["horizon_seconds"]
+        assert len(spec.tenants) == len(raw["tenants"])
+
+    @given(seed=campaign_seeds, index=spec_indices)
+    @settings(max_examples=60, deadline=None)
+    def test_generation_is_deterministic(self, seed, index):
+        from repro.verify import ScenarioFuzzer
+
+        first = ScenarioFuzzer(seed=seed, budget="smoke").spec_dict(index)
+        second = ScenarioFuzzer(seed=seed, budget="smoke").spec_dict(index)
+        assert first == second
+
+
+class TestShrinkerProperties:
+    """Shrinker output always revalidates and still fails its predicate."""
+
+    @given(seed=campaign_seeds, index=st.integers(min_value=0, max_value=15))
+    @settings(max_examples=40, deadline=None)
+    def test_shrunk_spec_revalidates_and_still_fails(self, seed, index):
+        from repro.sim.scenario import ScenarioSpec
+        from repro.verify import ScenarioFuzzer, shrink_spec, spec_complexity
+
+        raw = ScenarioFuzzer(seed=seed, budget="smoke").spec_dict(index)
+        # A cheap structural predicate standing in for a real failure: the
+        # shrinker must preserve it while only ever removing structure.
+        target_policy = raw["policy"]
+
+        def still_fails(candidate):
+            return candidate.get("policy") == target_policy and bool(
+                candidate.get("tenants")
+            )
+
+        shrunk = shrink_spec(raw, still_fails, max_evaluations=30)
+        ScenarioSpec.from_dict(shrunk)  # revalidates
+        assert still_fails(shrunk)  # still fails
+        assert sum(spec_complexity(shrunk)) <= sum(spec_complexity(raw))
+
+    @given(seed=campaign_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_shrinking_a_passing_spec_is_an_error(self, seed):
+        from repro.verify import ScenarioFuzzer, shrink_spec
+
+        raw = ScenarioFuzzer(seed=seed, budget="smoke").spec_dict(0)
+        with pytest.raises(ValueError):
+            shrink_spec(raw, lambda candidate: False)

@@ -1,0 +1,328 @@
+"""Tests for the verification stack: fuzzer, invariant engine, oracles, shrinker.
+
+Covers the properties ``docs/testing.md`` promises:
+
+* the scenario generator is deterministic per ``(seed, budget, index)`` and
+  every emitted spec validates and runs;
+* fuzz budgets are partially ordered (``deep`` dominates ``smoke``);
+* the invariant observer is digest-neutral on every shipped scenario and
+  catches deliberately injected conservation bugs;
+* a caught failure shrinks to a small reproducer that still validates and
+  still fails;
+* pinned regression scenarios under ``scenarios/regressions/`` stay green.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import glob
+from pathlib import Path
+
+import pytest
+import yaml
+
+from repro import registry
+from repro.api import (
+    Experiment,
+    InvariantObserver,
+    InvariantViolation,
+    ScenarioFuzzer,
+    run_fuzz_campaign,
+)
+from repro.core.scheduler import FillJobScheduler
+from repro.sim.scenario import ScenarioSpec
+from repro.verify import (
+    DEEP_BUDGET,
+    SMOKE_BUDGET,
+    DifferentialMismatch,
+    Invariant,
+    check_cache_oracle,
+    check_index_oracle,
+    shrink_spec,
+    spec_complexity,
+    write_reproducer,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCENARIO_DIR = REPO_ROOT / "scenarios"
+
+
+# -- generator ----------------------------------------------------------------------
+
+
+class TestScenarioFuzzer:
+    def test_same_seed_same_spec(self):
+        a = ScenarioFuzzer(seed=11, budget="smoke")
+        b = ScenarioFuzzer(seed=11, budget="smoke")
+        for index in range(10):
+            assert a.spec_dict(index) == b.spec_dict(index)
+
+    def test_different_seeds_differ(self):
+        a = [ScenarioFuzzer(seed=0).spec_dict(i) for i in range(5)]
+        b = [ScenarioFuzzer(seed=1).spec_dict(i) for i in range(5)]
+        assert a != b
+
+    def test_indices_differ(self):
+        fuzzer = ScenarioFuzzer(seed=0)
+        assert fuzzer.spec_dict(0) != fuzzer.spec_dict(1)
+
+    def test_stable_across_processes(self):
+        """The string-seeded RNG pins the exact spec, not just the shape."""
+        raw = ScenarioFuzzer(seed=0, budget="smoke").spec_dict(0)
+        assert raw["name"] == "fuzz-0-0"
+        # Re-deriving through a fresh fuzzer (fresh RNG) is bit-identical.
+        assert raw == ScenarioFuzzer(seed=0, budget="smoke").spec_dict(0)
+
+    @pytest.mark.parametrize("budget", ["smoke", "deep"])
+    def test_every_spec_validates(self, budget):
+        fuzzer = ScenarioFuzzer(seed=5, budget=budget)
+        for raw in fuzzer.specs(20):
+            spec = ScenarioSpec.from_dict(raw)
+            assert spec.name == raw["name"]
+            # The facade path the CLI's ``validate`` command uses.
+            Experiment.from_dict(copy.deepcopy(raw)).validate()
+
+    def test_specs_respect_budget_ceilings(self):
+        budget = SMOKE_BUDGET
+        fuzzer = ScenarioFuzzer(seed=3, budget=budget)
+        for raw in fuzzer.specs(25):
+            tenants, faults, _, horizon = spec_complexity(raw)
+            assert 1 <= tenants <= budget.max_tenants
+            assert faults <= budget.max_faults
+            assert budget.min_horizon_seconds <= horizon <= budget.max_horizon_seconds
+            for tenant in raw["tenants"]:
+                assert tenant["parallel"]["pipeline_stages"] in budget.stage_pool
+                assert tenant["parallel"]["data_parallel"] in budget.data_parallel_pool
+                for model in tenant["workload"]["models"]:
+                    assert model in budget.fill_models
+                rate = tenant["workload"]["arrival_rate_per_hour"]
+                assert 0 < rate <= budget.max_arrival_rate_per_hour
+
+    def test_budget_monotonicity(self):
+        """``deep`` dominates ``smoke`` field-by-field."""
+        smoke, deep = SMOKE_BUDGET, DEEP_BUDGET
+        assert smoke.max_tenants <= deep.max_tenants
+        assert set(smoke.stage_pool) <= set(deep.stage_pool)
+        assert set(smoke.data_parallel_pool) <= set(deep.data_parallel_pool)
+        assert set(smoke.fill_models) <= set(deep.fill_models)
+        assert smoke.max_arrival_rate_per_hour <= deep.max_arrival_rate_per_hour
+        assert smoke.max_horizon_seconds <= deep.max_horizon_seconds
+        assert smoke.max_faults <= deep.max_faults
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(SMOKE_BUDGET, max_tenants=0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(SMOKE_BUDGET, min_horizon_seconds=100.0,
+                                max_horizon_seconds=50.0)
+
+    def test_budgets_resolve_through_registry(self):
+        assert registry.fuzz_budgets.get("smoke") is SMOKE_BUDGET
+        assert registry.fuzz_budgets.get("deep") is DEEP_BUDGET
+        assert ScenarioFuzzer(seed=0, budget="deep").budget is DEEP_BUDGET
+
+
+# -- invariant engine ---------------------------------------------------------------
+
+
+SHIPPED = sorted(p.name for p in SCENARIO_DIR.glob("*.yaml"))
+
+
+class TestInvariantObserver:
+    @pytest.mark.parametrize("name", SHIPPED)
+    def test_shipped_scenarios_green_and_digest_neutral(self, name):
+        exp = Experiment.from_yaml(SCENARIO_DIR / name)
+        observed = exp.run(observers=[InvariantObserver()])
+        assert observed.digest() == exp.run().digest()
+
+    def test_regression_scenarios_stay_green(self):
+        paths = sorted((SCENARIO_DIR / "regressions").glob("*.yaml"))
+        assert paths, "no pinned regression scenarios found"
+        for path in paths:
+            Experiment.from_yaml(path).run(
+                observers=[InvariantObserver(check_every=1)]
+            )
+
+    def test_custom_invariant_via_registry(self):
+        calls = []
+
+        class Recording(Invariant):
+            name = "test-recording"
+
+            def on_event(self, event, now):
+                calls.append(now)
+
+        registry.register_invariant("test-recording", Recording)
+        try:
+            raw = ScenarioFuzzer(seed=1).spec_dict(0)
+            Experiment.from_dict(raw).run(observers=[InvariantObserver()])
+        finally:
+            registry.invariants.unregister("test-recording")
+        assert calls, "registered invariant never saw an event"
+
+    def test_selected_invariants_by_name(self):
+        observer = InvariantObserver(["clock-monotonic"], check_every=1)
+        raw = ScenarioFuzzer(seed=1).spec_dict(1)
+        Experiment.from_dict(raw).run(observers=[observer])
+        assert [c.name for c in observer.checkers()] == ["clock-monotonic"]
+
+    def test_rejects_non_invariant_factory(self):
+        observer = InvariantObserver([lambda: object()])
+        raw = ScenarioFuzzer(seed=1).spec_dict(2)
+        with pytest.raises(TypeError):
+            Experiment.from_dict(raw).run(observers=[observer])
+
+
+def _lose_completed_jobs(monkeypatch):
+    """Inject a conservation bug: completed jobs vanish from the records."""
+    original = FillJobScheduler.complete
+
+    def lossy(self, executor_index, now):
+        job_id = original(self, executor_index, now)
+        if job_id is not None:
+            self.records.pop(job_id, None)
+        return job_id
+
+    monkeypatch.setattr(FillJobScheduler, "complete", lossy)
+
+
+class TestInjectedBug:
+    def test_conservation_bug_is_caught(self, monkeypatch):
+        raw = ScenarioFuzzer(seed=0).spec_dict(0)
+        _lose_completed_jobs(monkeypatch)
+        with pytest.raises(InvariantViolation) as excinfo:
+            Experiment.from_dict(raw).run(
+                observers=[InvariantObserver(check_every=1)]
+            )
+        assert excinfo.value.violation.invariant in (
+            "job-conservation",
+            "executor-states",
+            "tenant-accounting",
+        )
+
+    def test_injected_bug_shrinks_to_small_reproducer(self, monkeypatch, tmp_path):
+        _lose_completed_jobs(monkeypatch)
+
+        def still_fails(raw):
+            try:
+                Experiment.from_dict(raw).run(
+                    observers=[InvariantObserver(check_every=1)]
+                )
+            except InvariantViolation:
+                return True
+            return False
+
+        raw = ScenarioFuzzer(seed=0).spec_dict(0)
+        assert still_fails(copy.deepcopy(raw))
+        shrunk = shrink_spec(raw, still_fails, max_evaluations=40)
+        assert len(shrunk["tenants"]) <= 3
+        assert sum(spec_complexity(shrunk)) <= sum(spec_complexity(raw))
+        # The reproducer round-trips through YAML, revalidates, still fails.
+        path = write_reproducer(shrunk, tmp_path / "repro.yaml", header="injected")
+        reloaded = yaml.safe_load(path.read_text())
+        ScenarioSpec.from_dict(reloaded)
+        assert still_fails(reloaded)
+
+
+# -- differential oracles -----------------------------------------------------------
+
+
+class TestOracles:
+    def test_cache_oracle_agrees_on_fuzzed_spec(self):
+        raw = ScenarioFuzzer(seed=4).spec_dict(0)
+        digest = check_cache_oracle(raw)
+        assert digest == Experiment.from_dict(raw).run().digest()
+
+    def test_index_oracle_agrees_and_cleans_up(self):
+        raw = ScenarioFuzzer(seed=4).spec_dict(1)
+        check_index_oracle(raw)
+        assert "verify-generic-oracle" not in registry.policies.names()
+
+    def test_mismatch_raises(self):
+        raw = ScenarioFuzzer(seed=4).spec_dict(2)
+        with pytest.raises(DifferentialMismatch):
+            check_cache_oracle(raw, reference_digest="not-the-digest")
+        with pytest.raises(DifferentialMismatch):
+            check_index_oracle(raw, reference_digest="not-the-digest")
+        assert "verify-generic-oracle" not in registry.policies.names()
+
+
+# -- campaign + CLI -----------------------------------------------------------------
+
+
+class TestCampaign:
+    def test_clean_tree_campaign_passes(self, tmp_path):
+        report = run_fuzz_campaign(
+            seed=1, runs=4, budget="smoke", out_dir=tmp_path, differential=False
+        )
+        assert report.ok
+        assert report.runs == 4
+        assert report.events_processed > 0
+        assert not list(tmp_path.iterdir())
+        payload = report.to_dict()
+        assert payload["ok"] and payload["failures"] == []
+
+    def test_campaign_records_and_shrinks_failures(self, monkeypatch, tmp_path):
+        _lose_completed_jobs(monkeypatch)
+        report = run_fuzz_campaign(
+            seed=0,
+            runs=2,
+            budget="smoke",
+            out_dir=tmp_path,
+            differential=False,
+            max_shrink_evaluations=10,
+        )
+        assert not report.ok
+        assert report.failures
+        for failure in report.failures:
+            assert failure.stage == "invariants"
+            reproducer = Path(failure.reproducer)
+            assert reproducer.exists()
+            ScenarioSpec.from_dict(yaml.safe_load(reproducer.read_text()))
+
+    def test_cli_fuzz_smoke(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "fuzz",
+                "--seed",
+                "3",
+                "--runs",
+                "2",
+                "--budget",
+                "smoke",
+                "--out",
+                str(tmp_path / "failures"),
+                "--no-differential",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all invariants and oracles held" in out
+
+    def test_cli_fuzz_json_report(self, tmp_path):
+        import json
+
+        from repro.cli import main
+
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "fuzz",
+                "--seed",
+                "3",
+                "--runs",
+                "2",
+                "--out",
+                str(tmp_path / "failures"),
+                "--no-differential",
+                "--json",
+                str(report_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["ok"] is True
+        assert payload["runs"] == 2
