@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """Docs check: documented python code blocks and the examples execute.
 
-Extracts every fenced ```python block from README.md, docs/scenarios.md
-and docs/api.md and runs each one in a fresh interpreter (with ``src`` on
+Extracts every fenced ```python block from README.md and the docs/*.md
+listed below and runs each one in a fresh interpreter (with ``src`` on
 the path), then runs ``examples/quickstart.py`` and
 ``examples/custom_policy_plugin.py``.  Any failure prints the offending
 snippet and exits non-zero.  Used by CI and runnable locally:
@@ -27,6 +27,7 @@ DOCS = [
     REPO_ROOT / "docs" / "scenarios.md",
     REPO_ROOT / "docs" / "api.md",
     REPO_ROOT / "docs" / "testing.md",
+    REPO_ROOT / "docs" / "robustness.md",
 ]
 EXAMPLES = [
     REPO_ROOT / "examples" / "quickstart.py",

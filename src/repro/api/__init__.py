@@ -11,6 +11,13 @@ the CLI can do routes through it:
   and are frozen as schema v1 (:mod:`repro.api.schema` validates them).
 * :class:`RunObserver` / :class:`EventStream` -- streaming lifecycle
   callbacks and step-wise iteration over a live simulation.
+* The supervised sweep runtime (:mod:`repro.exec`) -- ``sweep()`` runs
+  every grid point under crash/hang supervision with retry + backoff
+  (:class:`RetryPolicy`), journaled checkpoint/resume
+  (``journal_dir=`` / ``resume=``), structured per-point failures
+  (:class:`PointFailure`), :class:`SweepInterrupted` on Ctrl-C and
+  registry-backed fault injection (:class:`ChaosPlan`,
+  :func:`register_chaos_injector`).
 * :class:`InvariantObserver` / :class:`InvariantViolation` /
   :class:`RunContext` -- the runtime invariant engine
   (:mod:`repro.verify`): attach the observer to any run to assert
@@ -34,15 +41,17 @@ remain as deprecation shims over this facade and produce bit-identical
 results.
 """
 
-from repro.api.experiment import EventStream, Experiment
+from repro.api.experiment import EventStream, Experiment, SweepInterrupted
 from repro.api.results import (
     SCHEMA_VERSION,
+    PointFailure,
     ProfileResult,
     RunResult,
     SweepPoint,
     SweepResult,
     result_digest,
 )
+from repro.exec import ChaosPlan, RetryPolicy
 from repro.api.schema import (
     SchemaError,
     validate_bench_payload,
@@ -55,6 +64,7 @@ from repro.registry import (
     load_entry_point_plugins,
     register_arrival_process,
     register_bench_size,
+    register_chaos_injector,
     register_fault_model,
     register_fuzz_budget,
     register_invariant,
@@ -86,6 +96,10 @@ __all__ = [
     "RunResult",
     "SweepResult",
     "SweepPoint",
+    "SweepInterrupted",
+    "PointFailure",
+    "ChaosPlan",
+    "RetryPolicy",
     "ProfileResult",
     "SCHEMA_VERSION",
     "result_digest",
@@ -105,4 +119,5 @@ __all__ = [
     "register_bench_size",
     "register_invariant",
     "register_fuzz_budget",
+    "register_chaos_injector",
 ]

@@ -30,12 +30,36 @@ from __future__ import annotations
 
 import copy
 import time
-from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro import registry
-from repro.api.results import ProfileResult, RunResult, SweepPoint, SweepResult
+from repro.api.results import (
+    PointFailure,
+    ProfileResult,
+    RunResult,
+    SweepPoint,
+    SweepResult,
+)
+from repro.exec import (
+    ChaosPlan,
+    RetryPolicy,
+    SupervisedTask,
+    Supervisor,
+    SweepJournal,
+    content_digest,
+)
 from repro.sim.events import Event
 from repro.sim.multi_tenant import MultiTenantResult, MultiTenantSimulator
 from repro.sim.observers import RunObserver
@@ -90,10 +114,44 @@ class EventStream:
         self._events.close()
 
 
-def _sweep_worker(
-    payload: Tuple[Dict[str, Any], str, Any, Optional[str], Tuple]
+class SweepInterrupted(KeyboardInterrupt):
+    """Ctrl-C landed mid-sweep; completed points are safe in the journal.
+
+    Subclasses ``KeyboardInterrupt`` so naive callers still unwind, while
+    supervised callers (the CLI) can report the checkpoint state: how
+    many points finished, the ``sweep_id`` to pass to ``--resume``, and
+    where the journal lives.  In-flight workers were terminated and the
+    journal was flushed before this was raised.
+    """
+
+    def __init__(
+        self,
+        *,
+        sweep_id: str,
+        completed: int,
+        total: int,
+        journal_path: Optional[str] = None,
+    ) -> None:
+        self.sweep_id = sweep_id
+        self.completed = completed
+        self.total = total
+        self.journal_path = journal_path
+        where = f"; journal: {journal_path}" if journal_path else ""
+        super().__init__(
+            f"sweep interrupted: {completed}/{total} points completed "
+            f"(sweep id {sweep_id}){where}"
+        )
+
+
+def _sweep_point_worker(
+    payload: Tuple[Dict[str, Any], Optional[str], Tuple]
 ) -> Dict[str, Any]:
-    """Run one sweep grid point (executed in a worker process).
+    """Run one sweep grid point (executed in a supervised worker process).
+
+    The payload carries the *fully applied* scenario document -- override
+    already set, ``sweep`` block stripped -- so the worker is a pure
+    ``doc -> simulation core payload`` function and the parent's journal
+    key (the document's content digest) describes exactly what ran.
 
     ``cache_dir`` (``None`` = disabled) points every worker at the same
     persistent plan cache, so the grid pays each plan search once instead
@@ -102,15 +160,13 @@ def _sweep_worker(
     registered callables resolve even under the ``spawn``/``forkserver``
     start methods, where workers re-import ``repro`` from scratch.
     """
-    raw, parameter, value, cache_dir, registrations = payload
+    raw, cache_dir, registrations = payload
     plancache.configure(cache_dir, enabled=cache_dir is not None)
     for kind, name, obj in registrations:
         target = registry.policies if kind == "policy" else registry.preemption_rules
         target.register(name, obj, overwrite=True)
-    set_by_path(raw, parameter, value)
-    raw.pop("sweep", None)
     result = Experiment.from_dict(raw).run()
-    return {"parameter": parameter, "value": value, **result.raw.to_dict()}
+    return result.raw.to_dict()
 
 
 def _shippable_registrations(
@@ -350,8 +406,15 @@ class Experiment:
         parameter: Optional[str] = None,
         values: Optional[Sequence[Any]] = None,
         workers: int = 0,
+        max_retries: int = 2,
+        timeout_seconds: Optional[float] = None,
+        backoff_seconds: float = 0.5,
+        journal_dir: Optional[Union[str, Path]] = None,
+        resume: Optional[Union[str, bool]] = None,
+        chaos: Optional[ChaosPlan] = None,
+        log: Optional[Callable[[str], None]] = None,
     ) -> SweepResult:
-        """Re-run the scenario across a parameter grid, in parallel.
+        """Re-run the scenario across a parameter grid, supervised.
 
         The grid comes from ``parameter``/``values`` or, when omitted,
         the scenario's own ``sweep`` block.  **Every grid point is
@@ -359,9 +422,32 @@ class Experiment:
         an invalid value raises :class:`ScenarioError` immediately
         instead of after N worker processes fan out.
 
-        ``workers`` defaults to ``min(len(values), 4)``; ``1`` runs
-        in-process.  Workers inherit the caller's persistent plan-cache
-        configuration, so the grid pays each plan search once.
+        Execution is crash-safe.  Each grid point runs as a supervised
+        task: a worker that raises, crashes (OOM-kill, segfault) or
+        exceeds ``timeout_seconds`` costs one attempt and is retried with
+        exponential backoff (``backoff_seconds`` doubling per retry) up
+        to ``max_retries`` extra attempts; a point that exhausts its
+        budget lands in :attr:`SweepResult.failures` instead of aborting
+        the grid.  ``workers`` defaults to ``min(grid size, 4)``; ``1``
+        runs in-process (exceptions are still retried, but kills and
+        hangs cannot be detected without a second process).  Workers
+        inherit the caller's persistent plan-cache configuration, so the
+        grid pays each plan search once.
+
+        ``journal_dir`` enables checkpoint/resume: every completed point
+        is appended (and fsynced) to
+        ``<journal_dir>/<sweep_id>/journal.jsonl``, where ``sweep_id`` is
+        the grid's content digest.  ``resume="auto"`` (or an explicit
+        sweep id) skips journaled points and merges them back
+        bit-identically -- :meth:`SweepResult.digest` of a resumed sweep
+        equals an uninterrupted run's.  Resuming against a different grid
+        raises :class:`ScenarioError`.  Ctrl-C raises
+        :class:`SweepInterrupted` (a ``KeyboardInterrupt``) after
+        terminating in-flight workers and flushing the journal.
+
+        ``chaos`` injects a :class:`repro.exec.ChaosPlan` fault into
+        every attempt (testing); ``log`` receives one-line progress
+        strings.
         """
         spec = self.validate()
         if parameter is None:
@@ -372,10 +458,14 @@ class Experiment:
             parameter, values = spec.sweep.parameter, list(spec.sweep.values)
         if not values:
             raise ScenarioError("no sweep values given")
+        say = log if log is not None else (lambda message: None)
 
         base = self.to_raw()
         # Fail fast: apply + validate every point up front (validation is
-        # pure dict work -- no models or systems are built).
+        # pure dict work -- no models or systems are built).  The applied
+        # document is kept: its content digest is the point's journal
+        # key, and the worker receives it ready to run.
+        grid: List[Tuple[Any, str, Dict[str, Any]]] = []
         for value in values:
             point = copy.deepcopy(base)
             try:
@@ -386,32 +476,218 @@ class Experiment:
                 ) from None
             point.pop("sweep", None)
             ScenarioSpec.from_dict(point)
+            key = content_digest(
+                {"parameter": parameter, "value": value, "doc": point}
+            )
+            grid.append((value, key, point))
+
+        unique_keys = {key for _, key, _ in grid}
+        grid_digest = content_digest(
+            {
+                "scenario": spec.name,
+                "parameter": parameter,
+                "points": [key for _, key, _ in grid],
+            }
+        )
+        # The sweep's journal identity IS the grid digest: deterministic,
+        # so an identical re-invocation can resume with --resume auto.
+        sweep_id = grid_digest
+
+        if resume not in (None, False) and journal_dir is None:
+            raise ScenarioError(
+                "sweep resume requires a journal directory (journal_dir=...)"
+            )
+        journal: Optional[SweepJournal] = None
+        resumed_from: Optional[str] = None
+        prior: Dict[str, Dict[str, Any]] = {}
+        if journal_dir is not None:
+            resume_id: Optional[str] = None
+            if resume in (True, "auto"):
+                resume_id = sweep_id
+            elif resume:
+                resume_id = str(resume)
+            if resume_id is not None:
+                journal = SweepJournal.for_sweep(journal_dir, resume_id)
+                if not journal.exists():
+                    raise ScenarioError(
+                        f"no sweep journal for {resume_id!r} under {journal_dir}"
+                    )
+                state = journal.read()
+                header = state.header or {}
+                if header.get("grid_digest") != grid_digest:
+                    raise ScenarioError(
+                        f"cannot resume sweep {resume_id!r}: its journal was "
+                        f"written for a different grid (journal digest "
+                        f"{header.get('grid_digest')!r}, this grid is "
+                        f"{grid_digest!r})"
+                    )
+                prior = {k: v for k, v in state.completed.items() if k in unique_keys}
+                resumed_from = resume_id
+                journal.open_append()
+                say(
+                    f"resuming sweep {resume_id}: {len(prior)}/{len(unique_keys)} "
+                    f"points already journaled"
+                )
+            else:
+                journal = SweepJournal.for_sweep(journal_dir, sweep_id)
+                journal.start(
+                    {
+                        "sweep_id": sweep_id,
+                        "scenario": spec.name,
+                        "parameter": parameter,
+                        "grid_digest": grid_digest,
+                        "num_points": len(grid),
+                    }
+                )
 
         cache_dir = (
             str(plancache.cache_dir()) if plancache.is_enabled() else None
         )
         registrations = _shippable_registrations(spec, parameter, values)
-        payloads = [
-            (copy.deepcopy(base), parameter, value, cache_dir, registrations)
-            for value in values
-        ]
-        workers = workers or min(len(values), 4)
-        if workers <= 1:
-            outcomes = [_sweep_worker(p) for p in payloads]
-        else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                outcomes = list(pool.map(_sweep_worker, payloads))
-        points = tuple(
-            SweepPoint(
-                parameter=o["parameter"],
-                value=o["value"],
-                payload={
-                    k: v for k, v in o.items() if k not in ("parameter", "value")
-                },
+
+        # One supervised task per unique, not-yet-journaled point
+        # (duplicate grid values share one execution).
+        tasks: List[SupervisedTask] = []
+        task_values: Dict[str, Any] = {}
+        for value, key, doc in grid:
+            if key in task_values or key in prior:
+                continue
+            task_values[key] = value
+            tasks.append(
+                SupervisedTask(
+                    key=key,
+                    payload=(doc, cache_dir, registrations),
+                    description=f"{parameter}={value}",
+                )
             )
-            for o in outcomes
+
+        fresh: Dict[str, Any] = {}
+        failed: Dict[str, Any] = {}
+
+        def _progress() -> str:
+            done = len(prior) + len(fresh) + len(failed)
+            return f"[{done}/{len(unique_keys)}]"
+
+        def on_outcome(outcome) -> None:
+            value = task_values[outcome.key]
+            if outcome.ok:
+                fresh[outcome.key] = outcome
+                if journal is not None:
+                    journal.record_completed(
+                        outcome.key,
+                        parameter=parameter,
+                        value=value,
+                        attempts=outcome.attempts,
+                        payload=outcome.result,
+                    )
+                plural = "s" if outcome.attempts != 1 else ""
+                say(
+                    f"{_progress()} {parameter}={value} completed "
+                    f"({outcome.attempts} attempt{plural})"
+                )
+            else:
+                failed[outcome.key] = outcome
+                failure = outcome.failure
+                if journal is not None:
+                    journal.record_failed(
+                        outcome.key,
+                        parameter=parameter,
+                        value=value,
+                        attempts=outcome.attempts,
+                        kind=failure.kind,
+                        error_type=failure.error_type,
+                        message=failure.message,
+                    )
+                say(
+                    f"{_progress()} {parameter}={value} FAILED after "
+                    f"{outcome.attempts} attempts: {failure.describe()}"
+                )
+
+        def on_retry(task, attempt, failure, delay) -> None:
+            say(
+                f"retrying {parameter}={task_values[task.key]} "
+                f"(attempt {attempt} {failure.kind}: {failure.message}; "
+                f"backing off {delay:.2f}s)"
+            )
+
+        supervisor = Supervisor(
+            _sweep_point_worker,
+            workers=workers or min(len(tasks) or 1, 4),
+            retry=RetryPolicy(
+                max_retries=max_retries,
+                timeout_seconds=timeout_seconds,
+                backoff_seconds=backoff_seconds,
+            ),
+            chaos=chaos,
+            on_outcome=on_outcome,
+            on_retry=on_retry,
         )
-        return SweepResult(scenario=spec.name, parameter=parameter, points=points)
+        try:
+            if tasks:
+                supervisor.run(tasks)
+        except KeyboardInterrupt:
+            # Workers are already terminated and every completed point is
+            # fsynced in the journal -- surface the checkpoint state.
+            raise SweepInterrupted(
+                sweep_id=sweep_id,
+                completed=len(prior) + len(fresh),
+                total=len(unique_keys),
+                journal_path=str(journal.path) if journal is not None else None,
+            ) from None
+        finally:
+            if journal is not None:
+                journal.close()
+
+        # Merge in grid order: journaled points (JSON round-trips ints
+        # and floats exactly, so resumed payloads digest identically),
+        # fresh outcomes, and structured failures.
+        points: List[SweepPoint] = []
+        failures: List[PointFailure] = []
+        for value, key, _doc in grid:
+            if key in prior:
+                record = prior[key]
+                points.append(
+                    SweepPoint(
+                        parameter=parameter,
+                        value=value,
+                        payload=record["payload"],
+                        key=key,
+                        attempts=int(record.get("attempts", 1)),
+                    )
+                )
+            elif key in fresh:
+                outcome = fresh[key]
+                points.append(
+                    SweepPoint(
+                        parameter=parameter,
+                        value=value,
+                        payload=outcome.result,
+                        key=key,
+                        attempts=outcome.attempts,
+                    )
+                )
+            elif key in failed:
+                outcome = failed[key]
+                failure = outcome.failure
+                failures.append(
+                    PointFailure(
+                        parameter=parameter,
+                        value=value,
+                        key=key,
+                        attempts=outcome.attempts,
+                        kind=failure.kind,
+                        error_type=failure.error_type,
+                        message=failure.message,
+                    )
+                )
+        return SweepResult(
+            scenario=spec.name,
+            parameter=parameter,
+            points=tuple(points),
+            sweep_id=sweep_id,
+            resumed_from=resumed_from,
+            failures=tuple(failures),
+        )
 
     def profile(self, *, use_cache: bool = True) -> ProfileResult:
         """Run once and report where the simulation time went.

@@ -13,8 +13,8 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.sim.multi_tenant import MultiTenantResult, TenantResult
 from repro.sim.scenario import ScenarioSpec
@@ -120,6 +120,12 @@ class SweepPoint:
     parameter: str
     value: Any
     payload: Mapping[str, Any]
+    #: Content digest of the point's applied scenario document -- the
+    #: journal key.  ``None`` on payloads built outside the supervised
+    #: runtime (hand-constructed results, legacy callers).
+    key: Optional[str] = None
+    #: Supervised attempts this point took (1 = first try succeeded).
+    attempts: int = 1
 
     @property
     def aggregate(self) -> Mapping[str, Any]:
@@ -130,12 +136,64 @@ class SweepPoint:
 
 
 @dataclass(frozen=True)
+class PointFailure:
+    """A grid point that exhausted its retry budget.
+
+    Failures are *recorded*, not raised: a sweep with failed points still
+    returns every completed point, and the failure carries everything
+    needed to triage (the failure ``kind`` -- ``exception`` / ``crash`` /
+    ``timeout`` -- the error type and message, the attempt count and the
+    journal ``key`` to re-attempt via ``--resume``).
+    """
+
+    parameter: str
+    value: Any
+    key: str
+    attempts: int
+    kind: str
+    error_type: str
+    message: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.parameter}={self.value}: [{self.kind}] "
+            f"{self.error_type}: {self.message} "
+            f"({self.attempts} attempt{'s' if self.attempts != 1 else ''})"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "parameter": self.parameter,
+            "value": self.value,
+            "point_key": self.key,
+            "attempts": self.attempts,
+            "kind": self.kind,
+            "error_type": self.error_type,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
 class SweepResult:
-    """Outcome of one :meth:`repro.api.Experiment.sweep`."""
+    """Outcome of one :meth:`repro.api.Experiment.sweep`.
+
+    Supervised sweeps (the default) additionally carry the journal
+    identity (``sweep_id``, ``resumed_from``) and graceful-degradation
+    state: points that exhausted their retry budget land in ``failures``
+    instead of aborting the sweep.  ``to_dict()`` emits the extra keys
+    only when a ``sweep_id`` is present, so payloads from
+    hand-constructed results keep the exact pre-supervision v1 shape.
+    """
 
     scenario: str
     parameter: str
     points: Tuple[SweepPoint, ...]
+    #: Journal identity of this sweep (the grid's content digest).
+    sweep_id: Optional[str] = None
+    #: The sweep_id of the journal this run resumed from, if any.
+    resumed_from: Optional[str] = None
+    #: Points that exhausted their retry budget (graceful degradation).
+    failures: Tuple[PointFailure, ...] = field(default=())
 
     def __iter__(self):
         return iter(self.points)
@@ -143,16 +201,57 @@ class SweepResult:
     def __len__(self) -> int:
         return len(self.points)
 
+    @property
+    def ok(self) -> bool:
+        """True when every grid point completed."""
+        return not self.failures
+
+    def attempts(self) -> Dict[str, int]:
+        """Journal key -> supervised attempt count, completed and failed."""
+        counts: Dict[str, int] = {}
+        for point in self.points:
+            if point.key is not None:
+                counts[point.key] = point.attempts
+        for failure in self.failures:
+            counts[failure.key] = failure.attempts
+        return counts
+
+    def digest(self) -> str:
+        """Canonical digest over the completed points' payloads.
+
+        Depends only on the simulation outcomes in grid order -- not on
+        attempt counts, resume history or failure metadata -- so a
+        resumed sweep that completed the same points digests identically
+        to an uninterrupted run.
+        """
+        return result_digest({"points": [dict(p.payload) for p in self.points]})
+
     def to_dict(self) -> Dict[str, Any]:
-        """Schema-v1 sweep payload: one entry per grid point."""
-        return {
+        """Schema-v1 sweep payload: one entry per grid point.
+
+        Supervision metadata (``sweep_id``, ``resumed_from``,
+        ``attempts``, ``failed_points`` and per-entry ``point_key``) is
+        additive and emitted only for supervised sweeps.
+        """
+        payload: Dict[str, Any] = {
             "schema_version": SCHEMA_VERSION,
             "scenario": self.scenario,
             "sweep": [
-                {"parameter": p.parameter, "value": p.value, **p.payload}
+                {
+                    "parameter": p.parameter,
+                    "value": p.value,
+                    **({"point_key": p.key} if p.key is not None else {}),
+                    **p.payload,
+                }
                 for p in self.points
             ],
         }
+        if self.sweep_id is not None:
+            payload["sweep_id"] = self.sweep_id
+            payload["resumed_from"] = self.resumed_from
+            payload["attempts"] = self.attempts()
+            payload["failed_points"] = [f.to_dict() for f in self.failures]
+        return payload
 
 
 @dataclass(frozen=True)

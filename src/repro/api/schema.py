@@ -130,19 +130,60 @@ def validate_run_payload(payload: Any) -> Mapping[str, Any]:
     return payload
 
 
+def _check_failed_points(payload: Mapping[str, Any], where: str) -> None:
+    failures = payload.get("failed_points")
+    _require(
+        isinstance(failures, list), f"{where}.failed_points must be a list"
+    )
+    for i, failure in enumerate(failures):
+        f_where = f"{where}.failed_points[{i}]"
+        failure = _require_mapping(failure, f_where)
+        _check_key(failure, "parameter", str, f_where)
+        _require("value" in failure, f"{f_where} is missing 'value'")
+        _check_key(failure, "point_key", str, f_where)
+        _check_key(failure, "attempts", int, f_where)
+        _check_key(failure, "kind", str, f_where)
+        _check_key(failure, "error_type", str, f_where)
+        _check_key(failure, "message", str, f_where)
+
+
 def validate_sweep_payload(payload: Any) -> Mapping[str, Any]:
-    """Validate a ``SweepResult.to_dict()`` / ``repro sweep --json`` payload."""
+    """Validate a ``SweepResult.to_dict()`` / ``repro sweep --json`` payload.
+
+    Supervision metadata (``sweep_id``, ``resumed_from``, ``attempts``,
+    ``failed_points``) is additive and checked only when present; an
+    empty ``sweep`` list is legal only when ``failed_points`` explains
+    where the grid went (graceful degradation, never silent emptiness).
+    """
     payload = _require_mapping(payload, "sweep payload")
     _check_version(payload, "sweep payload")
     _check_key(payload, "scenario", str, "sweep payload")
     points = payload.get("sweep")
-    _require(isinstance(points, list) and points, "sweep payload.sweep must be a non-empty list")
+    _require(isinstance(points, list), "sweep payload.sweep must be a list")
+    if not points:
+        _require(
+            bool(payload.get("failed_points")),
+            "sweep payload.sweep must be a non-empty list",
+        )
     for i, point in enumerate(points):
         where = f"sweep payload.sweep[{i}]"
         point = _require_mapping(point, where)
         _check_key(point, "parameter", str, where)
         _require("value" in point, f"{where} is missing 'value'")
+        if "point_key" in point:
+            _check_key(point, "point_key", str, where)
         _check_run_core(point, where)
+    if "sweep_id" in payload:
+        _check_key(payload, "sweep_id", str, "sweep payload")
+        resumed = payload.get("resumed_from")
+        _require(
+            resumed is None or isinstance(resumed, str),
+            "sweep payload.resumed_from must be a string or null",
+        )
+        _check_count_map(payload, "attempts", "sweep payload")
+        _check_failed_points(payload, "sweep payload")
+    elif "failed_points" in payload:
+        _check_failed_points(payload, "sweep payload")
     return payload
 
 

@@ -26,14 +26,24 @@ Seven commands cover the common workflows:
 
 ``sweep``
     Re-run a scenario across a parameter grid, fanning the runs out over
-    worker processes.  The grid comes from the scenario's ``sweep`` block
-    or from ``--parameter/--values`` overrides; every grid point is
-    validated *before* any worker spawns, so a typo'd path or value is a
-    one-line error instead of N worker tracebacks::
+    *supervised* worker processes (see ``docs/robustness.md``).  The grid
+    comes from the scenario's ``sweep`` block or from
+    ``--parameter/--values`` overrides; every grid point is validated
+    *before* any worker spawns, so a typo'd path or value is a one-line
+    error instead of N worker tracebacks.  A worker that crashes, raises
+    or exceeds ``--timeout`` is retried with backoff up to
+    ``--max-retries``; a point that exhausts its budget is reported as a
+    structured failure (exit 1) instead of aborting the grid.  Completed
+    points are journaled under ``<cache-dir>/sweeps/<sweep_id>/`` so an
+    interrupted sweep (exit 130) resumes with ``--resume auto`` and
+    merges bit-identically; ``--chaos`` injects faults for testing::
 
         python -m repro sweep scenarios/multi_tenant.yaml
         python -m repro sweep scenarios/multi_tenant.yaml \\
             --parameter policy --values sjf,edf+sjf,slack+sjf --workers 3
+        python -m repro sweep scenarios/multi_tenant.yaml --resume auto
+        python -m repro sweep scenarios/smoke.yaml \\
+            --chaos kill --chaos-rate 0.5 --timeout 120
 
 ``report``
     Regenerate the paper's tables/figures (the same harnesses as
@@ -236,7 +246,36 @@ def cmd_validate(args: argparse.Namespace) -> int:
 # -- sweep -------------------------------------------------------------------------
 
 
+def _chaos_plan(args: argparse.Namespace):
+    """The ChaosPlan described by ``--chaos*`` flags (None without --chaos)."""
+    if not args.chaos:
+        return None
+    from repro.api import ChaosPlan
+    from repro.registry import chaos_injectors
+
+    if args.chaos not in chaos_injectors.names():
+        raise ScenarioError(
+            f"unknown chaos injector {args.chaos!r}; "
+            f"known: {sorted(chaos_injectors.names())}"
+        )
+    params: Dict[str, Any] = {}
+    for item in args.chaos_arg or ():
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise ScenarioError(f"--chaos-arg expects KEY=VALUE, got {item!r}")
+        params[key] = _coerce_scalar(value)
+    return ChaosPlan.build(
+        args.chaos,
+        params,
+        probability=args.chaos_rate,
+        max_attempt=args.chaos_attempts,
+        seed=args.chaos_seed,
+    )
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.api import SweepInterrupted
+
     _configure_plancache(args)
     exp = _experiment(args)
     parameter = args.parameter or None
@@ -245,12 +284,47 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if args.parameter and args.values
         else [] if args.parameter else None
     )
+    journal_dir = (
+        None if args.no_resume_journal else str(Path(args.cache_dir) / "sweeps")
+    )
+    stdout_json = args.json == "-"
     # Fail-fast validation of every grid point happens inside the facade,
     # before any worker process spawns.
-    result = exp.sweep(parameter=parameter, values=values, workers=args.workers)
-    _print_sweep_table(exp.spec, result)
+    try:
+        result = exp.sweep(
+            parameter=parameter,
+            values=values,
+            workers=args.workers,
+            max_retries=args.max_retries,
+            timeout_seconds=args.timeout,
+            journal_dir=journal_dir,
+            resume=args.resume,
+            chaos=_chaos_plan(args),
+            log=lambda line: print(line, file=sys.stderr),
+        )
+    except SweepInterrupted as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if journal_dir is not None:
+            print(
+                f"hint: rerun with --resume {exc.sweep_id} (or --resume auto) "
+                f"to continue from the journal",
+                file=sys.stderr,
+            )
+        return 130
+    if not stdout_json:
+        _print_sweep_table(exp.spec, result)
     if args.json:
         _write_json(result.to_dict(), args.json)
+    if result.failures:
+        for failure in result.failures:
+            print(f"error: sweep point {failure.describe()}", file=sys.stderr)
+        if journal_dir is not None:
+            print(
+                f"hint: {len(result.failures)} point(s) failed; rerun with "
+                f"--resume {result.sweep_id} to re-attempt just those",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 
@@ -381,6 +455,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         out_dir=args.out,
         differential=not args.no_differential,
         shrink=not args.no_shrink,
+        workers=args.workers,
+        timeout_seconds=args.timeout,
         log=say,
     )
     if args.json:
@@ -523,6 +599,64 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="worker processes (default: min(len(values), 4); 1 disables fan-out)",
     )
+    sweep_p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="extra attempts per grid point after a crash/timeout/error (default: 2)",
+    )
+    sweep_p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-point wall-clock limit; a hung worker is killed and retried "
+        "(default: no limit; needs --workers > 1)",
+    )
+    sweep_p.add_argument(
+        "--resume",
+        metavar="SWEEP_ID",
+        help="resume a journaled sweep, skipping completed points "
+        "('auto' resolves this grid's own sweep id)",
+    )
+    sweep_p.add_argument(
+        "--no-resume-journal",
+        action="store_true",
+        help="disable the checkpoint journal under <cache-dir>/sweeps/",
+    )
+    sweep_p.add_argument(
+        "--chaos",
+        metavar="INJECTOR",
+        help="inject a registered chaos fault into worker attempts "
+        "(kill, sleep, exception, interrupt, truncate-cache; testing)",
+    )
+    sweep_p.add_argument(
+        "--chaos-rate",
+        type=float,
+        default=1.0,
+        metavar="P",
+        help="probability an eligible attempt is injected (default: 1.0)",
+    )
+    sweep_p.add_argument(
+        "--chaos-attempts",
+        type=int,
+        default=1,
+        metavar="N",
+        help="inject only into attempts <= N, so retries can succeed (default: 1)",
+    )
+    sweep_p.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed of the deterministic injection decision (default: 0)",
+    )
+    sweep_p.add_argument(
+        "--chaos-arg",
+        action="append",
+        metavar="KEY=VALUE",
+        help="injector parameter (repeatable), e.g. --chaos-arg seconds=30",
+    )
     sweep_p.add_argument("--json", metavar="PATH", help="also write results as JSON")
     _add_set_flag(sweep_p)
     _add_cache_flags(sweep_p)
@@ -573,6 +707,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-shrink",
         action="store_true",
         help="write failing scenarios as-is instead of shrinking them",
+    )
+    fuzz_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="supervised worker processes; a crashed case becomes a "
+        "'runtime' failure instead of killing the campaign (default: 1)",
+    )
+    fuzz_p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-case wall-clock limit under supervision (default: none)",
     )
     fuzz_p.add_argument(
         "--json",

@@ -1,0 +1,45 @@
+"""``repro.exec`` -- the supervised execution runtime.
+
+Long multi-point workloads (``Experiment.sweep`` grids, fuzz campaigns)
+used to run on a bare ``ProcessPoolExecutor.map``: one OOM-killed worker
+aborted the whole grid, a hung plan search stalled it forever, and an
+interrupt threw away every completed point.  This package is the
+robustness spine that replaces it:
+
+* :mod:`repro.exec.supervisor` -- a :class:`Supervisor` that dispatches
+  tasks to worker processes, detects crashes (nonzero/signal exits) and
+  hangs (per-task wall-clock timeout), retries with exponential backoff
+  up to a budget, and records a structured :class:`TaskOutcome` per task
+  instead of aborting the batch;
+* :mod:`repro.exec.journal` -- an append-only JSONL :class:`SweepJournal`
+  (atomic, truncation-tolerant) keyed by the content digest of each grid
+  point, giving ``repro sweep --resume <sweep_id>`` checkpoint/resume
+  with bit-identical merged results;
+* :mod:`repro.exec.chaos` -- registry-backed fault injectors (worker
+  kills, hangs, raised exceptions, cache-file truncation) so the
+  runtime's own guarantees are property-tested, not assumed.
+"""
+
+from repro.exec.chaos import ChaosError, ChaosPlan, reset_chaos_state
+from repro.exec.journal import JournalState, SweepJournal, content_digest
+from repro.exec.supervisor import (
+    RetryPolicy,
+    SupervisedTask,
+    Supervisor,
+    TaskFailure,
+    TaskOutcome,
+)
+
+__all__ = [
+    "ChaosError",
+    "ChaosPlan",
+    "JournalState",
+    "RetryPolicy",
+    "SupervisedTask",
+    "Supervisor",
+    "SweepJournal",
+    "TaskFailure",
+    "TaskOutcome",
+    "content_digest",
+    "reset_chaos_state",
+]

@@ -1,0 +1,395 @@
+"""The supervisor: crash-, hang- and error-tolerant task execution.
+
+A :class:`Supervisor` runs a batch of :class:`SupervisedTask`\\ s through
+a worker function and *always* returns one :class:`TaskOutcome` per
+task -- a worker that raises, crashes (OOM-kill, segfault, nonzero
+exit) or hangs (per-task wall-clock timeout) costs one attempt, not the
+batch.  Failed attempts are retried with exponential backoff up to
+``RetryPolicy.max_retries``; a task that exhausts its budget yields a
+structured :class:`TaskFailure` instead of an exception.
+
+Two execution modes:
+
+*process mode* (``workers > 1``, or ``inline=False``)
+    Every attempt runs in its own worker process with a result pipe
+    back to the supervisor.  One process per attempt -- not a shared
+    pool -- is what makes the guarantees enforceable: a SIGKILL'd
+    attempt takes down only its own process (no ``BrokenProcessPool``
+    poisoning a shared pool), and a hung attempt can be terminated
+    without stranding pool state.  Task payloads and results must be
+    picklable.
+
+*inline mode* (``workers <= 1`` by default)
+    Attempts run in the calling process: exceptions are caught and
+    retried with the same backoff, but kills and timeouts cannot be
+    detected (there is no second process to do the detecting).  This
+    preserves the historical ``workers=1`` sweep semantics, including
+    support for unpicklable registered callables.
+
+``KeyboardInterrupt`` always propagates to the caller; in process mode
+the supervisor first terminates every in-flight worker and drops the
+pending queue (the moral equivalent of ``shutdown(cancel_futures=True)``
+on the pool it replaces), so the interrupt leaves no orphans behind.
+
+A :class:`~repro.exec.chaos.ChaosPlan` can be attached to inject faults
+into attempts deterministically -- the supervisor's own guarantees are
+tested with the failures it claims to survive.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import signal
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.chaos import ChaosPlan
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/timeout/backoff budget applied to every task of a batch."""
+
+    #: Extra attempts after the first (total attempts = ``max_retries + 1``).
+    max_retries: int = 2
+    #: Per-attempt wall-clock limit; ``None`` disables hang detection.
+    timeout_seconds: Optional[float] = None
+    #: Delay before the first retry; later retries grow geometrically.
+    backoff_seconds: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_max_seconds: float = 30.0
+
+    def delay_before_attempt(self, attempt: int) -> float:
+        """Backoff delay before attempt ``attempt`` (1-based; first is free)."""
+        if attempt <= 1:
+            return 0.0
+        return min(
+            self.backoff_seconds * (self.backoff_factor ** (attempt - 2)),
+            self.backoff_max_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class SupervisedTask:
+    """One unit of work: a unique key plus a picklable payload."""
+
+    key: str
+    payload: Any
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Why a task attempt (or the whole task) failed.
+
+    ``kind`` is one of ``"exception"`` (the worker function raised),
+    ``"crash"`` (the worker process died without reporting a result) or
+    ``"timeout"`` (no result within the deadline; the worker was killed).
+    """
+
+    kind: str
+    error_type: str
+    message: str
+
+    def describe(self) -> str:
+        return f"[{self.kind}] {self.error_type}: {self.message}"
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """The final, structured result of one supervised task."""
+
+    key: str
+    ok: bool
+    attempts: int
+    result: Any = None
+    failure: Optional[TaskFailure] = None
+
+
+def _child_main(conn, fn, key: str, attempt: int, chaos, payload) -> None:
+    """Worker-process entry point: run one attempt, send one message."""
+    try:
+        if chaos is not None:
+            chaos.maybe_inject(key, attempt)
+        status: Tuple = ("ok", fn(payload))
+    except BaseException as exc:  # noqa: BLE001 - forwarded, not swallowed
+        status = ("error", type(exc).__name__, str(exc) or type(exc).__name__)
+    try:
+        conn.send(status)
+    except Exception as exc:
+        # An unpicklable result must become a structured failure, not a
+        # silent crash of the worker.
+        try:
+            conn.send(("error", type(exc).__name__, f"could not send result: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class _Attempt:
+    """Parent-side bookkeeping for one in-flight worker process."""
+
+    __slots__ = ("task", "attempt", "process", "conn", "deadline")
+
+    def __init__(self, task, attempt, process, conn, deadline):
+        self.task = task
+        self.attempt = attempt
+        self.process = process
+        self.conn = conn
+        self.deadline = deadline
+
+
+class Supervisor:
+    """Run tasks through ``fn`` with crash/hang/retry supervision.
+
+    Parameters
+    ----------
+    fn:
+        The worker function ``fn(payload) -> result``.  In process mode
+        it must be a module-level (picklable) callable.
+    workers:
+        Concurrent attempts in process mode; ``<= 1`` selects inline
+        mode unless ``inline=False`` forces supervised processes.
+    retry:
+        The :class:`RetryPolicy`; defaults to 2 retries, no timeout.
+    chaos:
+        Optional :class:`~repro.exec.chaos.ChaosPlan` injected into
+        every attempt (fault-injection testing).
+    on_outcome / on_retry:
+        Parent-side callbacks: ``on_outcome(outcome)`` fires once per
+        task as its final outcome lands (journaling, progress);
+        ``on_retry(task, attempt, failure, delay)`` fires before each
+        backoff sleep.
+    mp_context:
+        Multiprocessing context (default: the platform default).
+    sleep:
+        Injectable sleep for tests.
+    """
+
+    #: Poll/backoff granularity of the event loop (seconds).
+    _TICK = 0.5
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        *,
+        workers: int = 1,
+        retry: Optional[RetryPolicy] = None,
+        chaos: Optional[ChaosPlan] = None,
+        inline: Optional[bool] = None,
+        on_outcome: Optional[Callable[[TaskOutcome], None]] = None,
+        on_retry: Optional[Callable[[SupervisedTask, int, TaskFailure, float], None]] = None,
+        mp_context=None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.fn = fn
+        self.workers = max(1, int(workers))
+        self.retry = retry or RetryPolicy()
+        self.chaos = chaos
+        self.inline = (int(workers) <= 1) if inline is None else bool(inline)
+        self.on_outcome = on_outcome
+        self.on_retry = on_retry
+        self._ctx = mp_context or mp.get_context()
+        self._sleep = sleep
+
+    def run(self, tasks: Sequence[SupervisedTask]) -> List[TaskOutcome]:
+        """Execute every task; outcomes come back in task order."""
+        tasks = list(tasks)
+        keys = [t.key for t in tasks]
+        if len(set(keys)) != len(keys):
+            raise ValueError("supervised task keys must be unique")
+        if not tasks:
+            return []
+        if self.inline:
+            return self._run_inline(tasks)
+        return self._run_processes(tasks)
+
+    # -- inline mode -------------------------------------------------------------
+
+    def _run_inline(self, tasks: List[SupervisedTask]) -> List[TaskOutcome]:
+        outcomes: List[TaskOutcome] = []
+        for task in tasks:
+            attempt = 0
+            while True:
+                attempt += 1
+                failure: Optional[TaskFailure] = None
+                result: Any = None
+                try:
+                    if self.chaos is not None:
+                        self.chaos.maybe_inject(task.key, attempt)
+                    result = self.fn(task.payload)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    failure = TaskFailure(
+                        "exception", type(exc).__name__, str(exc) or type(exc).__name__
+                    )
+                if failure is None:
+                    outcome = TaskOutcome(task.key, True, attempt, result=result)
+                    break
+                if attempt <= self.retry.max_retries:
+                    delay = self.retry.delay_before_attempt(attempt + 1)
+                    if self.on_retry is not None:
+                        self.on_retry(task, attempt, failure, delay)
+                    if delay > 0:
+                        self._sleep(delay)
+                    continue
+                outcome = TaskOutcome(task.key, False, attempt, failure=failure)
+                break
+            outcomes.append(outcome)
+            if self.on_outcome is not None:
+                self.on_outcome(outcome)
+        return outcomes
+
+    # -- process mode ------------------------------------------------------------
+
+    def _run_processes(self, tasks: List[SupervisedTask]) -> List[TaskOutcome]:
+        outcomes: Dict[str, TaskOutcome] = {}
+        ready = deque((task, 1) for task in tasks)
+        delayed: List[Tuple[float, SupervisedTask, int]] = []
+        running: Dict[str, _Attempt] = {}
+        try:
+            while ready or delayed or running:
+                now = time.monotonic()
+                if delayed:
+                    due = [entry for entry in delayed if entry[0] <= now]
+                    if due:
+                        delayed = [e for e in delayed if e[0] > now]
+                        ready.extend((task, attempt) for _, task, attempt in due)
+                while ready and len(running) < self.workers:
+                    task, attempt = ready.popleft()
+                    running[task.key] = self._launch(task, attempt)
+                self._wait(running, delayed)
+                now = time.monotonic()
+                for key in list(running):
+                    att = running[key]
+                    finished, failure, result = self._poll_attempt(att, now)
+                    if not finished:
+                        continue
+                    del running[key]
+                    if failure is None:
+                        outcome = TaskOutcome(key, True, att.attempt, result=result)
+                    elif att.attempt <= self.retry.max_retries:
+                        delay = self.retry.delay_before_attempt(att.attempt + 1)
+                        if self.on_retry is not None:
+                            self.on_retry(att.task, att.attempt, failure, delay)
+                        delayed.append((now + delay, att.task, att.attempt + 1))
+                        continue
+                    else:
+                        outcome = TaskOutcome(key, False, att.attempt, failure=failure)
+                    outcomes[key] = outcome
+                    if self.on_outcome is not None:
+                        self.on_outcome(outcome)
+        finally:
+            # Interrupt/error path: cancel pending work and leave no
+            # orphaned workers (cancel_futures=True semantics).
+            for att in running.values():
+                self._kill_attempt(att)
+        return [outcomes[task.key] for task in tasks]
+
+    def _launch(self, task: SupervisedTask, attempt: int) -> _Attempt:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_child_main,
+            args=(child_conn, self.fn, task.key, attempt, self.chaos, task.payload),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        deadline = None
+        if self.retry.timeout_seconds is not None:
+            deadline = time.monotonic() + float(self.retry.timeout_seconds)
+        return _Attempt(task, attempt, process, parent_conn, deadline)
+
+    def _wait(self, running: Dict[str, _Attempt], delayed) -> None:
+        """Block until a worker event, a deadline or a backoff expiry is near."""
+        now = time.monotonic()
+        timeout = self._TICK
+        deadlines = [a.deadline for a in running.values() if a.deadline is not None]
+        if deadlines:
+            timeout = min(timeout, max(min(deadlines) - now, 0.0))
+        if delayed:
+            timeout = min(timeout, max(min(e[0] for e in delayed) - now, 0.0))
+        if not running:
+            if timeout > 0:
+                self._sleep(timeout)
+            return
+        handles: List[Any] = []
+        for att in running.values():
+            handles.append(att.conn)
+            handles.append(att.process.sentinel)
+        mp_connection.wait(handles, timeout=timeout)
+
+    def _poll_attempt(
+        self, att: _Attempt, now: float
+    ) -> Tuple[bool, Optional[TaskFailure], Any]:
+        """Check one in-flight attempt: ``(finished, failure, result)``."""
+        msg = self._recv(att)
+        if msg is None and not att.process.is_alive():
+            # The result may have landed between the first poll and the
+            # process exiting -- poll once more before declaring a crash.
+            msg = self._recv(att)
+            if msg is None:
+                att.process.join()
+                att.conn.close()
+                return True, self._crash_failure(att.process.exitcode), None
+        if msg is not None:
+            att.process.join(timeout=5.0)
+            att.conn.close()
+            if msg[0] == "ok":
+                return True, None, msg[1]
+            return True, TaskFailure("exception", msg[1], msg[2]), None
+        if att.deadline is not None and now >= att.deadline:
+            self._kill_attempt(att)
+            return (
+                True,
+                TaskFailure(
+                    "timeout",
+                    "WorkerTimeout",
+                    f"no result within {self.retry.timeout_seconds:g}s; worker killed",
+                ),
+                None,
+            )
+        return False, None, None
+
+    @staticmethod
+    def _recv(att: _Attempt):
+        try:
+            if att.conn.poll():
+                return att.conn.recv()
+        except (EOFError, OSError):
+            pass
+        return None
+
+    @staticmethod
+    def _crash_failure(exitcode: Optional[int]) -> TaskFailure:
+        if exitcode is not None and exitcode < 0:
+            try:
+                what = f"killed by {signal.Signals(-exitcode).name}"
+            except ValueError:
+                what = f"killed by signal {-exitcode}"
+        else:
+            what = f"exited with code {exitcode}"
+        return TaskFailure(
+            "crash", "WorkerCrash", f"worker {what} without reporting a result"
+        )
+
+    @staticmethod
+    def _kill_attempt(att: _Attempt) -> None:
+        process = att.process
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
+        else:
+            process.join(timeout=1.0)
+        try:
+            att.conn.close()
+        except OSError:
+            pass

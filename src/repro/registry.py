@@ -244,6 +244,9 @@ bench_sizes = Registry("bench size", seed_module="repro.bench.workloads")
 invariants = Registry("invariant", seed_module="repro.verify.invariants")
 #: Fuzz budget presets: :class:`repro.verify.fuzz.FuzzBudget` values.
 fuzz_budgets = Registry("fuzz budget", seed_module="repro.verify.fuzz")
+#: Chaos injectors: ``f(*, key, attempt, **params) -> None`` fault hooks
+#: fired inside supervised worker attempts (see :mod:`repro.exec.chaos`).
+chaos_injectors = Registry("chaos injector", seed_module="repro.exec.chaos")
 
 
 def register_policy(name: str, policy: Any = None, *, overwrite: bool = False):
@@ -300,6 +303,17 @@ def register_invariant(name: str, factory: Any = None, *, overwrite: bool = Fals
 def register_fuzz_budget(budget: Any, *, overwrite: bool = False) -> Any:
     """Register a :class:`~repro.verify.fuzz.FuzzBudget` under its name."""
     return fuzz_budgets.register(budget.name, budget, overwrite=overwrite)
+
+
+def register_chaos_injector(name: str, injector: Any = None, *, overwrite: bool = False):
+    """Register a chaos injector (decorator or direct call).
+
+    Injectors are called as ``injector(key=..., attempt=..., **params)``
+    inside a supervised attempt, before the task body runs; whatever they
+    raise (or do to the process) is what the supervisor must survive.
+    Registered names are addressable from ``repro sweep --chaos <name>``.
+    """
+    return chaos_injectors.register(name, injector, overwrite=overwrite)
 
 
 def resolve_policy(policy: Any) -> Callable:

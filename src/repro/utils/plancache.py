@@ -59,7 +59,7 @@ _cache_dir: Optional[Path] = None
 _code_fingerprint: Optional[str] = None
 
 #: Hit/miss/write counters since process start (or the last reset).
-_stats = {"hits": 0, "misses": 0, "writes": 0, "errors": 0}
+_stats = {"hits": 0, "misses": 0, "writes": 0, "errors": 0, "quarantined": 0}
 
 #: Canonical key JSON per pinned object (model specs and efficiency
 #: models are hashed once; the strong reference keeps ids stable).  The
@@ -158,11 +158,29 @@ def _entry_path(key_parts: Tuple[str, ...]) -> Path:
     return _cache_dir / "estimates" / f"{digest}.pkl"
 
 
+def _quarantine(path: Path) -> None:
+    """Move a corrupt entry aside so it cannot poison later lookups.
+
+    The entry is renamed to ``<name>.pkl.corrupt`` (atomic on POSIX):
+    every subsequent ``get`` of the same key sees a clean miss instead of
+    re-parsing the broken pickle, the recomputed value's ``put`` lands on
+    the now-free path, and the corpse stays on disk for diagnosis.
+    """
+    try:
+        os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+    except OSError:
+        return
+    _stats["quarantined"] += 1
+
+
 def get(key_parts: Tuple[str, ...]) -> Tuple[bool, Any]:
     """Look an entry up; returns ``(hit, value)``.
 
-    A missing, unreadable or corrupt file is a miss (never an error for
-    the caller); ``value`` may legitimately be ``None`` on a hit.
+    A missing file is a miss; an unreadable or corrupt file (truncated
+    write, bad pickle, bit rot) is a miss *plus* a quarantine -- the
+    broken entry is moved to ``<name>.pkl.corrupt`` so it is recomputed
+    and rewritten, never retried.  ``value`` may legitimately be ``None``
+    on a hit.
     """
     if not _enabled:
         return False, None
@@ -176,6 +194,7 @@ def get(key_parts: Tuple[str, ...]) -> Tuple[bool, Any]:
     except Exception:
         _stats["misses"] += 1
         _stats["errors"] += 1
+        _quarantine(path)
         return False, None
     _stats["hits"] += 1
     return True, value

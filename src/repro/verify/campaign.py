@@ -35,7 +35,7 @@ class FuzzFailure:
 
     index: int
     scenario: str
-    stage: str  # "invariants" | "cache-oracle" | "index-oracle"
+    stage: str  # "invariants" | "cache-oracle" | "index-oracle" | "runtime"
     message: str
     reproducer: Optional[str] = None
 
@@ -114,6 +114,50 @@ def _oracle_predicate(check) -> Callable[[Dict[str, Any]], bool]:
     return still_fails
 
 
+def _fuzz_case_worker(payload) -> Dict[str, Any]:
+    """Run one fuzz case in a supervised worker process.
+
+    The payload is ``(seed, budget, index, differential, cache_dir)`` --
+    everything needed to *regenerate* the case, so nothing scenario-sized
+    crosses the process boundary and the parent can rebuild the exact
+    spec (for shrinking and reproducers) from the index alone.  Stage
+    failures come back as data; only a crash/hang/unexpected error
+    surfaces through the supervisor.
+    """
+    from repro.api import Experiment
+    from repro.utils import plancache
+
+    seed, budget, index, differential, cache_dir = payload
+    plancache.configure(cache_dir, enabled=cache_dir is not None)
+    raw = ScenarioFuzzer(seed=seed, budget=budget).spec_dict(index)
+    failures: List[Dict[str, str]] = []
+    try:
+        result = Experiment.from_dict(dict(raw)).run(
+            observers=[InvariantObserver(check_every=1)]
+        )
+    except InvariantViolation as exc:
+        return {
+            "events": 0,
+            "oracle_runs": 0,
+            "failures": [{"stage": "invariants", "message": str(exc)}],
+        }
+    events = result.raw.events_processed
+    digest = result.digest()
+    oracle_runs = 0
+    if differential:
+        try:
+            check_cache_oracle(raw, reference_digest=digest)
+            oracle_runs += 1
+        except DifferentialMismatch as exc:
+            failures.append({"stage": "cache-oracle", "message": str(exc)})
+        try:
+            check_index_oracle(raw, reference_digest=digest)
+            oracle_runs += 1
+        except DifferentialMismatch as exc:
+            failures.append({"stage": "index-oracle", "message": str(exc)})
+    return {"events": events, "oracle_runs": oracle_runs, "failures": failures}
+
+
 def run_fuzz_campaign(
     *,
     seed: int = 0,
@@ -124,6 +168,9 @@ def run_fuzz_campaign(
     shrink: bool = True,
     max_shrink_evaluations: int = 60,
     invariant_observer: Optional[Callable[[], InvariantObserver]] = None,
+    workers: int = 1,
+    timeout_seconds: Optional[float] = None,
+    max_retries: int = 0,
     log: Optional[LogSink] = None,
 ) -> FuzzReport:
     """Run one fuzz campaign; returns a :class:`FuzzReport`.
@@ -147,7 +194,17 @@ def run_fuzz_campaign(
         simulation).
     invariant_observer:
         Factory for the observer checked on every run; defaults to a
-        full :class:`InvariantObserver` sweeping at every event.
+        full :class:`InvariantObserver` sweeping at every event.  A
+        custom factory forces the inline path (it cannot be shipped to
+        worker processes).
+    workers, timeout_seconds, max_retries:
+        Supervised execution (:mod:`repro.exec`): ``workers > 1`` or a
+        timeout runs each case in a supervised worker process, so a case
+        that crashes the interpreter or hangs the plan search becomes a
+        structured ``"runtime"`` failure with a reproducer instead of
+        killing (or stalling) the whole campaign.  ``max_retries``
+        defaults to 0: fuzz cases are deterministic, so a crash is
+        itself a finding, not noise to retry away.
     log:
         Optional line sink for progress output (the CLI passes one).
     """
@@ -199,39 +256,122 @@ def run_fuzz_campaign(
         )
         emit(f"  FAIL [{stage}] {message} -> {reproducer}")
 
-    for index in range(runs):
-        raw = fuzzer.spec_dict(index)
-        emit(f"[{index + 1}/{runs}] {raw['name']}")
-        digest: Optional[str] = None
-        try:
-            result = Experiment.from_dict(dict(raw)).run(
-                observers=[observer_factory()]
+    supervised = (
+        (workers > 1 or timeout_seconds is not None)
+        and invariant_observer is None
+    )
+    if supervised:
+        from repro.exec import RetryPolicy, SupervisedTask, Supervisor
+        from repro.utils import plancache
+
+        cache_dir = (
+            str(plancache.cache_dir()) if plancache.is_enabled() else None
+        )
+        tasks = [
+            SupervisedTask(
+                key=f"{seed}-{index}",
+                payload=(seed, budget, index, differential, cache_dir),
+                description=f"fuzz case {index}",
             )
-            events += result.raw.events_processed
-            digest = result.digest()
-        except InvariantViolation as exc:
-            record(
-                index,
-                raw,
-                "invariants",
-                str(exc),
-                _invariant_predicate(observer_factory),
-            )
-            continue
-        if not differential:
-            continue
-        try:
-            check_cache_oracle(raw, reference_digest=digest)
-            oracle_runs += 1
-        except DifferentialMismatch as exc:
-            record(index, raw, "cache-oracle", str(exc),
-                   _oracle_predicate(check_cache_oracle))
-        try:
-            check_index_oracle(raw, reference_digest=digest)
-            oracle_runs += 1
-        except DifferentialMismatch as exc:
-            record(index, raw, "index-oracle", str(exc),
-                   _oracle_predicate(check_index_oracle))
+            for index in range(runs)
+        ]
+        index_of = {task.key: i for i, task in enumerate(tasks)}
+        done = 0
+
+        def on_outcome(outcome) -> None:
+            nonlocal done
+            done += 1
+            if outcome.ok:
+                emit(f"[{done}/{runs}] case {index_of[outcome.key]} done")
+            else:
+                emit(
+                    f"[{done}/{runs}] case {index_of[outcome.key]} RUNTIME "
+                    f"FAILURE: {outcome.failure.describe()}"
+                )
+
+        supervisor = Supervisor(
+            _fuzz_case_worker,
+            workers=workers,
+            retry=RetryPolicy(
+                max_retries=max_retries, timeout_seconds=timeout_seconds
+            ),
+            on_outcome=on_outcome,
+        )
+        outcomes = supervisor.run(tasks)
+        for outcome in outcomes:
+            index = index_of[outcome.key]
+            if not outcome.ok:
+                # The interpreter died or hung mid-case: there is no
+                # in-process exception to shrink against, so write the
+                # spec as-is (regenerated from the index) and record a
+                # structured "runtime" failure.
+                raw = fuzzer.spec_dict(index)
+                message = outcome.failure.describe()
+                path = write_reproducer(
+                    raw,
+                    out_dir / f"{seed}-{index}.yaml",
+                    header=(
+                        f"runtime failure found by ScenarioFuzzer(seed={seed}, "
+                        f"budget={budget.name!r}) at index {index}\n{message}"
+                    ),
+                )
+                failures.append(
+                    FuzzFailure(
+                        index=index,
+                        scenario=str(raw.get("name", "?")),
+                        stage="runtime",
+                        message=message,
+                        reproducer=str(path),
+                    )
+                )
+                continue
+            events += outcome.result["events"]
+            oracle_runs += outcome.result["oracle_runs"]
+            for item in outcome.result["failures"]:
+                raw = fuzzer.spec_dict(index)
+                stage = item["stage"]
+                if stage == "invariants":
+                    predicate = _invariant_predicate(observer_factory)
+                elif stage == "cache-oracle":
+                    predicate = _oracle_predicate(check_cache_oracle)
+                else:
+                    predicate = _oracle_predicate(check_index_oracle)
+                record(index, raw, stage, item["message"], predicate)
+        failures.sort(key=lambda f: f.index)
+    else:
+        for index in range(runs):
+            raw = fuzzer.spec_dict(index)
+            emit(f"[{index + 1}/{runs}] {raw['name']}")
+            digest: Optional[str] = None
+            try:
+                result = Experiment.from_dict(dict(raw)).run(
+                    observers=[observer_factory()]
+                )
+                events += result.raw.events_processed
+                digest = result.digest()
+            except InvariantViolation as exc:
+                record(
+                    index,
+                    raw,
+                    "invariants",
+                    str(exc),
+                    _invariant_predicate(observer_factory),
+                )
+                continue
+            if not differential:
+                continue
+            try:
+                check_cache_oracle(raw, reference_digest=digest)
+                oracle_runs += 1
+            except DifferentialMismatch as exc:
+                record(index, raw, "cache-oracle", str(exc),
+                       _oracle_predicate(check_cache_oracle))
+            try:
+                check_index_oracle(raw, reference_digest=digest)
+                oracle_runs += 1
+            except DifferentialMismatch as exc:
+                record(index, raw, "index-oracle", str(exc),
+                       _oracle_predicate(check_index_oracle))
 
     report = FuzzReport(
         seed=seed,

@@ -87,6 +87,43 @@ class TestEstimateRoundTrip:
         stats = plancache.stats()
         assert stats["hits"] == 0 and stats["errors"] >= 1 and stats["writes"] >= 1
 
+    def test_truncated_entry_is_quarantined_and_rewritten(self, cache_dir):
+        """A torn write (truncated pickle) must quarantine, then self-heal.
+
+        The live entry is truncated in place -- the crash-mid-write /
+        bit-rot case the ``truncate-cache`` chaos injector simulates --
+        and the next lookup must (a) miss, (b) move the corpse to
+        ``<name>.pkl.corrupt``, (c) recompute the identical estimate and
+        (d) rewrite the entry so the lookup after that hits again.
+        """
+        model = build_model("bert-base")
+        clear_shared_caches()
+        fresh = make_executor().build_estimate(model, JobType.BATCH_INFERENCE)
+        entries = list((cache_dir / "estimates").glob("*.pkl"))
+        assert entries
+        for path in entries:
+            with open(path, "r+b") as fh:
+                fh.truncate(8)
+        clear_shared_caches()
+        plancache.reset_stats()
+        model = build_model("bert-base")
+        healed = make_executor().build_estimate(model, JobType.BATCH_INFERENCE)
+        stats = plancache.stats()
+        assert stats["quarantined"] >= 1 and stats["errors"] >= 1
+        assert healed.samples_per_cycle == fresh.samples_per_cycle
+        assert healed.flops_per_cycle == fresh.flops_per_cycle
+        corpses = list((cache_dir / "estimates").glob("*.pkl.corrupt"))
+        assert corpses, "corrupt entry was not moved aside"
+        # The quarantined file really is the truncated one...
+        assert all(c.stat().st_size == 8 for c in corpses)
+        # ...and the healthy path was rewritten: a fresh process hits.
+        clear_shared_caches()
+        plancache.reset_stats()
+        model = build_model("bert-base")
+        make_executor().build_estimate(model, JobType.BATCH_INFERENCE)
+        stats = plancache.stats()
+        assert stats["hits"] >= 1 and stats["quarantined"] == 0
+
     def test_disabled_by_default(self, tmp_path):
         plancache.configure(None, enabled=False)
         plancache.reset_stats()

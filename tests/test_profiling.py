@@ -90,7 +90,9 @@ class TestBenchPayloadBlocks:
         timing = run_case(case)
         payload = timing.to_dict()
         assert set(payload["timings_by_kind"]) == set(payload["events_by_kind"])
-        assert set(payload["plan_cache"]) == {"hits", "misses", "writes", "errors"}
+        assert set(payload["plan_cache"]) == {
+            "hits", "misses", "writes", "errors", "quarantined"
+        }
         # The digest hashes the simulation outcome only; wall-clock noise
         # in the timing block must not perturb it (cross-checked by the
         # plancache and equivalence suites).
