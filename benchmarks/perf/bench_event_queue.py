@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Microbenchmark: heapq vs structure-of-arrays event queue.
+
+Compares the two ``kernel_backends`` queue implementations on their raw
+operations, away from any scheduler logic:
+
+- **push**: schedule N events at uniformly random times;
+- **pop**: drain the queue one event at a time (the serial contract);
+- **batch-drain**: drain in per-timestamp batches — ``pop_batch`` on the
+  SoA queue (the kernel's batched fast path), emulated on heapq by
+  popping while ``peek`` repeats the head time;
+- **churn**: the simulator's steady-state shape — pre-pushed arrivals
+  where 90% of pops push a completion back in at a near-future time.
+
+Run it directly (it is a script, not a pytest module)::
+
+    PYTHONPATH=src python benchmarks/perf/bench_event_queue.py
+    PYTHONPATH=src python benchmarks/perf/bench_event_queue.py --events 1e4 1e5 1e6
+
+Timestamps are drawn from a finite grid so same-time batches actually
+occur, as they do in scenario runs (synchronized arrivals, fault waves).
+``repro bench`` measures the end-to-end effect; see docs/performance.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.sim.events import EventKind, EventQueue, SoAEventQueue
+
+#: (label, factory) pairs — the two registered kernel backends.
+BACKENDS: List[Tuple[str, Callable[[], object]]] = [
+    ("heapq", EventQueue),
+    ("soa", SoAEventQueue),
+]
+
+#: Distinct timestamps per run; a finite grid forces same-time batches.
+TIME_GRID = 10_000
+HORIZON = 3600.0
+
+
+def _push_times(n: int, seed: int) -> List[float]:
+    rng = random.Random(seed)
+    scale = HORIZON / TIME_GRID
+    return [rng.randrange(TIME_GRID) * scale for _ in range(n)]
+
+
+def bench_push(factory: Callable[[], object], n: int) -> float:
+    queue = factory()
+    times = _push_times(n, seed=1)
+    start = time.perf_counter()
+    for t in times:
+        queue.push(t, EventKind.JOB_ARRIVAL)
+    return time.perf_counter() - start
+
+
+def bench_pop(factory: Callable[[], object], n: int) -> float:
+    queue = factory()
+    for t in _push_times(n, seed=2):
+        queue.push(t, EventKind.JOB_ARRIVAL)
+    start = time.perf_counter()
+    while queue:
+        queue.pop()
+    return time.perf_counter() - start
+
+
+def bench_batch_drain(factory: Callable[[], object], n: int) -> float:
+    queue = factory()
+    for t in _push_times(n, seed=2):
+        queue.push(t, EventKind.JOB_ARRIVAL)
+    start = time.perf_counter()
+    if hasattr(queue, "pop_batch"):
+        while queue:
+            queue.pop_batch()
+    else:
+        while queue:
+            head = queue.pop().time
+            batch = [head]
+            while queue and queue.peek().time == head:
+                batch.append(queue.pop())
+    return time.perf_counter() - start
+
+
+def bench_churn(factory: Callable[[], object], n: int) -> float:
+    queue = factory()
+    rng = random.Random(3)
+    for t in _push_times(n, seed=3):
+        queue.push(t, EventKind.JOB_ARRIVAL)
+    batched = hasattr(queue, "pop_batch")
+    start = time.perf_counter()
+    while queue:
+        batch = queue.pop_batch() if batched else (queue.pop(),)
+        for event in batch:
+            if event.kind is EventKind.JOB_ARRIVAL and rng.random() < 0.9:
+                queue.push(
+                    event.time + rng.random() * 60.0, EventKind.JOB_COMPLETION
+                )
+    return time.perf_counter() - start
+
+
+OPERATIONS: Dict[str, Callable[[Callable[[], object], int], float]] = {
+    "push": bench_push,
+    "pop": bench_pop,
+    "batch-drain": bench_batch_drain,
+    "churn": bench_churn,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--events",
+        nargs="+",
+        type=float,
+        default=[1e4, 1e5, 1e6],
+        help="event counts to benchmark (default: 1e4 1e5 1e6)",
+    )
+    parser.add_argument(
+        "--ops",
+        nargs="+",
+        choices=sorted(OPERATIONS),
+        default=list(OPERATIONS),
+        help="operations to benchmark (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"{'events':>9}  {'operation':<12}", end="")
+    for label, _ in BACKENDS:
+        print(f"  {label + ' ev/s':>12}", end="")
+    print(f"  {'soa/heapq':>9}")
+
+    for count in args.events:
+        n = int(count)
+        for op in args.ops:
+            fn = OPERATIONS[op]
+            rates = []
+            print(f"{n:>9}  {op:<12}", end="", flush=True)
+            for _, factory in BACKENDS:
+                elapsed = fn(factory, n)
+                rate = n / elapsed if elapsed == elapsed and elapsed > 0 else float("nan")
+                rates.append(rate)
+                text = f"{rate:,.0f}" if rate == rate else "n/a"
+                print(f"  {text:>12}", end="", flush=True)
+            if all(r == r for r in rates) and rates[0] > 0:
+                print(f"  {rates[1] / rates[0]:>8.2f}x")
+            else:
+                print(f"  {'n/a':>9}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,7 @@ DOCS = [
     REPO_ROOT / "docs" / "api.md",
     REPO_ROOT / "docs" / "testing.md",
     REPO_ROOT / "docs" / "robustness.md",
+    REPO_ROOT / "docs" / "performance.md",
 ]
 EXAMPLES = [
     REPO_ROOT / "examples" / "quickstart.py",

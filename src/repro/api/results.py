@@ -13,8 +13,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+import sys
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
 
 from repro.sim.multi_tenant import MultiTenantResult, TenantResult
 from repro.sim.scenario import ScenarioSpec
@@ -23,6 +26,22 @@ from repro.utils.tables import Table
 #: Version stamped into every ``to_dict()`` payload.  Bump only with a
 #: deliberate, documented schema change.
 SCHEMA_VERSION = 1
+
+
+def environment_block(kernel_backend: str) -> Dict[str, str]:
+    """The additive ``environment`` payload block.
+
+    Records what is needed to interpret a result or benchmark number
+    away from the machine that produced it: the kernel event-queue
+    backend it ran under and the python/numpy versions.  The block is
+    schema-v1-additive -- it never feeds :func:`result_digest`, which
+    hashes only the simulation core.
+    """
+    return {
+        "kernel_backend": kernel_backend,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+    }
 
 
 def result_digest(core_payload: Mapping[str, Any]) -> str:
@@ -100,6 +119,7 @@ class RunResult:
         return {
             "schema_version": SCHEMA_VERSION,
             "scenario": self.scenario,
+            "environment": environment_block(self.spec.kernel_backend),
             **self.raw.to_dict(include_timings=include_timings),
         }
 
@@ -298,6 +318,7 @@ class ProfileResult:
         return {
             "schema_version": SCHEMA_VERSION,
             "scenario": self.scenario,
+            "environment": environment_block(self.run.spec.kernel_backend),
             "wall_seconds": round(self.wall_seconds, 4),
             "events_processed": self.events_processed,
             "events_per_second": round(self.events_per_second, 2),
@@ -307,4 +328,88 @@ class ProfileResult:
                 for kind, seconds in self.timings_by_kind.items()
             },
             "plan_cache": dict(self.plan_cache),
+        }
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The profile as a Chrome trace (``chrome://tracing`` / Perfetto).
+
+        The kernel keeps *accumulated* per-kind handler times, not
+        per-event timestamps, so the trace renders the accumulator: one
+        process, one track per event kind, and on each track a single
+        complete ("X") slice whose duration is that kind's total handler
+        seconds, annotated with the event count and mean per-event cost.
+        Track 0 carries the whole run's wall-clock slice, so the gap
+        between it and the handler slices is visible kernel/queue
+        overhead.  Load the written file directly in Perfetto or
+        ``chrome://tracing``.
+        """
+        to_us = 1e6  # trace timestamps/durations are microseconds
+        trace_events: List[Dict[str, Any]] = [
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": f"repro profile: {self.scenario}"},
+            },
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": "run (wall-clock)"},
+            },
+            {
+                "ph": "X",
+                "name": "run",
+                "cat": "run",
+                "pid": 1,
+                "tid": 0,
+                "ts": 0,
+                "dur": round(self.wall_seconds * to_us, 3),
+                "args": {
+                    "events_processed": self.events_processed,
+                    "events_per_second": round(self.events_per_second, 2),
+                },
+            },
+        ]
+        counts = dict(self.events_by_kind)
+        for tid, kind in enumerate(sorted(self.timings_by_kind), start=1):
+            seconds = self.timings_by_kind[kind]
+            count = counts.get(kind, 0)
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": f"handlers: {kind}"},
+                }
+            )
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "name": kind,
+                    "cat": "handler",
+                    "pid": 1,
+                    "tid": tid,
+                    "ts": 0,
+                    "dur": round(seconds * to_us, 3),
+                    "args": {
+                        "events": count,
+                        "mean_us_per_event": round(
+                            seconds * to_us / count, 3
+                        )
+                        if count
+                        else 0.0,
+                    },
+                }
+            )
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "scenario": self.scenario,
+                **environment_block(self.run.spec.kernel_backend),
+            },
         }

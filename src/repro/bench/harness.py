@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+import numpy as np
+
 from repro.core.executor import clear_shared_caches
 from repro.sim.multi_tenant import MultiTenantSimulator
 from repro.sim.simulator import ClusterSimulator
@@ -131,7 +133,13 @@ def _digest(payload: Any) -> str:
     return hashlib.sha256(text.encode()).hexdigest()[:16]
 
 
-def run_case(case: BenchCase, *, use_cache: bool = True, seed: int = 0) -> CaseTiming:
+def run_case(
+    case: BenchCase,
+    *,
+    use_cache: bool = True,
+    seed: int = 0,
+    backend: str = "heapq",
+) -> CaseTiming:
     """Build and run one benchmark case, cold (shared caches cleared).
 
     The setup phase (model/system construction plus workload generation)
@@ -163,6 +171,7 @@ def run_case(case: BenchCase, *, use_cache: bool = True, seed: int = 0) -> CaseT
             policy=policy,
             preemption_rule=deadline_preemption_rule if case.preemption else None,
             use_cache=use_cache,
+            kernel_backend=backend,
         )
         horizon = arrival_window_seconds(case.size, case.num_executors)
         t1 = time.perf_counter()
@@ -182,7 +191,9 @@ def run_case(case: BenchCase, *, use_cache: bool = True, seed: int = 0) -> CaseT
         jobs = build_bench_jobs(
             case.size, num_executors=case.num_executors, seed=seed
         )
-        simulator = ClusterSimulator(system.executors, use_cache=use_cache)
+        simulator = ClusterSimulator(
+            system.executors, use_cache=use_cache, kernel_backend=backend
+        )
         horizon = arrival_window_seconds(case.size, case.num_executors)
         t1 = time.perf_counter()
         result = simulator.run(jobs, horizon_seconds=horizon)
@@ -229,14 +240,19 @@ def run_bench(
     *,
     baseline: bool = False,
     seed: int = 0,
+    backend: str = "heapq",
     progress=None,
 ) -> Dict[str, Any]:
     """Run every case of one benchmark size; returns the JSON payload.
 
-    With ``baseline=True`` each case is additionally run in the
-    brute-force (``use_cache=False``) mode and the payload carries the
-    measured speedup plus an ``identical_results`` flag comparing the two
-    modes' result digests.
+    ``backend`` selects the kernel event-queue backend (a
+    ``kernel_backends`` registry name) for every run, so ``repro bench
+    --backend soa`` measures the batched structure-of-arrays kernel on
+    the identical workloads; the ``result_digest`` of each case is
+    backend-independent by construction.  With ``baseline=True`` each
+    case is additionally run in the brute-force (``use_cache=False``)
+    mode and the payload carries the measured speedup plus an
+    ``identical_results`` flag comparing the two modes' result digests.
     """
     try:
         size = SIZES[size_name]
@@ -247,7 +263,7 @@ def run_bench(
     for case in cases_for(size):
         if progress is not None:
             progress(f"  {case.name}: {size.num_jobs} jobs, {case.num_executors} executors")
-        optimized = run_case(case, use_cache=True, seed=seed)
+        optimized = run_case(case, use_cache=True, seed=seed, backend=backend)
         entry: Dict[str, Any] = {
             "name": case.name,
             "num_jobs": size.num_jobs,
@@ -258,7 +274,7 @@ def run_bench(
         if baseline:
             if progress is not None:
                 progress(f"  {case.name}: baseline (no-cache) run ...")
-            brute = run_case(case, use_cache=False, seed=seed)
+            brute = run_case(case, use_cache=False, seed=seed, backend=backend)
             entry["baseline"] = brute.to_dict()
             entry["speedup"] = (
                 round(brute.run_seconds / optimized.run_seconds, 2)
@@ -278,7 +294,11 @@ def run_bench(
         "size": size.name,
         "num_jobs": size.num_jobs,
         "created_unix": int(time.time()),
+        # Environment block: enough to interpret absolute numbers when
+        # BENCH files from different machines/configurations meet.
+        "kernel_backend": backend,
         "python": sys.version.split()[0],
+        "numpy": np.__version__,
         "platform": platform.platform(),
         "cases": case_payloads,
     }

@@ -396,6 +396,13 @@ def cmd_profile(args: argparse.Namespace) -> int:
         _print_profile(args.scenario, exp.spec, profile)
     if args.json:
         _write_json(profile.to_dict(), args.json)
+    if args.trace:
+        _write_json(profile.to_chrome_trace(), args.trace)
+        if not stdout_json and args.trace != "-":
+            print(
+                f"wrote Chrome trace to {args.trace} "
+                "(open in Perfetto or chrome://tracing)"
+            )
     return 0
 
 
@@ -457,6 +464,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         workers=args.workers,
         timeout_seconds=args.timeout,
+        kernel_backend=args.backend,
         log=say,
     )
     if args.json:
@@ -497,7 +505,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
     payloads = []
     for size in sizes:
         say(f"bench {size}: {SIZES[size].num_jobs} fill jobs")
-        payload = run_bench(size, baseline=args.baseline, seed=args.seed, progress=say)
+        payload = run_bench(
+            size,
+            baseline=args.baseline,
+            seed=args.seed,
+            backend=args.backend,
+            progress=say,
+        )
         payloads.append(payload)
         if not stdout_only:
             path = write_bench_json(payload, args.output)
@@ -574,6 +588,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         metavar="PATH",
         help="write the timing profile as JSON to PATH ('-' for stdout)",
+    )
+    profile_p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write the profile as a Chrome trace (Perfetto/chrome://tracing) "
+        "to PATH ('-' for stdout)",
     )
     _add_set_flag(profile_p)
     _add_cache_flags(profile_p)
@@ -727,6 +747,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the campaign report as JSON to PATH ('-' for stdout)",
     )
+    from repro.registry import kernel_backends as _FUZZ_BACKENDS
+
+    fuzz_p.add_argument(
+        "--backend",
+        default=None,
+        choices=_FUZZ_BACKENDS.names(),
+        help="force this kernel backend on every generated scenario "
+        "(default: the scenario default, heapq)",
+    )
     _add_cache_flags(fuzz_p)
     fuzz_p.set_defaults(func=cmd_fuzz)
 
@@ -748,6 +777,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_p.add_argument(
         "--seed", type=int, default=0, help="workload generation seed"
+    )
+    from repro.registry import kernel_backends as _KERNEL_BACKENDS
+
+    bench_p.add_argument(
+        "--backend",
+        default="heapq",
+        choices=_KERNEL_BACKENDS.names(),
+        help="kernel event-queue backend to benchmark (default: heapq)",
     )
     bench_p.add_argument(
         "--output",

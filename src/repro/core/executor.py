@@ -27,7 +27,14 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.config import PipeFillConfig
-from repro.core.plan import ExecutionPlan, GraphPartition, PlanError, plan_fill_job
+from repro.core.plan import (
+    ExecutionPlan,
+    GraphPartition,
+    PackedPlan,
+    PlanError,
+    pack_fill_job,
+    plan_fill_job,
+)
 from repro.hardware.device import DeviceSpec, V100_16GB
 from repro.hardware.memory import DeviceOOMError, MemoryAllocator
 from repro.models.base import ModelSpec
@@ -111,7 +118,10 @@ class FillExecutionEstimate:
     model_name: str
     job_type: JobType
     profile: ModelProfile
-    plan: ExecutionPlan
+    #: The execution plan behind the estimate: an eager ExecutionPlan in
+    #: brute-force reference mode, a lazily-materialized PackedPlan on the
+    #: cached fast path (same API, identical metrics).
+    plan: "ExecutionPlan | PackedPlan"
     samples_per_cycle: float
     flops_per_cycle: float
     used_bubble_seconds_per_cycle: float
@@ -294,7 +304,14 @@ class FillJobExecutor:
         if profile.device_footprint_bytes > self.usable_memory_bytes:
             return None
         try:
-            plan = plan_fill_job(profile.graph, self.cycle, self.config)
+            if use_cache:
+                # The vectorized Algorithm-1 fast path: identical plan, node
+                # tuples materialized lazily.  The brute-force reference mode
+                # keeps the scalar planner, so the differential oracles and
+                # golden digests prove the two packers bit-identical.
+                plan = pack_fill_job(profile.graph, self.cycle, self.config)
+            else:
+                plan = plan_fill_job(profile.graph, self.cycle, self.config)
         except PlanError:
             return None
 
@@ -302,13 +319,22 @@ class FillJobExecutor:
         effective_work = 0.0
         used_bubble = 0.0
         bubble_durations = {i: b.duration for i, b in enumerate(plan.bubbles)}
-        for partition in plan.partitions:
-            if partition.is_empty:
-                continue
-            effective_work += partition.duration * self.efficiency.bubble_efficiency(
-                partition.duration
-            )
-            used_bubble += bubble_durations[partition.bubble_index]
+        if isinstance(plan, PackedPlan):
+            # Same accumulation order as the partition loop below, fed from
+            # the packed per-visit durations instead of materialized nodes.
+            for bubble_index, duration in plan.nonempty_visits():
+                effective_work += duration * self.efficiency.bubble_efficiency(
+                    duration
+                )
+                used_bubble += bubble_durations[bubble_index]
+        else:
+            for partition in plan.partitions:
+                if partition.is_empty:
+                    continue
+                effective_work += partition.duration * self.efficiency.bubble_efficiency(
+                    partition.duration
+                )
+                used_bubble += bubble_durations[partition.bubble_index]
         # Convert completed node-time back into samples and FLOPs via the
         # steady-state per-iteration totals.
         iterations_completed = effective_work / profile.graph.total_duration

@@ -35,10 +35,12 @@ from functools import partial
 
 from repro.core.candidates import CandidateIndex
 from repro.core.policies import (
+    _EPS as _POLICY_EPS,
     JobView,
     PreemptionRule,
     RunningJobView,
     SchedulingPolicy,
+    deadline_preemption_rule,
     sjf_policy,
 )
 from repro.core.scheduler import FillJob, FillJobScheduler, FillJobState, JobRecord
@@ -332,6 +334,16 @@ class GlobalScheduler:
                     if assignment is not None:
                         assignments.append(assignment)
                         progress = True
+                        if (
+                            use_fast_path
+                            and not self._backlog
+                            and not sched.has_queued_jobs()
+                        ):
+                            # The assignment drained the last waiting job:
+                            # every remaining idle executor would scan to
+                            # no candidate, so skip them outright (jobs
+                            # only leave queues within a sweep).
+                            break
                     elif use_fast_path:
                         exhausted.add((tenant, idx))
         return assignments
@@ -381,26 +393,56 @@ class GlobalScheduler:
         if job.deadline is None:
             return None
         best: Optional[Tuple[float, str, int]] = None
+        # The shipped deadline rule rejects almost every (arrival, victim)
+        # pair on arithmetic over numbers already at hand; inlining those
+        # zero-score exits (identical expressions, identical order) skips
+        # the RunningJobView construction and the rule call for them.
+        fast_rule = self.preemption_rule is deadline_preemption_rule
+        inf = float("inf")
         for tenant, sched in self.tenants.items():
             if tenant in self.departed:
                 continue  # a leaving tenant takes no new work
-            state_view = sched.scheduler_view(now)
+            state_view = None if fast_rule else sched.scheduler_view(now)
             view = self._backlog_view(tenant, job)
+            proc_times = view.proc_times
             for idx, ex_state in sched.executors.items():
                 if not ex_state.is_busy:
                     continue
-                if view.proc_times.get(idx, float("inf")) == float("inf"):
+                proc_here = proc_times.get(idx, inf)
+                if proc_here == inf:
                     continue
-                victim = sched.records[ex_state.current_job_id]
-                assert victim.start_time is not None
-                running_view = RunningJobView(
-                    job_id=victim.job.job_id,
-                    start_time=victim.start_time,
-                    scheduled_end=ex_state.busy_until,
-                    executor_index=idx,
-                    deadline=victim.job.deadline,
-                )
-                score = self.preemption_rule(view, running_view, state_view)
+                if fast_rule:
+                    wait = max(0.0, ex_state.busy_until - now)
+                    if now + wait + proc_here <= job.deadline:
+                        continue  # waiting out the segment still meets it
+                    if now + proc_here > job.deadline:
+                        continue  # preempting would not save it either
+                    victim = sched.records[ex_state.current_job_id]
+                    victim_deadline = victim.job.deadline
+                    if victim_deadline is not None:
+                        victim_slack = victim_deadline - now - wait
+                        arrival_slack = job.deadline - now - proc_here
+                        if victim_slack - proc_here <= max(arrival_slack, 0.0):
+                            continue
+                    assert victim.start_time is not None
+                    total = ex_state.busy_until - victim.start_time
+                    progress = (
+                        1.0
+                        if total <= 0
+                        else min(1.0, max(0.0, (now - victim.start_time) / total))
+                    )
+                    score = wait * (1.0 - progress) + _POLICY_EPS
+                else:
+                    victim = sched.records[ex_state.current_job_id]
+                    assert victim.start_time is not None
+                    running_view = RunningJobView(
+                        job_id=victim.job.job_id,
+                        start_time=victim.start_time,
+                        scheduled_end=ex_state.busy_until,
+                        executor_index=idx,
+                        deadline=victim.job.deadline,
+                    )
+                    score = self.preemption_rule(view, running_view, state_view)
                 if score > 0 and (best is None or score > best[0]):
                     best = (score, tenant, idx)
         if best is None:

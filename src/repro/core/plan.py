@@ -20,7 +20,9 @@ the scheduler.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.config import PipeFillConfig
 from repro.models.base import ComputationalGraph, GraphNode
@@ -260,4 +262,309 @@ def plan_fill_job(
         iterations=iterations,
         graph_duration=graph.total_duration,
         cycle_period=cycle.period,
+    )
+
+
+# -- vectorized fast path -----------------------------------------------------------
+#
+# plan_fill_job above is the reference implementation: it materializes the
+# replicated graph (every node cloned and renamed per iteration) and packs it
+# node by node.  For large plans that materialization dominates the cold-start
+# cost of a simulation -- hundreds of thousands of GraphNode clones whose only
+# purpose is to be summed into per-bubble durations.  pack_fill_job below runs
+# the *same* Algorithm-1 loop over flat numpy duration/memory arrays instead:
+#
+# * The per-bubble inner loop becomes a windowed ``np.cumsum`` + first-violation
+#   scan.  ``np.cumsum`` accumulates strictly left-to-right, so ``c[j]`` is
+#   bit-for-bit the scalar loop's ``packed_duration + nodes[j].duration`` at
+#   step ``j`` (the scalar loop resets its accumulator to 0.0 per bubble visit,
+#   and so does each window), and the packed partition duration ``c[L-1]``
+#   equals ``GraphPartition.duration``'s fresh ``sum()`` over the same nodes.
+# * Nodes are never cloned: the result is a :class:`PackedPlan` that records
+#   only per-visit (node count, packed duration) and materializes real
+#   ``GraphPartition`` tuples -- with the exact ``iter{i}/{name}`` clone names
+#   ``ComputationalGraph.concatenate`` would have produced -- on first access.
+#
+# ``use_cache=False`` simulations keep calling plan_fill_job, so the
+# brute-force differential oracles and the golden-digest suite prove the two
+# paths bit-identical end-to-end.
+
+
+class PackedPlan:
+    """An :class:`ExecutionPlan` computed without materializing its nodes.
+
+    Duck-types the plan API consumed by the executor and the tests
+    (``partitions``, ``bubbles``, ``num_cycles``, the derived metrics);
+    ``partitions`` builds the real :class:`GraphPartition` tuple lazily on
+    first access, so estimate construction never pays for node clones it
+    does not read.  Picklable (the persistent plan cache stores estimates);
+    the materialized partitions are dropped from the pickle.
+    """
+
+    __slots__ = (
+        "bubbles",
+        "iterations",
+        "graph_duration",
+        "cycle_period",
+        "_graph",
+        "_visit_counts",
+        "_visit_durations",
+        "_partitions",
+    )
+
+    def __init__(
+        self,
+        *,
+        graph: ComputationalGraph,
+        bubbles: Tuple[Bubble, ...],
+        iterations: int,
+        cycle_period: float,
+        visit_counts: np.ndarray,
+        visit_durations: np.ndarray,
+    ) -> None:
+        self.bubbles = bubbles
+        self.iterations = iterations
+        self.graph_duration = graph.total_duration
+        self.cycle_period = cycle_period
+        self._graph = graph
+        self._visit_counts = visit_counts
+        self._visit_durations = visit_durations
+        self._partitions: Optional[Tuple[GraphPartition, ...]] = None
+
+    # -- lazy materialization --------------------------------------------------
+
+    @property
+    def partitions(self) -> Tuple[GraphPartition, ...]:
+        """The real partition tuple (built on first access)."""
+        if self._partitions is None:
+            base = self._graph.nodes
+            n = len(base)
+            num_bubbles = len(self.bubbles)
+            parts: List[GraphPartition] = []
+            node_idx = 0
+            for k, count in enumerate(self._visit_counts.tolist()):
+                nodes = []
+                for _ in range(count):
+                    iteration, j = divmod(node_idx, n)
+                    node = base[j]
+                    nodes.append(node.renamed(f"iter{iteration}/{node.name}"))
+                    node_idx += 1
+                parts.append(
+                    GraphPartition(
+                        bubble_index=k % num_bubbles,
+                        cycle_index=k // num_bubbles,
+                        nodes=tuple(nodes),
+                    )
+                )
+            self._partitions = tuple(parts)
+        return self._partitions
+
+    def nonempty_visits(self) -> Iterator[Tuple[int, float]]:
+        """Yield ``(bubble_index, packed_duration)`` per non-empty visit.
+
+        The packed duration is bit-identical to the corresponding
+        ``GraphPartition.duration`` (same left-to-right float additions),
+        which is what lets the executor consume the plan without
+        materializing it.
+        """
+        num_bubbles = len(self.bubbles)
+        counts = self._visit_counts
+        for k, duration in enumerate(self._visit_durations.tolist()):
+            if counts[k]:
+                yield k % num_bubbles, duration
+
+    # -- the ExecutionPlan metric API -------------------------------------------
+
+    @property
+    def num_cycles(self) -> int:
+        if not len(self._visit_counts):
+            return 0
+        return (len(self._visit_counts) - 1) // len(self.bubbles) + 1
+
+    @property
+    def planned_work_seconds(self) -> float:
+        # tolist() yields Python floats; the sequential sum reproduces
+        # ExecutionPlan.planned_work_seconds' addition order exactly.
+        return sum(self._visit_durations.tolist())
+
+    @property
+    def planned_flops(self) -> float:
+        return sum(p.flops for p in self.partitions)
+
+    @property
+    def used_bubble_seconds(self) -> float:
+        return self.planned_work_seconds
+
+    @property
+    def wall_clock_seconds(self) -> float:
+        return self.num_cycles * self.cycle_period
+
+    @property
+    def packing_efficiency(self) -> float:
+        available = self.num_cycles * sum(b.duration for b in self.bubbles)
+        if available <= 0:
+            return 0.0
+        return self.planned_work_seconds / available
+
+    def partitions_in_cycle(self, cycle_index: int) -> List[GraphPartition]:
+        return [p for p in self.partitions if p.cycle_index == cycle_index]
+
+    # -- pickling (the persistent plan cache stores estimates) -------------------
+
+    def __getstate__(self):
+        return {
+            "bubbles": self.bubbles,
+            "iterations": self.iterations,
+            "cycle_period": self.cycle_period,
+            "graph": self._graph,
+            "visit_counts": self._visit_counts,
+            "visit_durations": self._visit_durations,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.bubbles = state["bubbles"]
+        self.iterations = state["iterations"]
+        self.cycle_period = state["cycle_period"]
+        self._graph = state["graph"]
+        self.graph_duration = self._graph.total_duration
+        self._visit_counts = state["visit_counts"]
+        self._visit_durations = state["visit_durations"]
+        self._partitions = None
+
+
+def _pack_visit_lengths(
+    durations: np.ndarray,
+    memories: np.ndarray,
+    usable_durations: Sequence[float],
+    usable_memory: Sequence[float],
+    *,
+    max_cycles: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The Algorithm-1 packing loop over flat arrays.
+
+    Returns per-bubble-visit ``(node counts, packed durations)``; raises the
+    same :class:`PlanError`\\ s (same messages, same trigger conditions) as
+    the scalar loop in :func:`plan_fill_job`.
+    """
+    num_nodes = len(durations)
+    num_bubbles = len(usable_durations)
+    visit_counts: List[int] = []
+    visit_durations: List[float] = []
+    next_node = 0
+    bubble_idx = 0
+    empty_streak = 0
+    window = 32
+    while next_node < num_nodes:
+        cycle_index = bubble_idx // num_bubbles
+        if cycle_index >= max_cycles:
+            raise PlanError(
+                f"plan exceeded {max_cycles} bubble cycles; the fill job is too "
+                "large for this bubble cycle"
+            )
+        i = bubble_idx % num_bubbles
+        capacity = usable_durations[i]
+        mem_cap = usable_memory[i]
+        # Widen the window until it contains the first violation (or the end
+        # of the node sequence); the cumsum restarts at 0.0 per visit exactly
+        # like the scalar loop's packed_duration accumulator.
+        length = 0
+        packed = 0.0
+        w = window
+        while True:
+            end = min(next_node + w, num_nodes)
+            c = np.cumsum(durations[next_node:end])
+            viol = c > capacity
+            viol |= memories[next_node:end] > mem_cap
+            hit = int(viol.argmax())
+            if viol[hit]:
+                length = hit
+            elif end < num_nodes:
+                w *= 2
+                continue
+            else:
+                length = end - next_node
+            if length:
+                packed = float(c[length - 1])
+            break
+        window = max(16, 2 * length)
+        visit_counts.append(length)
+        visit_durations.append(packed)
+        next_node += length
+        if length == 0:
+            empty_streak += 1
+            if empty_streak >= num_bubbles:
+                raise PlanError(
+                    "no progress packing the fill job; a node does not fit any bubble"
+                )
+        else:
+            empty_streak = 0
+        bubble_idx += 1
+    return (
+        np.asarray(visit_counts, dtype=np.int64),
+        np.asarray(visit_durations, dtype=np.float64),
+    )
+
+
+def pack_fill_job(
+    graph: ComputationalGraph,
+    cycle: BubbleCycle,
+    config: Optional[PipeFillConfig] = None,
+    *,
+    max_cycles: int = 10_000,
+) -> PackedPlan:
+    """Vectorized :func:`plan_fill_job`: same plan, nodes materialized lazily.
+
+    Raises exactly the :class:`PlanError`\\ s the scalar path raises, with
+    the same messages, so the two are interchangeable to callers.
+    """
+    config = config or PipeFillConfig()
+    bubbles = tuple(
+        b
+        for b in cycle.fillable_bubbles
+        if config.usable_bubble_seconds(b.duration) > 0.0
+    )
+    if not bubbles:
+        raise PlanError(
+            f"bubble cycle of stage {cycle.stage_id} has no fillable bubbles "
+            f"longer than {config.min_fill_bubble_seconds}s"
+        )
+
+    usable_durations = [config.usable_bubble_seconds(b.duration) for b in bubbles]
+    usable_memory = [config.usable_bubble_memory(b.free_memory_bytes) for b in bubbles]
+    total_usable = sum(usable_durations)
+
+    base_durations = np.array([n.duration for n in graph.nodes], dtype=np.float64)
+    base_memories = np.array([n.memory_bytes for n in graph.nodes], dtype=np.float64)
+
+    # Feasibility: every node must fit in at least one bubble (first offender
+    # reported, like the scalar pre-check).
+    fits_any = (
+        (base_durations[:, None] <= np.asarray(usable_durations)[None, :])
+        & (base_memories[:, None] <= np.asarray(usable_memory)[None, :])
+    ).any(axis=1)
+    if not fits_any.all():
+        node = graph.nodes[int(np.argmin(fits_any))]
+        raise PlanError(
+            f"graph node {node.name!r} (duration {node.duration:.4f}s, "
+            f"memory {node.memory_bytes:.3e} B) does not fit in any bubble of "
+            f"stage {cycle.stage_id}'s cycle"
+        )
+
+    iterations = _replication_count(graph.total_duration, total_usable)
+    durations = np.tile(base_durations, iterations)
+    memories = np.tile(base_memories, iterations)
+    visit_counts, visit_durations = _pack_visit_lengths(
+        durations,
+        memories,
+        usable_durations,
+        usable_memory,
+        max_cycles=max_cycles,
+    )
+    return PackedPlan(
+        graph=graph,
+        bubbles=bubbles,
+        iterations=iterations,
+        cycle_period=cycle.period,
+        visit_counts=visit_counts,
+        visit_durations=visit_durations,
     )

@@ -7,6 +7,29 @@ covers those dynamics too.  Events are ordered by time with a monotonic
 sequence number as the tie-breaker for determinism.  The
 :class:`~repro.sim.kernel.SimKernel` owns the loop that pops this queue
 and dispatches on kind.
+
+Two queue implementations share that contract and are selectable through
+the ``kernel_backends`` registry (``kernel_backend: soa`` in a scenario
+file, ``SimKernel(backend="soa")`` in code):
+
+``heapq`` (:class:`EventQueue`)
+    The classic binary heap of :class:`Event` objects -- the default, and
+    the reference implementation for ordering semantics.
+
+``soa`` (:class:`SoAEventQueue`)
+    A structure-of-arrays queue: event times live in contiguous numpy
+    ``float64`` columns, kept as a large sorted *run* consumed through a
+    cursor, a small sorted *front* buffer, and an unsorted amortized-growth
+    *pending* tier that absorbs pushes.  Pending events are drained in
+    batches only when one could be the next event -- every due event plus
+    a bounded look-ahead, selected with ``numpy.argpartition`` without
+    sorting the rest and tombstoned in place.  The layout exists
+    for :meth:`SoAEventQueue.pop_batch`, which surrenders every event
+    sharing the head timestamp in one call so the kernel can run its
+    batched dispatch loop.
+
+Both orderings are identical: ``(time, sequence)``, with the sequence
+assigned at push time.
 """
 
 from __future__ import annotations
@@ -14,8 +37,12 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
+import operator
+from bisect import insort
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional
+
+import numpy as np
 
 #: Tolerance used by the stale-completion guard: a completion event is
 #: stale when its executor was re-targeted since the event was scheduled
@@ -107,3 +134,357 @@ class EventQueue:
 
     def __bool__(self) -> bool:
         return bool(self._heap)
+
+
+_INF = float("inf")
+_EMPTY_TIMES = np.empty(0, dtype=np.float64)
+_TIME_KEY = operator.attrgetter("time")
+
+
+class SoAEventQueue:
+    """A structure-of-arrays event queue with batched same-time drains.
+
+    Drop-in alternative to :class:`EventQueue` (the ``soa`` kernel
+    backend) with one extra operation, :meth:`pop_batch`, returning every
+    event at the head timestamp at once.  Internally three tiers hold the
+    events (see the module docstring); the orderings below guarantee the
+    exact ``(time, sequence)`` total order of the heap queue:
+
+    - within each sorted tier, events are ``(time, sequence)``-ordered;
+    - across tiers, ties resolve run < front < pending.  Correctness of
+      that priority rests on one invariant: *a drain moves every live
+      pending event at or before its threshold at once*.  Two events with
+      equal times that are ever in pending together therefore leave in
+      the same drain, already sequence-ordered -- so when a pending event
+      later ties an event in front or run, it must have been pushed after
+      that event drained, i.e. it carries a larger sequence and correctly
+      loses the tie.  The argument holds for *any* threshold, which is
+      what lets drains look ahead (below).
+
+    Drains are adaptive twice over: a large pending tier (the up-front
+    arrival schedule, fault plans) goes through the vectorized
+    ``argpartition`` path while the steady-state trickle takes a scalar
+    path with ``bisect``/merge insertion into the front buffer; and each
+    vectorized drain *looks ahead*, taking at least ``_MIN_DRAIN`` of the
+    soonest pending events rather than only the ones already due, so the
+    per-drain numpy cost is amortized over many subsequent pops.  Drained
+    slots are tombstoned (time ``+inf``, sequence ``-1``) and the columns
+    compacted only when mostly dead, keeping each drain O(drained), not
+    O(pending).
+    """
+
+    _PENDING_INITIAL = 64
+    #: At or below this live pending size the scalar drain path wins.
+    _SCALAR_DRAIN_MAX = 48
+    #: Vectorized drains take at least this many events (look-ahead).
+    _MIN_DRAIN = 64
+    #: Insert drained events into front one-by-one up to this many.
+    _INSORT_MAX = 8
+    #: Keep front at least this large before folding it into the run.
+    _MERGE_MIN = 32
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+        # Sorted run: the bulk of the queue, consumed through a cursor;
+        # times are mirrored in a contiguous float64 column so batch ends
+        # resolve with one ``searchsorted``.
+        self._r_times: np.ndarray = _EMPTY_TIMES
+        self._r_events: List[Event] = []
+        self._r_cursor = 0
+        self._r_head = _INF
+        # Sorted front: small buffer of events drained out of pending.
+        self._f_events: List[Event] = []
+        self._f_cursor = 0
+        self._f_head = _INF
+        # Unsorted pending: amortized-growth columns appended on push.
+        # Drained slots are tombstoned (+inf / -1 / None) and compacted
+        # lazily; ``_p_n`` counts slots, ``_p_live`` counts live events.
+        self._p_times = np.empty(self._PENDING_INITIAL, dtype=np.float64)
+        self._p_seqs = np.empty(self._PENDING_INITIAL, dtype=np.int64)
+        self._p_events: List[Optional[Event]] = []
+        self._p_n = 0
+        self._p_live = 0
+        self._p_min = _INF
+
+    # -- the EventQueue contract ---------------------------------------------------
+
+    def push(
+        self,
+        time: float,
+        kind: EventKind,
+        *,
+        job_id: Optional[str] = None,
+        executor_index: Optional[int] = None,
+        tenant: Optional[str] = None,
+    ) -> Event:
+        """Schedule an event and return it."""
+        if time < 0:
+            raise ValueError(f"event time must be >= 0, got {time}")
+        event = Event(
+            time=time,
+            sequence=next(self._counter),
+            kind=kind,
+            job_id=job_id,
+            executor_index=executor_index,
+            tenant=tenant,
+        )
+        n = self._p_n
+        if n == self._p_times.shape[0]:
+            grown_times = np.empty(2 * n, dtype=np.float64)
+            grown_times[:n] = self._p_times
+            self._p_times = grown_times
+            grown_seqs = np.empty(2 * n, dtype=np.int64)
+            grown_seqs[:n] = self._p_seqs
+            self._p_seqs = grown_seqs
+        self._p_times[n] = time
+        self._p_seqs[n] = event.sequence
+        self._p_events.append(event)
+        self._p_n = n + 1
+        self._p_live += 1
+        if time < self._p_min:
+            self._p_min = time
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self:
+            raise IndexError("pop from an empty SoAEventQueue")
+        self._settle(inclusive=False)
+        if self._r_head <= self._f_head:
+            event = self._r_events[self._r_cursor]
+            self._advance_run(self._r_cursor + 1)
+        else:
+            event = self._f_events[self._f_cursor]
+            self._advance_front(self._f_cursor + 1)
+        return event
+
+    def peek(self) -> Event:
+        """Return (without removing) the earliest event."""
+        if not self:
+            raise IndexError("peek into an empty SoAEventQueue")
+        self._settle(inclusive=False)
+        if self._r_head <= self._f_head:
+            return self._r_events[self._r_cursor]
+        return self._f_events[self._f_cursor]
+
+    def __len__(self) -> int:
+        return (
+            (len(self._r_events) - self._r_cursor)
+            + (len(self._f_events) - self._f_cursor)
+            + self._p_live
+        )
+
+    def __bool__(self) -> bool:
+        return (
+            self._p_live > 0
+            or self._r_cursor < len(self._r_events)
+            or self._f_cursor < len(self._f_events)
+        )
+
+    # -- the batched extension -----------------------------------------------------
+
+    def pop_batch(self) -> List[Event]:
+        """Remove and return *every* event sharing the earliest timestamp.
+
+        The batch is ``(time, sequence)``-ordered, i.e. exactly the
+        events ``pop`` would have surrendered consecutively while the
+        head time repeats.  Events pushed *during* batch processing at
+        the same timestamp land in pending and form the next batch (at
+        the same time), preserving the serial pop order end to end.
+        """
+        if not self:
+            raise IndexError("pop from an empty SoAEventQueue")
+        self._settle(inclusive=True)
+        run_head = self._r_head
+        front_head = self._f_head
+        if run_head < front_head:
+            cursor = self._r_cursor
+            events = self._r_events
+            nxt = cursor + 1
+            if nxt == len(events) or self._r_times[nxt] != run_head:
+                # The overwhelmingly common case: a singleton batch.
+                batch = [events[cursor]]
+                self._advance_run(nxt)
+            else:
+                end = cursor + int(
+                    np.searchsorted(self._r_times[cursor:], run_head, side="right")
+                )
+                batch = events[cursor:end]
+                self._advance_run(end)
+            return batch
+        if front_head < run_head:
+            return self._pop_front_batch(front_head)
+        # Equal heads: the batch spans both sorted tiers, run first.
+        cursor = self._r_cursor
+        end = cursor + int(
+            np.searchsorted(self._r_times[cursor:], run_head, side="right")
+        )
+        batch = self._r_events[cursor:end]
+        self._advance_run(end)
+        batch.extend(self._pop_front_batch(front_head))
+        return batch
+
+    # -- internals -----------------------------------------------------------------
+
+    def _pop_front_batch(self, head: float) -> List[Event]:
+        events = self._f_events
+        end = self._f_cursor + 1
+        while end < len(events) and events[end].time == head:
+            end += 1
+        batch = events[self._f_cursor : end]
+        self._advance_front(end)
+        return batch
+
+    def _advance_run(self, cursor: int) -> None:
+        if cursor == len(self._r_events):
+            self._r_times = _EMPTY_TIMES
+            self._r_events = []
+            self._r_cursor = 0
+            self._r_head = _INF
+        else:
+            self._r_cursor = cursor
+            self._r_head = float(self._r_times[cursor])
+
+    def _advance_front(self, cursor: int) -> None:
+        if cursor == len(self._f_events):
+            self._f_events = []
+            self._f_cursor = 0
+            self._f_head = _INF
+        else:
+            self._f_cursor = cursor
+            self._f_head = self._f_events[cursor].time
+
+    def _settle(self, *, inclusive: bool) -> None:
+        """Drain pending when one of its events could be (in) the head.
+
+        ``inclusive`` is the batch case: a pending event *tying* the head
+        time belongs to the same batch, so it must be drained too; the
+        serial ``pop`` only needs strictly-earlier pending events (ties
+        lose to the sorted tiers anyway).
+        """
+        p_min = self._p_min
+        head = self._r_head if self._r_head <= self._f_head else self._f_head
+        if p_min < head or (inclusive and p_min == head and self._p_live):
+            self._drain(self._r_head)
+            self._maybe_merge()
+
+    def _drain(self, threshold: float) -> None:
+        """Move pending events into front: all due ones, plus look-ahead.
+
+        Everything at or before ``threshold`` (the run head, so front
+        buffers the whole stretch before the big sorted run resumes)
+        *must* leave in one batch -- that is the tie-breaking invariant.
+        The vectorized path additionally takes the soonest events beyond
+        the threshold up to ``_MIN_DRAIN`` total (``argpartition``
+        selects them without sorting the rest), amortizing the drain over
+        many pops; the invariant is threshold-agnostic, so the look-ahead
+        is free of ordering hazards.
+        """
+        n = self._p_n
+        live = self._p_live
+        if live == 0:
+            return
+        times = self._p_times[:n]
+        seqs = self._p_seqs[:n]
+        if live <= self._SCALAR_DRAIN_MAX:
+            drained = [
+                e for e in self._p_events if e is not None and e.time <= threshold
+            ]
+            if not drained:
+                return
+            kept = [e for e in self._p_events if e is not None and e.time > threshold]
+            # Stable time-sort of a sequence-ordered list: (time, seq).
+            drained.sort(key=_TIME_KEY)
+            for i, e in enumerate(kept):
+                self._p_times[i] = e.time
+                self._p_seqs[i] = e.sequence
+            self._p_events = kept
+            self._p_n = len(kept)
+            self._p_live = len(kept)
+            self._p_min = min((e.time for e in kept), default=_INF)
+        else:
+            if threshold == _INF:
+                take = np.flatnonzero(seqs >= 0)
+            else:
+                due = int((times <= threshold).sum())  # tombstones are +inf
+                if due == 0:
+                    return
+                want = due if due >= live else min(live, max(due, self._MIN_DRAIN))
+                if want < n:
+                    take = np.argpartition(times, want - 1)[:want]
+                    take = take[seqs[take] >= 0]
+                else:
+                    take = np.flatnonzero(seqs >= 0)
+            take = take[np.lexsort((seqs[take], times[take]))]
+            drained = [self._p_events[i] for i in take]
+            times[take] = _INF
+            seqs[take] = -1
+            for i in take:
+                self._p_events[i] = None
+            self._p_live = live - len(drained)
+            if self._p_live == 0:
+                self._p_events = []
+                self._p_n = 0
+                self._p_min = _INF
+            else:
+                self._p_min = float(times.min())
+                if self._p_live * 2 < n:
+                    alive = np.flatnonzero(seqs >= 0)
+                    m = alive.shape[0]
+                    self._p_times[:m] = times[alive]
+                    self._p_seqs[:m] = seqs[alive]
+                    self._p_events = [self._p_events[i] for i in alive]
+                    self._p_n = m
+
+        front = self._f_events
+        if self._f_cursor:
+            front = front[self._f_cursor :]
+            self._f_cursor = 0
+        if not front:
+            self._f_events = drained
+        elif len(drained) <= self._INSORT_MAX:
+            # insort_right places a drained event after front events with
+            # the same time -- correct, they predate it.
+            for e in drained:
+                insort(front, e, key=_TIME_KEY)
+            self._f_events = front
+        else:
+            # heapq.merge is stable across its inputs: front first on ties.
+            self._f_events = list(heapq.merge(front, drained, key=_TIME_KEY))
+        self._f_head = self._f_events[0].time
+
+    def _maybe_merge(self) -> None:
+        """Fold front into run when it outgrows the run's remainder.
+
+        Keeps front small (drain/insert costs proportional to it) and the
+        run large (pops stay cursor advances on one contiguous array).
+        The ``_MERGE_MIN`` floor stops the end-of-run tail (tiny run,
+        tiny front) from re-merging on every drain.
+        """
+        remaining_front = len(self._f_events) - self._f_cursor
+        remaining_run = len(self._r_events) - self._r_cursor
+        if remaining_front <= remaining_run or remaining_front < self._MERGE_MIN:
+            return
+        front_events = self._f_events[self._f_cursor :]
+        front_times = np.fromiter(
+            (e.time for e in front_events), dtype=np.float64, count=remaining_front
+        )
+        merged_times = np.concatenate([self._r_times[self._r_cursor :], front_times])
+        # Stable: run first on ties (run events predate front events).
+        order = np.argsort(merged_times, kind="stable")
+        merged_events = self._r_events[self._r_cursor :] + front_events
+        self._r_times = merged_times[order]
+        self._r_events = [merged_events[i] for i in order]
+        self._r_cursor = 0
+        self._r_head = float(self._r_times[0])
+        self._f_events = []
+        self._f_cursor = 0
+        self._f_head = _INF
+
+
+# Seed the kernel-backend registry (``Registry(seed_module="repro.sim.events")``
+# imports this module lazily before the first lookup).
+from repro.registry import register_kernel_backend  # noqa: E402  (seed pattern)
+
+register_kernel_backend("heapq", EventQueue)
+register_kernel_backend("soa", SoAEventQueue)

@@ -301,8 +301,9 @@ class MultiTenantSimulator:
         policy: Union[SchedulingPolicy, str] = sjf_policy,
         preemption_rule: Optional[Union[PreemptionRule, str]] = None,
         use_cache: bool = True,
+        kernel_backend: str = "heapq",
     ) -> None:
-        from repro.registry import resolve_policy, resolve_preemption_rule
+        from repro.registry import kernel_backends, resolve_policy, resolve_preemption_rule
 
         if not tenants:
             raise ValueError("the multi-tenant simulator needs at least one tenant")
@@ -313,6 +314,8 @@ class MultiTenantSimulator:
         self.policy = resolve_policy(policy)
         self.preemption_rule = resolve_preemption_rule(preemption_rule)
         self.use_cache = use_cache
+        kernel_backends.get(kernel_backend)  # fail on unknown names at setup time
+        self.kernel_backend = str(kernel_backend).lower()
 
     # -- helpers -----------------------------------------------------------------
 
@@ -426,7 +429,7 @@ class MultiTenantSimulator:
         global_sched = self._build_global_scheduler()
         stream = self._arrival_stream(extra_jobs)
         jobs_by_id: Dict[str, FillJob] = {job.job_id: job for job in stream}
-        kernel = SimKernel()
+        kernel = SimKernel(self.kernel_backend)
         queue = kernel.queue
         for job in stream:
             kernel.schedule(job.arrival_time, EventKind.JOB_ARRIVAL, job_id=job.job_id)

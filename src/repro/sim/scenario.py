@@ -371,6 +371,7 @@ class ScenarioSpec:
     policy: str = "sjf"
     preemption: Optional[str] = None
     seed: int = 0
+    kernel_backend: str = "heapq"
     faults: Sequence[FaultSpec] = ()
     sweep: Optional[SweepSpec] = None
 
@@ -385,6 +386,9 @@ class ScenarioSpec:
             get_policy(self.policy)  # validate eagerly
             if self.preemption is not None:
                 get_preemption_rule(self.preemption)
+            from repro.registry import kernel_backends
+
+            kernel_backends.get(self.kernel_backend)
         except KeyError as exc:
             raise ScenarioError(exc.args[0]) from None
         by_name = {t.name: t for t in self.tenants}
@@ -414,6 +418,7 @@ class ScenarioSpec:
                 "policy",
                 "preemption",
                 "seed",
+                "kernel_backend",
                 "tenants",
                 "faults",
                 "fault_model",
@@ -446,6 +451,7 @@ class ScenarioSpec:
             policy=str(raw.get("policy", "sjf")),
             preemption=raw.get("preemption"),
             seed=int(raw.get("seed", 0)),
+            kernel_backend=str(raw.get("kernel_backend", "heapq")).lower(),
             tenants=tenants,
             faults=faults,
             sweep=None if sweep is None else SweepSpec.from_dict(sweep),
@@ -473,6 +479,8 @@ def spec_to_dict(spec: ScenarioSpec) -> Dict[str, Any]:
     }
     if spec.preemption is not None:
         raw["preemption"] = spec.preemption
+    if spec.kernel_backend != "heapq":
+        raw["kernel_backend"] = spec.kernel_backend
     for t in spec.tenants:
         workload: Dict[str, Any] = {
             "arrival_rate_per_hour": t.workload.arrival_rate_per_hour,

@@ -121,12 +121,17 @@ class ClusterSimulator:
         *,
         policy: SchedulingPolicy = sjf_policy,
         use_cache: bool = True,
+        kernel_backend: str = "heapq",
     ) -> None:
+        from repro.registry import kernel_backends
+
         if not executors:
             raise ValueError("the simulator needs at least one executor")
         self.executors = dict(executors)
         self.policy = policy
         self.use_cache = use_cache
+        kernel_backends.get(kernel_backend)  # fail on unknown names at setup time
+        self.kernel_backend = str(kernel_backend).lower()
 
     # -- helpers -----------------------------------------------------------------
 
@@ -201,7 +206,7 @@ class ClusterSimulator:
         scheduler = FillJobScheduler(
             self.executors, policy=self.policy, use_cache=self.use_cache
         )
-        kernel = SimKernel()
+        kernel = SimKernel(self.kernel_backend)
         queue = kernel.queue
         for job in job_list:
             kernel.schedule(job.arrival_time, EventKind.JOB_ARRIVAL, job_id=job.job_id)

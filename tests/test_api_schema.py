@@ -66,7 +66,7 @@ class TestGoldenThroughCli:
         core = {
             k: v
             for k, v in payload.items()
-            if k not in ("schema_version", "scenario", "timings_by_kind")
+            if k not in ("schema_version", "scenario", "environment", "timings_by_kind")
         }
         assert result_digest(core) == GOLDEN_DIGESTS[name]
 

@@ -1,0 +1,310 @@
+"""The fast-path kernel backend must be invisible except for speed.
+
+Three layers of evidence:
+
+- **Queue differential (hypothesis):** the structure-of-arrays queue
+  must surrender the exact ``(time, sequence)`` order of the heap queue
+  under arbitrary interleavings of pushes, serial pops and batch pops,
+  with tie-heavy timestamps.
+- **Scorer parity (hypothesis):** the vectorized candidate scan must
+  return bit-identical (score, tie-break) selections to the scalar scan
+  on randomized churn sequences -- forced against each other by pinning
+  ``scan_cutoff`` to 0 (always vectorize) vs "infinity" (always scalar).
+- **Golden parity:** every shipped scenario keeps its pinned golden
+  digest under both backends, end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Experiment, validate_bench_payload
+from repro.core.executor import FillJobExecutor
+from repro.core.policies import POLICIES
+from repro.core.scheduler import FillJob, FillJobScheduler
+from repro.models.configs import JobType
+from repro.pipeline.bubbles import BubbleCycle
+from repro.registry import kernel_backends
+from repro.sim.events import EventKind, EventQueue, SoAEventQueue
+from repro.sim.kernel import SimKernel
+from repro.utils.units import GIB
+
+from test_api_schema import GOLDEN_DIGESTS, SCENARIO_DIR
+
+BACKENDS = ("heapq", "soa")
+
+
+class TestRegistry:
+    def test_both_backends_registered(self):
+        assert set(BACKENDS) <= set(kernel_backends.names())
+        assert kernel_backends.get("heapq") is EventQueue
+        assert kernel_backends.get("soa") is SoAEventQueue
+
+    def test_kernel_resolves_backend(self):
+        assert isinstance(SimKernel().queue, EventQueue)
+        assert isinstance(SimKernel("soa").queue, SoAEventQueue)
+
+    def test_scenario_rejects_unknown_backend(self):
+        from repro.sim.scenario import ScenarioError, ScenarioSpec
+
+        with pytest.raises(ScenarioError, match="kernel backend"):
+            ScenarioSpec.from_dict(
+                {
+                    "name": "x",
+                    "kernel_backend": "vaporware",
+                    "tenants": [{"name": "t0", "model": "bert-base"}],
+                }
+            )
+
+
+# ---------------------------------------------------------------------------
+# Queue differential: SoA vs heapq, property-based
+# ---------------------------------------------------------------------------
+
+#: Operation stream: push with a time increment drawn from a tie-heavy
+#: palette (0.0 twice makes same-time batches common), serial pop, or
+#: batch pop.  Invalid pops on an empty queue are skipped, not generated.
+_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("push"),
+            st.sampled_from([0.0, 0.0, 1e-9, 0.5, 3.25, 60.0]),
+        ),
+        st.just(("pop",)),
+        st.just(("pop_batch",)),
+    ),
+    min_size=1,
+    max_size=300,
+)
+
+
+class TestQueueDifferential:
+    @settings(max_examples=120, deadline=None)
+    @given(ops=_ops, seed=st.integers(0, 2**16))
+    def test_soa_matches_heapq_order(self, ops, seed):
+        rng = random.Random(seed)
+        ref, soa = EventQueue(), SoAEventQueue()
+        now = 0.0
+        for op in ops:
+            if op[0] == "push":
+                time = now + op[1] + rng.choice([0.0, 0.0, rng.random() * 10])
+                kind = rng.choice(list(EventKind))
+                a = ref.push(time, kind, job_id="j")
+                b = soa.push(time, kind, job_id="j")
+                assert (a.time, a.sequence) == (b.time, b.sequence)
+            elif op[0] == "pop":
+                if not ref:
+                    continue
+                a, b = ref.pop(), soa.pop()
+                assert (a.time, a.sequence, a.kind) == (b.time, b.sequence, b.kind)
+                now = a.time
+            else:
+                if not ref:
+                    continue
+                batch = soa.pop_batch()
+                assert batch
+                head = batch[0].time
+                prev_seq = -1
+                for event in batch:
+                    mirror = ref.pop()
+                    assert (event.time, event.sequence) == (
+                        mirror.time,
+                        mirror.sequence,
+                    )
+                    assert event.time == head
+                    assert event.sequence > prev_seq
+                    prev_seq = event.sequence
+                # Batch completeness: nothing at the head time remains.
+                if ref:
+                    assert ref.peek().time != head
+                now = head
+            assert len(ref) == len(soa)
+        while ref:
+            a, b = ref.pop(), soa.pop()
+            assert (a.time, a.sequence) == (b.time, b.sequence)
+        assert not soa and len(soa) == 0
+
+    def test_pop_batch_empty_raises(self):
+        with pytest.raises(IndexError):
+            SoAEventQueue().pop_batch()
+
+
+class TestBatchedKernelSemantics:
+    def test_same_time_events_handled_in_push_order(self):
+        kernel = SimKernel("soa")
+        seen = []
+        kernel.on(EventKind.JOB_ARRIVAL, lambda e: seen.append(("a", e.job_id)))
+        kernel.on(EventKind.JOB_COMPLETION, lambda e: seen.append(("c", e.job_id)))
+        kernel.schedule(1.0, EventKind.JOB_ARRIVAL, job_id="x")
+        kernel.schedule(1.0, EventKind.JOB_COMPLETION, job_id="y")
+        kernel.schedule(1.0, EventKind.JOB_ARRIVAL, job_id="z")
+        kernel.run()
+        assert seen == [("a", "x"), ("c", "y"), ("a", "z")]
+        assert kernel.stats().events_processed == 3
+
+    def test_handler_pushing_same_time_event_joins_next_batch(self):
+        kernel = SimKernel("soa")
+        seen = []
+
+        def on_arrival(event):
+            seen.append(("a", event.job_id))
+            if event.job_id == "x":
+                # Same-timestamp push from inside a batch: must still be
+                # processed at time 1.0, after the current batch.
+                kernel.schedule(1.0, EventKind.JOB_COMPLETION, job_id="late")
+
+        kernel.on(EventKind.JOB_ARRIVAL, on_arrival)
+        kernel.on(EventKind.JOB_COMPLETION, lambda e: seen.append(("c", e.job_id)))
+        kernel.schedule(1.0, EventKind.JOB_ARRIVAL, job_id="x")
+        kernel.schedule(1.0, EventKind.JOB_ARRIVAL, job_id="y")
+        kernel.run()
+        assert seen == [("a", "x"), ("a", "y"), ("c", "late")]
+        assert kernel.now == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Scorer parity: vectorized vs scalar scans, property-based
+# ---------------------------------------------------------------------------
+
+#: Policies covering every vectorized program: plain scans (fifo, edf,
+#: slack, makespan) and the composed two-term scans (slack+sjf, edf+sjf)
+#: which additionally exercise the no-deadline class split.
+_SCAN_POLICIES = ["fifo", "edf", "slack", "makespan", "slack+sjf", "edf+sjf"]
+
+_MODELS = ["bert-base", "bert-large", "efficientnet"]
+
+
+def _make_executors():
+    roomy = BubbleCycle.from_durations([1.5, 1.5], 4.5 * GIB, period=4.0)
+    tight = BubbleCycle.from_durations([0.6, 0.9], 1.2 * GIB, period=5.0)
+    return {0: FillJobExecutor(roomy), 1: FillJobExecutor(tight)}
+
+
+def _churn(scheduler, rng, steps):
+    """One deterministic churn trajectory; yields ``now`` after each step."""
+    now = 0.0
+    for step in range(steps):
+        now += rng.uniform(0.0, 30.0)
+        op = rng.random()
+        if op < 0.55:
+            deadline = now + rng.uniform(50.0, 5_000.0) if rng.random() < 0.5 else None
+            scheduler.submit(
+                FillJob(
+                    job_id=f"j{step}",
+                    model_name=rng.choice(_MODELS),
+                    job_type=JobType.BATCH_INFERENCE,
+                    num_samples=rng.uniform(50.0, 5_000.0),
+                    arrival_time=now,
+                    deadline=deadline,
+                )
+            )
+        elif op < 0.75:
+            idle = scheduler.idle_executor_indices()
+            if idle:
+                scheduler.dispatch(rng.choice(idle), now)
+        elif op < 0.9:
+            busy = [i for i, s in scheduler.executors.items() if s.is_busy]
+            if busy:
+                scheduler.preempt(rng.choice(busy), now)
+        else:
+            busy = [i for i, s in scheduler.executors.items() if s.is_busy]
+            if busy:
+                idx = rng.choice(busy)
+                scheduler.complete(idx, scheduler.executors[idx].busy_until)
+        yield now
+
+
+class TestVectorScalarScorerParity:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        policy_name=st.sampled_from(_SCAN_POLICIES),
+        seed=st.integers(0, 2**20),
+    )
+    def test_bit_identical_selection_under_churn(self, policy_name, seed):
+        policy = POLICIES[policy_name]
+        vector = FillJobScheduler(_make_executors(), policy=policy)
+        scalar = FillJobScheduler(_make_executors(), policy=policy)
+        vector._index.scan_cutoff = 0  # every class takes the array pass
+        scalar._index.scan_cutoff = 10**9  # every class stays scalar
+        churn_v = _churn(vector, random.Random(seed), steps=60)
+        churn_s = _churn(scalar, random.Random(seed), steps=60)
+        for step, (now_v, now_s) in enumerate(zip(churn_v, churn_s)):
+            assert now_v == now_s
+            for idx in vector.executors:
+                job_v, score_v = vector.select_job_scored(idx, now_v)
+                job_s, score_s = scalar.select_job_scored(idx, now_s)
+                context = f"{policy_name}: step {step}, executor {idx}"
+                assert (job_v is None) == (job_s is None), context
+                if job_v is not None:
+                    # Bit-identical score AND identical tie-break winner.
+                    assert score_v == score_s, context
+                    assert job_v.job_id == job_s.job_id, context
+
+
+# ---------------------------------------------------------------------------
+# End-to-end golden parity
+# ---------------------------------------------------------------------------
+
+
+class TestGoldenParityAcrossBackends:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("name", sorted(GOLDEN_DIGESTS))
+    def test_scenario_digest_is_backend_independent(self, name, backend):
+        result = (
+            Experiment.from_yaml(SCENARIO_DIR / f"{name}.yaml")
+            .with_override("kernel_backend", backend)
+            .run()
+        )
+        assert result.digest() == GOLDEN_DIGESTS[name]
+        # The environment block records the backend without touching the
+        # digest (schema-v1 additive).
+        env = result.to_dict()["environment"]
+        assert env["kernel_backend"] == backend
+        assert set(env) == {"kernel_backend", "python", "numpy"}
+
+
+class TestEnvironmentStamps:
+    def test_bench_payload_records_backend_and_numpy(self):
+        from repro.bench.harness import run_bench
+
+        payload = validate_bench_payload(run_bench("smoke", seed=0, backend="soa"))
+        assert payload["kernel_backend"] == "soa"
+        assert payload["numpy"]
+        assert payload["python"]
+
+    def test_profile_trace_is_perfetto_loadable(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "trace.json"
+        code = main(
+            [
+                "profile",
+                str(SCENARIO_DIR / "smoke.yaml"),
+                "--set",
+                "kernel_backend=soa",
+                "--trace",
+                str(out),
+            ]
+        )
+        assert code == 0
+        trace = json.loads(out.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        kinds = {
+            e["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["tid"] != 0
+        }
+        assert "job_arrival" in kinds
+        run_slices = [
+            e
+            for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["tid"] == 0 and e["name"] == "run"
+        ]
+        assert len(run_slices) == 1
+        assert run_slices[0]["args"]["events_processed"] > 0
