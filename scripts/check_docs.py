@@ -29,6 +29,7 @@ DOCS = [
     REPO_ROOT / "docs" / "testing.md",
     REPO_ROOT / "docs" / "robustness.md",
     REPO_ROOT / "docs" / "performance.md",
+    REPO_ROOT / "docs" / "distributed.md",
 ]
 EXAMPLES = [
     REPO_ROOT / "examples" / "quickstart.py",

@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Dist smoke: sharded sweeps + the plan-cache service, end to end.
+
+Runs the full scaling-out loop (docs/distributed.md) the way a real
+fleet would — every stage in a separate OS process:
+
+1. start ``repro cache-serve`` (ephemeral port, spool dir);
+2. run the two shards of a 2-way sharded sweep as separate ``repro
+   sweep --shard i/2`` processes, each with a cold private local cache
+   pointed at the shared service;
+3. recombine the partials with ``repro merge``;
+4. assert the merged digest equals the committed single-process digest,
+   and that the service actually served plans (hits > 0).
+
+Writes the merged result to ``dist_merged.json`` (uploaded as a CI
+artifact).  Used by the CI ``dist-smoke`` job and runnable locally:
+
+    PYTHONPATH=src python scripts/dist_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import validate_sweep_payload  # noqa: E402
+from repro.api.results import result_digest  # noqa: E402
+from repro.utils.plancache import RemoteCacheClient  # noqa: E402
+
+SCENARIO = "scenarios/multi_tenant.yaml"
+#: ``Experiment.from_yaml(SCENARIO).sweep(workers=1).digest()`` — the
+#: single-process, unsharded reference digest of the scenario's own
+#: 5-policy sweep grid.
+EXPECTED_DIGEST = "4c3f0c3f18febda7"
+NUM_SHARDS = 2
+ARTIFACT = REPO_ROOT / "dist_merged.json"
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    return env
+
+
+def _repro(*args: str) -> list:
+    return [sys.executable, "-m", "repro", *args]
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        print("[1/4] starting repro cache-serve")
+        server = subprocess.Popen(
+            _repro(
+                "cache-serve",
+                "--port",
+                "0",
+                "--spool-dir",
+                f"{tmp}/spool",
+            ),
+            env=_env(),
+            cwd=REPO_ROOT,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = server.stderr.readline().strip()
+            print(f"      {banner}")
+            # "repro cache-serve: listening on HOST:PORT, ..."
+            url = banner.split("listening on ")[1].split(",")[0].split(" ")[0]
+
+            print(f"[2/4] running {NUM_SHARDS} shard sweeps (separate processes)")
+            partials = []
+            for index in range(NUM_SHARDS):
+                out = Path(tmp) / f"part{index}.json"
+                subprocess.run(
+                    _repro(
+                        "sweep",
+                        SCENARIO,
+                        "--shard",
+                        f"{index}/{NUM_SHARDS}",
+                        "--workers",
+                        "1",
+                        "--cache-dir",
+                        f"{tmp}/cache{index}",  # cold local tier per "machine"
+                        "--cache-url",
+                        url,
+                        "--json",
+                        str(out),
+                    ),
+                    env=_env(),
+                    cwd=REPO_ROOT,
+                    check=True,
+                )
+                partials.append(out)
+
+            stats = RemoteCacheClient(url).server_stats()
+            print(f"      service stats: {stats}")
+            assert stats is not None, "cache-serve did not answer a stats probe"
+            assert stats["puts"] > 0, "no shard wrote plans through to the service"
+            assert stats["hits"] > 0, (
+                "no remote cache hits: the shards never shared a plan search"
+            )
+
+            print("[3/4] merging the partials with repro merge")
+            subprocess.run(
+                _repro("merge", *map(str, partials), "--json", str(ARTIFACT)),
+                env=_env(),
+                cwd=REPO_ROOT,
+                check=True,
+            )
+        finally:
+            server.terminate()
+            server.wait(timeout=10)
+
+    merged = json.loads(ARTIFACT.read_text())
+    validate_sweep_payload(merged)
+    core = [
+        {k: v for k, v in entry.items() if k not in ("parameter", "value", "point_key")}
+        for entry in merged["sweep"]
+    ]
+    digest = result_digest({"points": core})
+    print(f"[4/4] merged digest {digest} (expected {EXPECTED_DIGEST})")
+    assert digest == EXPECTED_DIGEST, (
+        f"sharded+merged digest {digest} != committed single-process "
+        f"digest {EXPECTED_DIGEST}"
+    )
+    assert "shard" not in merged and len(merged["sweep"]) == 5
+    print(f"dist smoke ok — merged result at {ARTIFACT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

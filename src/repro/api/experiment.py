@@ -144,7 +144,7 @@ class SweepInterrupted(KeyboardInterrupt):
 
 
 def _sweep_point_worker(
-    payload: Tuple[Dict[str, Any], Optional[str], Tuple]
+    payload: Tuple[Dict[str, Any], Optional[str], Tuple, Optional[str]]
 ) -> Dict[str, Any]:
     """Run one sweep grid point (executed in a supervised worker process).
 
@@ -154,14 +154,20 @@ def _sweep_point_worker(
     key (the document's content digest) describes exactly what ran.
 
     ``cache_dir`` (``None`` = disabled) points every worker at the same
-    persistent plan cache, so the grid pays each plan search once instead
-    of once per worker.  ``registrations`` replays the parent's
-    policy/preemption registrations referenced by the grid, so custom
-    registered callables resolve even under the ``spawn``/``forkserver``
-    start methods, where workers re-import ``repro`` from scratch.
+    persistent plan cache, and ``cache_url`` additionally attaches the
+    shared plan-cache service tier, so a sharded fleet pays each plan
+    search once *globally* instead of once per worker.  ``registrations``
+    replays the parent's policy/preemption registrations referenced by
+    the grid, so custom registered callables resolve even under the
+    ``spawn``/``forkserver`` start methods, where workers re-import
+    ``repro`` from scratch.
     """
-    raw, cache_dir, registrations = payload
-    plancache.configure(cache_dir, enabled=cache_dir is not None)
+    raw, cache_dir, registrations, cache_url = payload
+    plancache.configure(
+        cache_dir,
+        enabled=cache_dir is not None or cache_url is not None,
+        remote_url=cache_url,
+    )
     for kind, name, obj in registrations:
         target = registry.policies if kind == "policy" else registry.preemption_rules
         target.register(name, obj, overwrite=True)
@@ -412,6 +418,10 @@ class Experiment:
         journal_dir: Optional[Union[str, Path]] = None,
         resume: Optional[Union[str, bool]] = None,
         chaos: Optional[ChaosPlan] = None,
+        shards: int = 1,
+        shard_index: int = 0,
+        journal_flush_records: int = 1,
+        journal_flush_seconds: Optional[float] = None,
         log: Optional[Callable[[str], None]] = None,
     ) -> SweepResult:
         """Re-run the scenario across a parameter grid, supervised.
@@ -445,11 +455,38 @@ class Experiment:
         :class:`SweepInterrupted` (a ``KeyboardInterrupt``) after
         terminating in-flight workers and flushing the journal.
 
+        ``shards``/``shard_index`` split the grid across independent
+        processes or machines (``repro sweep --shard i/N``): the full
+        grid is still built and validated, but only the points whose
+        content key hashes to ``shard_index`` (stable assignment, see
+        :func:`repro.dist.shard`) are executed.  The partial
+        :class:`SweepResult` keeps the FULL grid's ``sweep_id`` and
+        carries an additive ``shard`` payload block; a complete set of
+        partials recombines via ``repro merge``
+        (:func:`repro.dist.merge_sweep_payloads`) into the exact payload
+        the unsharded sweep produces.  Each shard journals independently
+        (journal id ``<sweep_id>-shard<i>of<N>``), so shards on one
+        machine never contend and each resumes on its own.
+
+        ``journal_flush_records``/``journal_flush_seconds`` batch the
+        journal's per-record fsyncs (every K records or T seconds,
+        whichever first; always on close) for sweeps whose points are
+        cheaper than an fsync -- see :class:`repro.exec.SweepJournal`.
+        The defaults keep fsync-per-record durability.
+
         ``chaos`` injects a :class:`repro.exec.ChaosPlan` fault into
         every attempt (testing); ``log`` receives one-line progress
         strings.
         """
         spec = self.validate()
+        shards = int(shards)
+        shard_index = int(shard_index)
+        if shards < 1:
+            raise ScenarioError(f"shards must be >= 1, got {shards}")
+        if not 0 <= shard_index < shards:
+            raise ScenarioError(
+                f"shard_index must be in [0, {shards}), got {shard_index}"
+            )
         if parameter is None:
             if spec.sweep is None:
                 raise ScenarioError(
@@ -481,17 +518,33 @@ class Experiment:
             )
             grid.append((value, key, point))
 
-        unique_keys = {key for _, key, _ in grid}
+        grid_keys = [key for _, key, _ in grid]
         grid_digest = content_digest(
             {
                 "scenario": spec.name,
                 "parameter": parameter,
-                "points": [key for _, key, _ in grid],
+                "points": grid_keys,
             }
         )
         # The sweep's journal identity IS the grid digest: deterministic,
         # so an identical re-invocation can resume with --resume auto.
+        # Every shard of a grid shares this identity; only the journal
+        # directory (journal_id below) is per-shard.
         sweep_id = grid_digest
+
+        if shards > 1:
+            from repro.dist.sharding import shard as shard_of
+
+            owned = [entry for entry in grid if shard_of(entry[1], shards) == shard_index]
+            journal_id = f"{sweep_id}-shard{shard_index}of{shards}"
+            say(
+                f"shard {shard_index}/{shards}: {len(owned)} of "
+                f"{len(grid)} grid points owned"
+            )
+        else:
+            owned = grid
+            journal_id = sweep_id
+        unique_keys = {key for _, key, _ in owned}
 
         if resume not in (None, False) and journal_dir is None:
             raise ScenarioError(
@@ -503,11 +556,16 @@ class Experiment:
         if journal_dir is not None:
             resume_id: Optional[str] = None
             if resume in (True, "auto"):
-                resume_id = sweep_id
+                resume_id = journal_id
             elif resume:
                 resume_id = str(resume)
             if resume_id is not None:
-                journal = SweepJournal.for_sweep(journal_dir, resume_id)
+                journal = SweepJournal.for_sweep(
+                    journal_dir,
+                    resume_id,
+                    flush_every_records=journal_flush_records,
+                    flush_max_seconds=journal_flush_seconds,
+                )
                 if not journal.exists():
                     raise ScenarioError(
                         f"no sweep journal for {resume_id!r} under {journal_dir}"
@@ -529,34 +587,50 @@ class Experiment:
                     f"points already journaled"
                 )
             else:
-                journal = SweepJournal.for_sweep(journal_dir, sweep_id)
-                journal.start(
-                    {
-                        "sweep_id": sweep_id,
-                        "scenario": spec.name,
-                        "parameter": parameter,
-                        "grid_digest": grid_digest,
-                        "num_points": len(grid),
-                    }
+                journal = SweepJournal.for_sweep(
+                    journal_dir,
+                    journal_id,
+                    flush_every_records=journal_flush_records,
+                    flush_max_seconds=journal_flush_seconds,
                 )
+                # grid_keys/grid_values (and the shard assignment, when
+                # sharded) are additive header keys: they let ``repro
+                # merge`` reconstruct this shard's partial payload from
+                # the journal alone (repro.dist.merge).
+                header = {
+                    "sweep_id": sweep_id,
+                    "scenario": spec.name,
+                    "parameter": parameter,
+                    "grid_digest": grid_digest,
+                    "num_points": len(grid) if shards == 1 else len(owned),
+                    "grid_keys": grid_keys,
+                    "grid_values": [value for value, _, _ in grid],
+                }
+                if shards > 1:
+                    header["shard_index"] = shard_index
+                    header["shard_count"] = shards
+                journal.start(header)
 
         cache_dir = (
-            str(plancache.cache_dir()) if plancache.is_enabled() else None
+            str(plancache.cache_dir())
+            if plancache.is_enabled() and plancache.cache_dir() is not None
+            else None
         )
+        cache_url = plancache.remote_url()
         registrations = _shippable_registrations(spec, parameter, values)
 
-        # One supervised task per unique, not-yet-journaled point
-        # (duplicate grid values share one execution).
+        # One supervised task per unique, not-yet-journaled point this
+        # shard owns (duplicate grid values share one execution).
         tasks: List[SupervisedTask] = []
         task_values: Dict[str, Any] = {}
-        for value, key, doc in grid:
+        for value, key, doc in owned:
             if key in task_values or key in prior:
                 continue
             task_values[key] = value
             tasks.append(
                 SupervisedTask(
                     key=key,
-                    payload=(doc, cache_dir, registrations),
+                    payload=(doc, cache_dir, registrations, cache_url),
                     description=f"{parameter}={value}",
                 )
             )
@@ -629,7 +703,7 @@ class Experiment:
             # Workers are already terminated and every completed point is
             # fsynced in the journal -- surface the checkpoint state.
             raise SweepInterrupted(
-                sweep_id=sweep_id,
+                sweep_id=journal_id,
                 completed=len(prior) + len(fresh),
                 total=len(unique_keys),
                 journal_path=str(journal.path) if journal is not None else None,
@@ -643,7 +717,7 @@ class Experiment:
         # fresh outcomes, and structured failures.
         points: List[SweepPoint] = []
         failures: List[PointFailure] = []
-        for value, key, _doc in grid:
+        for value, key, _doc in owned:
             if key in prior:
                 record = prior[key]
                 points.append(
@@ -687,6 +761,9 @@ class Experiment:
             sweep_id=sweep_id,
             resumed_from=resumed_from,
             failures=tuple(failures),
+            shard_index=shard_index if shards > 1 else None,
+            shard_count=shards if shards > 1 else None,
+            grid_keys=tuple(grid_keys) if shards > 1 else None,
         )
 
     def profile(self, *, use_cache: bool = True) -> ProfileResult:

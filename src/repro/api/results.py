@@ -203,6 +203,15 @@ class SweepResult:
     instead of aborting the sweep.  ``to_dict()`` emits the extra keys
     only when a ``sweep_id`` is present, so payloads from
     hand-constructed results keep the exact pre-supervision v1 shape.
+
+    A *sharded* sweep (``Experiment.sweep(shards=N, shard_index=i)``)
+    produces a **partial** result: ``points`` covers only the grid
+    positions owned by shard ``i`` (stable content-keyed assignment, see
+    :mod:`repro.dist.sharding`), while ``sweep_id`` stays the FULL grid's
+    digest and ``grid_keys`` records the full grid key order.
+    ``to_dict()`` then adds an additive ``shard`` block so ``repro
+    merge`` (:func:`repro.dist.merge_sweep_payloads`) can recombine a
+    complete shard set into the exact unsharded payload.
     """
 
     scenario: str
@@ -214,6 +223,12 @@ class SweepResult:
     resumed_from: Optional[str] = None
     #: Points that exhausted their retry budget (graceful degradation).
     failures: Tuple[PointFailure, ...] = field(default=())
+    #: Sharded-sweep identity: which shard this partial is (``None`` on
+    #: unsharded sweeps, keeping their payloads byte-for-byte unchanged).
+    shard_index: Optional[int] = None
+    shard_count: Optional[int] = None
+    #: The FULL grid's point keys in grid order (sharded sweeps only).
+    grid_keys: Optional[Tuple[str, ...]] = None
 
     def __iter__(self):
         return iter(self.points)
@@ -271,6 +286,13 @@ class SweepResult:
             payload["resumed_from"] = self.resumed_from
             payload["attempts"] = self.attempts()
             payload["failed_points"] = [f.to_dict() for f in self.failures]
+        if self.shard_count is not None:
+            payload["shard"] = {
+                "index": self.shard_index,
+                "count": self.shard_count,
+                "parameter": self.parameter,
+                "grid_keys": list(self.grid_keys or ()),
+            }
         return payload
 
 

@@ -151,9 +151,11 @@ def validate_sweep_payload(payload: Any) -> Mapping[str, Any]:
     """Validate a ``SweepResult.to_dict()`` / ``repro sweep --json`` payload.
 
     Supervision metadata (``sweep_id``, ``resumed_from``, ``attempts``,
-    ``failed_points``) is additive and checked only when present; an
-    empty ``sweep`` list is legal only when ``failed_points`` explains
-    where the grid went (graceful degradation, never silent emptiness).
+    ``failed_points``) and the sharded-sweep ``shard`` block are additive
+    and checked only when present; an empty ``sweep`` list is legal only
+    when ``failed_points`` explains where the grid went or the payload is
+    a shard partial that owns zero points (graceful degradation, never
+    silent emptiness).
     """
     payload = _require_mapping(payload, "sweep payload")
     _check_version(payload, "sweep payload")
@@ -161,8 +163,10 @@ def validate_sweep_payload(payload: Any) -> Mapping[str, Any]:
     points = payload.get("sweep")
     _require(isinstance(points, list), "sweep payload.sweep must be a list")
     if not points:
+        # A shard may legitimately own zero grid points; everything else
+        # must explain an empty grid with failures.
         _require(
-            bool(payload.get("failed_points")),
+            bool(payload.get("failed_points")) or "shard" in payload,
             "sweep payload.sweep must be a non-empty list",
         )
     for i, point in enumerate(points):
@@ -184,6 +188,21 @@ def validate_sweep_payload(payload: Any) -> Mapping[str, Any]:
         _check_failed_points(payload, "sweep payload")
     elif "failed_points" in payload:
         _check_failed_points(payload, "sweep payload")
+    if "shard" in payload:
+        where = "sweep payload.shard"
+        block = _require_mapping(payload["shard"], where)
+        index = _check_key(block, "index", int, where)
+        count = _check_key(block, "count", int, where)
+        _require(
+            0 <= index < count, f"{where}.index must be in [0, {where}.count)"
+        )
+        _check_key(block, "parameter", str, where)
+        keys = block.get("grid_keys")
+        _require(
+            isinstance(keys, list)
+            and all(isinstance(k, str) for k in keys),
+            f"{where}.grid_keys must be a list of strings",
+        )
     return payload
 
 

@@ -235,12 +235,193 @@ def run_case(
     )
 
 
+#: The sharded-sweep measurement case (see :func:`run_sweep_case`):
+#: sweeping the big tenant's microbatch size changes its bubble cycle,
+#: so every grid point pays a fresh Algorithm-1 plan search when cold --
+#: exactly the work the shared plan-cache service amortises across a
+#: fleet.  Values are valid divisors of the tenant's per-replica batch.
+_SWEEP_PARAMETER = "tenants.0.parallel.microbatch_size"
+_SWEEP_VALUES = {"smoke": [2, 4], "small": [1, 2, 4]}
+_SWEEP_VALUES_DEFAULT = [1, 2, 4, 8]
+_SWEEP_HORIZON = {"smoke": 600.0}
+_SWEEP_HORIZON_DEFAULT = 900.0
+_SWEEP_SHARDS = 2
+
+
+def _sweep_scenario_doc(horizon_seconds: float) -> Dict[str, Any]:
+    """The fixed two-tenant scenario the sharded-sweep case measures.
+
+    The shape mirrors ``scenarios/multi_tenant.yaml`` (the paper's
+    headline 40B@8K job next to the 5B@64 physical-cluster job) with a
+    bench-sized horizon; generation is inline so the bench is runnable
+    from any working directory.
+    """
+    return {
+        "name": "bench-sharded-sweep",
+        "horizon_seconds": horizon_seconds,
+        "policy": "sjf",
+        "seed": 0,
+        "tenants": [
+            {
+                "name": "llm-40b-8k",
+                "model": "gpt-40b",
+                "schedule": "gpipe",
+                "parallel": {
+                    "tensor_parallel": 8,
+                    "pipeline_stages": 16,
+                    "data_parallel": 64,
+                    "microbatch_size": 2,
+                    "global_batch_size": 1024,
+                },
+                "workload": {"arrival_rate_per_hour": 250},
+            },
+            {
+                "name": "llm-5b-64",
+                "model": "gpt-5b",
+                "schedule": "gpipe",
+                "parallel": {
+                    "tensor_parallel": 1,
+                    "pipeline_stages": 16,
+                    "data_parallel": 4,
+                    "microbatch_size": 2,
+                    "global_batch_size": 64,
+                },
+                "workload": {"arrival_rate_per_hour": 120},
+            },
+        ],
+    }
+
+
+def run_sweep_case(
+    size_name: str, *, seed: int = 0, progress=None
+) -> Dict[str, Any]:
+    """Measure sharded-sweep throughput against a shared plan cache.
+
+    Two phases over the identical grid:
+
+    1. **single-process cold** -- one unsharded sweep against an empty
+       cache; its write-through puts warm the (in-process, ephemeral)
+       ``cache-serve`` service.
+    2. **sharded warm** -- each of :data:`_SWEEP_SHARDS` shards runs with
+       a *fresh* local cache directory and cleared in-process memos, so
+       every plan lookup must read through to the warm service.  Shards
+       run sequentially and their wall-clock is *summed*, which is the
+       conservative single-core accounting: a real fleet overlaps them.
+
+    Reports points/sec for both phases, the cache-tier hit counters
+    (``remote_hits``/``remote_misses``/``remote_errors``) proving where
+    the plans came from, and ``identical_results`` -- the merged shard
+    partials (via :func:`repro.dist.merge_sweep_payloads`) must be
+    byte-identical to the single-process payload.
+    """
+    import tempfile
+
+    from repro.api import Experiment
+    from repro.dist import PlanCacheServer, merge_sweep_payloads
+
+    values = _SWEEP_VALUES.get(size_name, _SWEEP_VALUES_DEFAULT)
+    horizon = _SWEEP_HORIZON.get(size_name, _SWEEP_HORIZON_DEFAULT)
+    doc = _sweep_scenario_doc(horizon)
+    doc["seed"] = int(seed)
+    exp = Experiment.from_dict(doc)
+
+    # The bench owns the global plan-cache config for the measurement;
+    # restore the caller's tiers afterwards.
+    saved = (plancache.cache_dir(), plancache.is_enabled(), plancache.remote_url())
+
+    def _phase_stats() -> Dict[str, int]:
+        stats = plancache.stats()
+        return {
+            key: stats[key]
+            for key in ("hits", "misses", "writes", "remote_hits",
+                        "remote_misses", "remote_errors")
+        }
+
+    try:
+        with PlanCacheServer() as server, tempfile.TemporaryDirectory() as root:
+            if progress is not None:
+                progress(
+                    f"  sharded_sweep: {len(values)} points x "
+                    f"{_SWEEP_SHARDS} shards via {server.url}"
+                )
+            clear_shared_caches()
+            plancache.configure(f"{root}/cold", remote_url=server.url)
+            plancache.reset_stats()
+            t0 = time.perf_counter()
+            cold = exp.sweep(
+                parameter=_SWEEP_PARAMETER, values=values, workers=1
+            )
+            cold_seconds = time.perf_counter() - t0
+            cold_stats = _phase_stats()
+
+            shard_seconds: List[float] = []
+            partials: List[Dict[str, Any]] = []
+            warm_stats = {key: 0 for key in cold_stats}
+            for index in range(_SWEEP_SHARDS):
+                clear_shared_caches()
+                plancache.configure(
+                    f"{root}/shard{index}", remote_url=server.url
+                )
+                plancache.reset_stats()
+                t0 = time.perf_counter()
+                partial = exp.sweep(
+                    parameter=_SWEEP_PARAMETER,
+                    values=values,
+                    workers=1,
+                    shards=_SWEEP_SHARDS,
+                    shard_index=index,
+                )
+                shard_seconds.append(time.perf_counter() - t0)
+                for key, count in _phase_stats().items():
+                    warm_stats[key] += count
+                partials.append(partial.to_dict())
+            merged = merge_sweep_payloads(partials)
+            identical = json.dumps(merged, sort_keys=True) == json.dumps(
+                cold.to_dict(), sort_keys=True
+            )
+            server_stats = server.stats()
+    finally:
+        saved_dir, saved_enabled, saved_url = saved
+        plancache.configure(saved_dir, enabled=saved_enabled, remote_url=saved_url)
+
+    warm_seconds = sum(shard_seconds)
+    return {
+        "name": "sharded_sweep",
+        "scenario": doc["name"],
+        "parameter": _SWEEP_PARAMETER,
+        "num_points": len(values),
+        "shards": _SWEEP_SHARDS,
+        "single_process_cold": {
+            "seconds": round(cold_seconds, 4),
+            "points_per_second": round(len(values) / cold_seconds, 4)
+            if cold_seconds > 0
+            else None,
+            "plan_cache": cold_stats,
+        },
+        "sharded_warm": {
+            "seconds": round(warm_seconds, 4),
+            "per_shard_seconds": [round(s, 4) for s in shard_seconds],
+            "points_per_second": round(len(values) / warm_seconds, 4)
+            if warm_seconds > 0
+            else None,
+            "plan_cache": warm_stats,
+        },
+        "speedup": round(cold_seconds / warm_seconds, 2)
+        if warm_seconds > 0
+        else None,
+        "identical_results": identical,
+        "result_digest": cold.digest(),
+        "cache_server": server_stats,
+    }
+
+
 def run_bench(
     size_name: str,
     *,
     baseline: bool = False,
     seed: int = 0,
     backend: str = "heapq",
+    sweep_case: bool = False,
     progress=None,
 ) -> Dict[str, Any]:
     """Run every case of one benchmark size; returns the JSON payload.
@@ -286,7 +467,7 @@ def run_bench(
             )
         case_payloads.append(entry)
 
-    return {
+    payload = {
         "schema": "repro-bench/v1",
         # Mirrors repro.api.results.SCHEMA_VERSION so every CLI JSON
         # payload carries the same version marker.
@@ -302,6 +483,11 @@ def run_bench(
         "platform": platform.platform(),
         "cases": case_payloads,
     }
+    if sweep_case:
+        payload["sweep_case"] = run_sweep_case(
+            size.name, seed=seed, progress=progress
+        )
+    return payload
 
 
 def write_bench_json(payload: Dict[str, Any], output: Optional[str] = None) -> Path:

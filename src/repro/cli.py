@@ -7,7 +7,7 @@ anything the CLI does is equally available to notebooks and services, and
 all ``--json`` payloads carry a ``schema_version`` (frozen schema v1, see
 ``docs/api.md``).
 
-Seven commands cover the common workflows:
+Nine commands cover the common workflows:
 
 ``run``
     Simulate one scenario file and print per-tenant plus aggregate
@@ -44,6 +44,30 @@ Seven commands cover the common workflows:
         python -m repro sweep scenarios/multi_tenant.yaml --resume auto
         python -m repro sweep scenarios/smoke.yaml \\
             --chaos kill --chaos-rate 0.5 --timeout 120
+
+    ``--shard i/N`` runs one content-keyed shard of the grid, for
+    fanning a sweep out across processes or machines; the partial
+    outputs recombine bit-identically with ``repro merge`` (see
+    ``docs/distributed.md``)::
+
+        python -m repro sweep scenarios/multi_tenant.yaml --shard 0/2 \\
+            --json shard0.json
+
+``merge``
+    Recombine the outputs of ``repro sweep --shard i/N`` (result JSON
+    files and/or shard journals) into the exact payload the unsharded
+    sweep would have produced (see ``docs/distributed.md``); refuses
+    grid-digest mismatches and incomplete shard sets::
+
+        python -m repro merge shard0.json shard1.json --json merged.json
+        python -m repro merge .repro-cache/sweeps/<id>-shard*of2 --json -
+
+``cache-serve``
+    Run the shared plan-cache service: a tiny TCP daemon sweep shards
+    point at with ``--cache-url`` (or ``REPRO_CACHE_URL``) so a fleet
+    pays each plan search once globally::
+
+        python -m repro cache-serve --host 0.0.0.0 --port 8377
 
 ``report``
     Regenerate the paper's tables/figures (the same harnesses as
@@ -87,7 +111,9 @@ addressable by name from every command.
 ``run``, ``sweep``, ``bench`` and ``profile`` share a persistent plan
 cache under ``.repro-cache/`` (``--cache-dir`` to relocate,
 ``--no-disk-cache`` to opt out), so repeated invocations and sweep
-workers pay each plan search once.  Scenario files are documented in
+workers pay each plan search once; ``--cache-url HOST:PORT`` (or
+``REPRO_CACHE_URL``) adds the shared ``cache-serve`` tier behind it so
+a sharded fleet pays each plan search once *globally*.  Scenario files are documented in
 ``docs/scenarios.md``; every command exits non-zero with a one-line
 error for malformed specs.
 """
@@ -96,6 +122,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence
@@ -123,6 +150,13 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the persistent plan cache for this invocation",
     )
+    parser.add_argument(
+        "--cache-url",
+        default=None,
+        metavar="HOST:PORT",
+        help="shared plan-cache service ('repro cache-serve') to read "
+        "through and write back to; defaults to $REPRO_CACHE_URL when set",
+    )
 
 
 def _add_set_flag(parser: argparse.ArgumentParser) -> None:
@@ -136,7 +170,15 @@ def _add_set_flag(parser: argparse.ArgumentParser) -> None:
 
 
 def _configure_plancache(args: argparse.Namespace) -> None:
-    plancache.configure(args.cache_dir, enabled=not args.no_disk_cache)
+    # --cache-url beats the environment; REPRO_CACHE_URL lets a fleet be
+    # pointed at one 'repro cache-serve' without touching every command.
+    cache_url = getattr(args, "cache_url", None) or os.environ.get(
+        "REPRO_CACHE_URL"
+    ) or None
+    plancache.configure(
+        None if args.no_disk_cache else args.cache_dir,
+        remote_url=cache_url,
+    )
 
 
 def _coerce_scalar(token: str) -> Any:
@@ -273,6 +315,26 @@ def _chaos_plan(args: argparse.Namespace):
     )
 
 
+def _parse_shard(text: Optional[str]) -> tuple:
+    """Parse ``--shard I/N`` into ``(shard_index, shards)``; (0, 1) when unset."""
+    if not text:
+        return 0, 1
+    index_text, sep, count_text = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ScenarioError(
+            f"--shard expects I/N with 0 <= I < N (e.g. 1/4), got {text!r}"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise ScenarioError(
+            f"--shard expects I/N with 0 <= I < N (e.g. 1/4), got {text!r}"
+        )
+    return index, count
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.api import SweepInterrupted
 
@@ -287,6 +349,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     journal_dir = (
         None if args.no_resume_journal else str(Path(args.cache_dir) / "sweeps")
     )
+    shard_index, shards = _parse_shard(args.shard)
     stdout_json = args.json == "-"
     # Fail-fast validation of every grid point happens inside the facade,
     # before any worker process spawns.
@@ -300,6 +363,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             journal_dir=journal_dir,
             resume=args.resume,
             chaos=_chaos_plan(args),
+            shards=shards,
+            shard_index=shard_index,
+            journal_flush_records=args.journal_flush_records,
+            journal_flush_seconds=args.journal_flush_seconds,
             log=lambda line: print(line, file=sys.stderr),
         )
     except SweepInterrupted as exc:
@@ -361,6 +428,89 @@ def _print_sweep_table(spec: ScenarioSpec, result: SweepResult) -> None:
             agg["num_preemptions"],
         )
     print(table.to_ascii())
+
+
+# -- merge -------------------------------------------------------------------------
+
+
+def cmd_merge(args: argparse.Namespace) -> int:
+    """Recombine sharded sweep partials into one canonical sweep payload."""
+    from repro.api.results import result_digest
+    from repro.api.schema import validate_sweep_payload
+    from repro.dist import MergeError, load_partial, merge_sweep_payloads
+
+    try:
+        partials = [load_partial(path) for path in args.inputs]
+        merged = merge_sweep_payloads(partials, sources=args.inputs)
+    except MergeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    validate_sweep_payload(merged)
+    core = [
+        {
+            key: value
+            for key, value in entry.items()
+            if key not in ("parameter", "value", "point_key")
+        }
+        for entry in merged["sweep"]
+    ]
+    digest = result_digest({"points": core})
+    stdout_json = args.json == "-"
+    if args.json:
+        _write_json(merged, args.json)
+    if not stdout_json:
+        failed = merged["failed_points"]
+        print(
+            f"merged {len(partials)} partial(s) of sweep {merged['sweep_id']}: "
+            f"{len(merged['sweep'])} point(s)"
+            + (f", {len(failed)} failed" if failed else "")
+            + f" on scenario {merged['scenario']!r}; result digest {digest}"
+        )
+    if merged["failed_points"]:
+        for failure in merged["failed_points"]:
+            print(
+                f"error: sweep point {failure['parameter']}="
+                f"{failure['value']}: [{failure['kind']}] "
+                f"{failure['error_type']}: {failure['message']}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+# -- cache-serve -------------------------------------------------------------------
+
+
+def cmd_cache_serve(args: argparse.Namespace) -> int:
+    """Run the shared plan-cache service in the foreground."""
+    from repro.dist import PlanCacheServer
+
+    server = PlanCacheServer(
+        host=args.host,
+        port=args.port,
+        spool_dir=args.spool_dir,
+        max_entries=args.max_entries,
+    )
+    host, port = server.address
+    print(
+        f"repro cache-serve: listening on {host}:{port}"
+        + (f", spooling to {args.spool_dir}" if args.spool_dir else "")
+        + " (Ctrl-C to stop)",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        stats = server.stats()
+        print(
+            f"repro cache-serve: stopped -- {stats['entries']} entrie(s), "
+            f"{stats['hits']} hit(s), {stats['puts']} put(s)",
+            file=sys.stderr,
+        )
+    finally:
+        server.stop()
+    return 0
 
 
 # -- report ------------------------------------------------------------------------
@@ -510,6 +660,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             baseline=args.baseline,
             seed=args.seed,
             backend=args.backend,
+            sweep_case=args.sweep_case,
             progress=say,
         )
         payloads.append(payload)
@@ -546,6 +697,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 ]
             table.add_row(*row)
         say(table.to_ascii())
+        sweep_case = payload.get("sweep_case")
+        if sweep_case is not None:
+            cold = sweep_case["single_process_cold"]
+            warm = sweep_case["sharded_warm"]
+            say(
+                f"sweep case: {sweep_case['num_points']} points -- cold 1-process "
+                f"{cold['points_per_second']} pts/s vs {sweep_case['shards']}-shard "
+                f"warm {warm['points_per_second']} pts/s "
+                f"({sweep_case['speedup']}x, remote hits "
+                f"{warm['plan_cache']['remote_hits']}, identical="
+                f"{'yes' if sweep_case['identical_results'] else 'NO'})"
+            )
     if args.json:
         # One parseable document regardless of how many sizes ran.
         _write_json(
@@ -635,6 +798,29 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: no limit; needs --workers > 1)",
     )
     sweep_p.add_argument(
+        "--shard",
+        metavar="I/N",
+        help="run only shard I of N (0-based, e.g. --shard 0/4): the grid "
+        "is split by stable content keys, so N independent invocations "
+        "cover it exactly once and 'repro merge' recombines their outputs",
+    )
+    sweep_p.add_argument(
+        "--journal-flush-records",
+        type=int,
+        default=1,
+        metavar="K",
+        help="fsync the sweep journal every K records instead of every "
+        "record (default: 1; always fsyncs on close)",
+    )
+    sweep_p.add_argument(
+        "--journal-flush-seconds",
+        type=float,
+        default=None,
+        metavar="T",
+        help="also fsync the journal once T seconds have passed since the "
+        "last fsync (default: records-only batching)",
+    )
+    sweep_p.add_argument(
         "--resume",
         metavar="SWEEP_ID",
         help="resume a journaled sweep, skipping completed points "
@@ -681,6 +867,54 @@ def build_parser() -> argparse.ArgumentParser:
     _add_set_flag(sweep_p)
     _add_cache_flags(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
+
+    merge_p = sub.add_parser(
+        "merge",
+        help="recombine sharded sweep partials into one sweep result",
+    )
+    merge_p.add_argument(
+        "inputs",
+        nargs="+",
+        metavar="PARTIAL",
+        help="shard outputs to merge: 'repro sweep --shard i/N --json' files "
+        "and/or shard journals (<cache-dir>/sweeps/<journal-id>[/journal.jsonl])",
+    )
+    merge_p.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the merged sweep payload as JSON to PATH ('-' for stdout)",
+    )
+    merge_p.set_defaults(func=cmd_merge)
+
+    serve_p = sub.add_parser(
+        "cache-serve",
+        help="run the shared plan-cache service for sharded fleets",
+    )
+    serve_p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="address to bind (default: 127.0.0.1; use 0.0.0.0 for a fleet)",
+    )
+    serve_p.add_argument(
+        "--port",
+        type=int,
+        default=8377,
+        help="port to bind (default: 8377; 0 picks an ephemeral port)",
+    )
+    serve_p.add_argument(
+        "--spool-dir",
+        default=None,
+        metavar="DIR",
+        help="also persist entries to DIR so a restarted server comes back warm",
+    )
+    serve_p.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap the in-memory store at N entries (default: unbounded)",
+    )
+    serve_p.set_defaults(func=cmd_cache_serve)
 
     report_p = sub.add_parser("report", help="regenerate the paper-experiment report")
     report_p.add_argument(
@@ -785,6 +1019,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="heapq",
         choices=_KERNEL_BACKENDS.names(),
         help="kernel event-queue backend to benchmark (default: heapq)",
+    )
+    bench_p.add_argument(
+        "--sweep-case",
+        action="store_true",
+        help=(
+            "also measure the sharded-sweep case: a cold single-process "
+            "sweep vs 2 shards reading through a warm plan-cache service "
+            "(adds a 'sweep_case' block to the payload)"
+        ),
     )
     bench_p.add_argument(
         "--output",

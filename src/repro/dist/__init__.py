@@ -1,0 +1,46 @@
+"""``repro.dist`` -- cluster-scale sweep sharding and the plan-cache service.
+
+Sweeps were process-parallel on one box and the content-addressed plan
+cache was per-machine, so a fleet paid every plan search N times.  This
+package is the distribution layer that fixes both:
+
+* :mod:`repro.dist.sharding` -- deterministic, content-keyed partition of
+  a validated sweep grid: ``shard(point_key, num_shards)`` assigns every
+  grid point to exactly one shard, so ``Experiment.sweep(shards=N,
+  shard_index=i)`` / ``repro sweep --shard i/N`` can run disjoint slices
+  of one grid on many workers or machines with no coordinator.
+* :mod:`repro.dist.merge` -- recombine the shards' partial
+  :class:`~repro.api.SweepResult` payloads (or their journals) into one
+  schema-v1 sweep payload that is bit-identical to an unsharded run;
+  grid-digest mismatches are refused and overlapping/missing shards are
+  reported (``repro merge``).
+* :mod:`repro.dist.protocol` / :mod:`repro.dist.cacheserver` -- a tiny
+  length-prefixed get/put protocol over the existing plan-cache content
+  keys and a stdlib-socket daemon (``repro cache-serve``) speaking it,
+  so a fleet shares one plan-cache namespace and pays each plan search
+  once globally.  The tiered client (local disk -> remote, read-through
+  / write-back) lives in :mod:`repro.utils.plancache` and degrades
+  silently to local-only when the service is unreachable.
+
+Everything here is stdlib-only (sockets, threads, json) -- no new
+dependencies.
+"""
+
+from repro.dist.cacheserver import PlanCacheServer
+from repro.dist.merge import (
+    MergeError,
+    journal_to_partial_payload,
+    load_partial,
+    merge_sweep_payloads,
+)
+from repro.dist.sharding import shard, shard_keys
+
+__all__ = [
+    "MergeError",
+    "PlanCacheServer",
+    "journal_to_partial_payload",
+    "load_partial",
+    "merge_sweep_payloads",
+    "shard",
+    "shard_keys",
+]

@@ -1,0 +1,306 @@
+"""Recombining sharded sweep partials into one canonical SweepResult payload.
+
+``repro sweep --shard i/N`` emits a *partial* sweep payload: the frozen
+schema-v1 shape plus an additive ``shard`` block carrying the shard
+index/count and the **full** grid key sequence (every shard knows the
+whole grid; it just ran its own subset).  :func:`merge_sweep_payloads`
+recombines a complete set of partials into the exact payload the
+unsharded sweep would have produced -- byte-identical under a canonical
+JSON dump -- by walking the full grid order and pulling each position's
+entry from whichever shard owns its key.
+
+Merging is deliberately pure dict work (no result objects, no simulator
+imports): inputs are parsed JSON payloads or journals, the output is a
+plain dict ready for ``json.dumps``.  Every inconsistency is refused
+loudly with a :exc:`MergeError` -- partials from different grids
+(``sweep_id``/grid-digest mismatch), overlapping or missing shard
+indices, and grid points no shard accounts for -- because a silent
+partial merge would forge a result no real sweep ever computed.
+
+Inputs can be result JSON files (``repro sweep --shard i/N --json``) or
+the shards' journals (``<cache-dir>/sweeps/<journal-id>/journal.jsonl``)
+-- :func:`load_partial` detects which and :func:`journal_to_partial_payload`
+reconstructs a partial from journal records alone, so a sweep that was
+killed after journaling its last point still merges without re-running.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.dist.sharding import shard
+from repro.exec.journal import JOURNAL_FILENAME, SweepJournal, content_digest
+
+
+class MergeError(ValueError):
+    """The partials cannot be merged into one canonical sweep result."""
+
+
+def _shard_block(partial: Mapping[str, Any], where: str) -> Dict[str, Any]:
+    block = partial.get("shard")
+    if not isinstance(block, Mapping):
+        raise MergeError(
+            f"{where} is not a sharded sweep partial (no 'shard' block); "
+            "produce partials with 'repro sweep --shard i/N'"
+        )
+    for key in ("index", "count", "parameter", "grid_keys"):
+        if key not in block:
+            raise MergeError(f"{where} shard block is missing {key!r}")
+    return dict(block)
+
+
+def merge_sweep_payloads(
+    partials: Sequence[Mapping[str, Any]],
+    *,
+    sources: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """Merge a complete set of shard partials into the unsharded payload.
+
+    ``sources`` (optional, parallel to ``partials``) names each input in
+    error messages.  The merged payload has no ``shard`` block and
+    ``resumed_from: null`` -- exactly what one fresh unsharded sweep of
+    the same grid emits.
+    """
+    if not partials:
+        raise MergeError("nothing to merge: no partial sweep payloads given")
+    names = list(sources) if sources is not None else [
+        f"partial #{i}" for i in range(len(partials))
+    ]
+    if len(names) != len(partials):
+        raise MergeError("sources must parallel partials")
+
+    reference: Optional[Dict[str, Any]] = None
+    ref_name = names[0]
+    seen_indices: Dict[int, str] = {}
+    entries_by_key: Dict[str, List[Dict[str, Any]]] = {}
+    failures_by_key: Dict[str, Dict[str, Any]] = {}
+    attempts_by_key: Dict[str, int] = {}
+
+    for partial, name in zip(partials, names):
+        if not isinstance(partial, Mapping):
+            raise MergeError(f"{name} is not a sweep payload mapping")
+        block = _shard_block(partial, name)
+        identity = {
+            "scenario": partial.get("scenario"),
+            "sweep_id": partial.get("sweep_id"),
+            "parameter": block["parameter"],
+            "count": block["count"],
+            "grid_keys": list(block["grid_keys"]),
+        }
+        if reference is None:
+            reference = identity
+            ref_name = name
+            expected = content_digest(
+                {
+                    "scenario": identity["scenario"],
+                    "parameter": identity["parameter"],
+                    "points": identity["grid_keys"],
+                }
+            )
+            if identity["sweep_id"] != expected:
+                raise MergeError(
+                    f"{name} is internally inconsistent: its sweep_id "
+                    f"{identity['sweep_id']!r} does not match the digest of "
+                    f"its own grid ({expected!r})"
+                )
+        elif identity != reference:
+            for field in ("scenario", "parameter", "count"):
+                if identity[field] != reference[field]:
+                    raise MergeError(
+                        f"refusing to merge: {name} has {field}="
+                        f"{identity[field]!r} but {ref_name} has "
+                        f"{reference[field]!r}"
+                    )
+            raise MergeError(
+                f"refusing to merge: grid digest mismatch -- {name} was "
+                f"produced for sweep {identity['sweep_id']!r} but {ref_name} "
+                f"for {reference['sweep_id']!r}; shards of different grids "
+                "cannot be recombined"
+            )
+        index = int(block["index"])
+        count = int(block["count"])
+        if not 0 <= index < count:
+            raise MergeError(f"{name} has shard index {index} of {count}")
+        if index in seen_indices:
+            raise MergeError(
+                f"overlapping shards: {name} and {seen_indices[index]} both "
+                f"carry shard {index} of {count}"
+            )
+        seen_indices[index] = name
+
+        for entry in partial.get("sweep", ()):
+            key = entry.get("point_key")
+            if not isinstance(key, str):
+                raise MergeError(
+                    f"{name} has a sweep entry without a point_key; only "
+                    "supervised (journaled) sweeps can be sharded and merged"
+                )
+            entries_by_key.setdefault(key, []).append(dict(entry))
+        for failure in partial.get("failed_points", ()):
+            key = failure.get("point_key")
+            if isinstance(key, str):
+                failures_by_key.setdefault(key, dict(failure))
+        for key, count_ in (partial.get("attempts") or {}).items():
+            attempts_by_key[key] = int(count_)
+
+    assert reference is not None
+    total = int(reference["count"])
+    missing = sorted(set(range(total)) - set(seen_indices))
+    if missing:
+        raise MergeError(
+            f"incomplete merge: {len(seen_indices)} of {total} shards given; "
+            f"missing shard indices {missing}"
+        )
+
+    grid_keys: List[str] = list(reference["grid_keys"])
+    merged_points: List[Dict[str, Any]] = []
+    merged_failures: List[Dict[str, Any]] = []
+    unaccounted: List[str] = []
+    for key in grid_keys:
+        queue = entries_by_key.get(key)
+        if queue:
+            merged_points.append(queue.pop(0))
+        elif key in failures_by_key:
+            merged_failures.append(dict(failures_by_key[key]))
+        else:
+            unaccounted.append(key)
+    if unaccounted:
+        owners = sorted({shard(key, total) for key in unaccounted})
+        raise MergeError(
+            f"{len(unaccounted)} grid point(s) are neither completed nor "
+            f"recorded as failed (first: {unaccounted[0]!r}); shard(s) "
+            f"{owners} look interrupted -- resume them before merging"
+        )
+    leftovers = sum(len(queue) for queue in entries_by_key.values())
+    if leftovers:
+        raise MergeError(
+            f"{leftovers} completed point(s) do not correspond to any grid "
+            "position; the partials do not belong to this grid"
+        )
+
+    # Attempts in the unsharded payload's insertion order: completed
+    # points in grid order, then failures in grid order.
+    attempts: Dict[str, int] = {}
+    for entry in merged_points:
+        key = entry["point_key"]
+        attempts[key] = attempts_by_key.get(key, 1)
+    for failure in merged_failures:
+        key = failure["point_key"]
+        attempts[key] = attempts_by_key.get(
+            key, int(failure.get("attempts", 1))
+        )
+
+    return {
+        "schema_version": partials[0].get("schema_version", 1),
+        "scenario": reference["scenario"],
+        "sweep": merged_points,
+        "sweep_id": reference["sweep_id"],
+        "resumed_from": None,
+        "attempts": attempts,
+        "failed_points": merged_failures,
+    }
+
+
+def journal_to_partial_payload(path: Union[str, Path]) -> Dict[str, Any]:
+    """Reconstruct a shard's partial payload from its journal alone.
+
+    The journal header carries the full grid (keys *and* values) plus the
+    shard assignment, and every completed point's payload is journaled
+    verbatim, so the reconstruction is exactly the payload ``repro sweep
+    --shard i/N --json`` would have written -- without re-running
+    anything.  Raises :exc:`MergeError` on a missing or headerless
+    journal.
+    """
+    journal = SweepJournal(path)
+    if not journal.exists():
+        raise MergeError(f"no sweep journal at {journal.path}")
+    state = journal.read()
+    header = state.header
+    if header is None:
+        raise MergeError(
+            f"journal {journal.path} has no readable header record"
+        )
+    for key in ("sweep_id", "scenario", "parameter", "grid_keys", "grid_values"):
+        if key not in header:
+            raise MergeError(
+                f"journal {journal.path} predates sharded sweeps (missing "
+                f"header key {key!r}); re-run the sweep to produce a "
+                "mergeable journal"
+            )
+    grid_keys = list(header["grid_keys"])
+    grid_values = list(header["grid_values"])
+    if len(grid_keys) != len(grid_values):
+        raise MergeError(
+            f"journal {journal.path} header is corrupt: "
+            f"{len(grid_keys)} grid keys vs {len(grid_values)} values"
+        )
+    parameter = header["parameter"]
+    index = int(header.get("shard_index", 0))
+    count = int(header.get("shard_count", 1))
+
+    points: List[Dict[str, Any]] = []
+    failures: List[Dict[str, Any]] = []
+    attempts: Dict[str, int] = {}
+    for key, value in zip(grid_keys, grid_values):
+        if count > 1 and shard(key, count) != index:
+            continue
+        if key in state.completed:
+            record = state.completed[key]
+            points.append(
+                {
+                    "parameter": parameter,
+                    "value": value,
+                    "point_key": key,
+                    **record["payload"],
+                }
+            )
+            attempts.setdefault(key, int(record.get("attempts", 1)))
+        elif key in state.failed:
+            record = state.failed[key]
+            failures.append(
+                {
+                    "parameter": parameter,
+                    "value": value,
+                    "point_key": key,
+                    "attempts": int(record.get("attempts", 1)),
+                    "kind": str(record.get("kind", "unknown")),
+                    "error_type": str(record.get("error_type", "unknown")),
+                    "message": str(record.get("message", "")),
+                }
+            )
+            attempts.setdefault(key, int(record.get("attempts", 1)))
+    return {
+        "schema_version": 1,
+        "scenario": header["scenario"],
+        "sweep": points,
+        "sweep_id": header["sweep_id"],
+        "resumed_from": None,
+        "attempts": attempts,
+        "failed_points": failures,
+        "shard": {
+            "index": index,
+            "count": count,
+            "parameter": parameter,
+            "grid_keys": grid_keys,
+        },
+    }
+
+
+def load_partial(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load one merge input: a partial result JSON, a journal, or its dir."""
+    path = Path(path)
+    if path.is_dir():
+        return journal_to_partial_payload(path / JOURNAL_FILENAME)
+    if path.suffix == ".jsonl" or path.name == JOURNAL_FILENAME:
+        return journal_to_partial_payload(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise MergeError(f"no such merge input: {path}") from None
+    except ValueError as exc:
+        raise MergeError(f"{path} is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise MergeError(f"{path} does not contain a sweep payload object")
+    return payload

@@ -482,9 +482,30 @@ class SoAEventQueue:
         self._f_head = _INF
 
 
+def resolve_auto_backend(*, num_tenants: int, preemptive: bool) -> str:
+    """The concrete backend ``kernel_backend: auto`` resolves to.
+
+    The rule distils the recorded benchmark evidence (BENCH_medium.json,
+    ``docs/performance.md``): the SoA queue wins on multi-tenant
+    scenarios without preemption (large, batchy event populations where
+    vectorised dispatch amortises), while heapq wins on single-tenant
+    runs and under preemption (frequent out-of-band pushes that defeat
+    the SoA run/front split).  Deterministic in the scenario shape
+    alone, so ``auto`` never changes simulation *results* -- backends
+    are digest-identical by construction -- only wall-clock.
+    """
+    if num_tenants >= 2 and not preemptive:
+        return "soa"
+    return "heapq"
+
+
 # Seed the kernel-backend registry (``Registry(seed_module="repro.sim.events")``
 # imports this module lazily before the first lookup).
 from repro.registry import register_kernel_backend  # noqa: E402  (seed pattern)
 
 register_kernel_backend("heapq", EventQueue)
 register_kernel_backend("soa", SoAEventQueue)
+# ``auto`` resolves per scenario shape in the simulators (see
+# resolve_auto_backend); the registered factory is the safe fallback for
+# anything instantiating the name directly without a scenario in hand.
+register_kernel_backend("auto", EventQueue)

@@ -316,6 +316,13 @@ class MultiTenantSimulator:
         self.use_cache = use_cache
         kernel_backends.get(kernel_backend)  # fail on unknown names at setup time
         self.kernel_backend = str(kernel_backend).lower()
+        if self.kernel_backend == "auto":
+            from repro.sim.events import resolve_auto_backend
+
+            self.kernel_backend = resolve_auto_backend(
+                num_tenants=len(self.tenants),
+                preemptive=self.preemption_rule is not None,
+            )
 
     # -- helpers -----------------------------------------------------------------
 

@@ -132,6 +132,10 @@ class ClusterSimulator:
         self.use_cache = use_cache
         kernel_backends.get(kernel_backend)  # fail on unknown names at setup time
         self.kernel_backend = str(kernel_backend).lower()
+        if self.kernel_backend == "auto":
+            # One tenant, one backlog: the single-tenant simulator is the
+            # shape heapq wins on (see repro.sim.events.resolve_auto_backend).
+            self.kernel_backend = "heapq"
 
     # -- helpers -----------------------------------------------------------------
 

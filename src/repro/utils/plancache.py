@@ -31,6 +31,27 @@ computation can touch -- so any code change silently orphans all older
 entries instead of serving plans computed by a different algorithm.
 A warm cache restored onto changed code (e.g. CI's ``restore-keys``
 prefix fallback) therefore degrades to misses, never to wrong results.
+
+Remote tier
+-----------
+``configure(..., remote_url="HOST:PORT")`` (CLI: ``--cache-url`` or
+``REPRO_CACHE_URL``) adds a second, *shared* tier behind the local
+directory: a ``repro cache-serve`` daemon (:mod:`repro.dist.cacheserver`)
+addressed over the length-prefixed protocol of
+:mod:`repro.dist.protocol`.  Lookups read through (local disk first,
+then the service; a remote hit is written back to local disk so it is
+paid at most once per machine) and stores write through both tiers, so
+a fleet of sweep shards pays each plan search **once globally**.  The
+remote entry is the same pickled blob as the local file under the same
+fingerprinted content digest, so a mixed-version fleet can only miss,
+never poison.
+
+The remote tier can never make a run slower than local-only by more
+than its bounded socket timeout, and can never fail a run: every remote
+operation is wrapped, counted in the ``remote_errors`` stat on failure,
+and after :data:`_REMOTE_MAX_CONSECUTIVE_ERRORS` consecutive failures
+the circuit opens and the process silently degrades to local-only for
+the rest of its lifetime.
 """
 
 from __future__ import annotations
@@ -40,7 +61,9 @@ import hashlib
 import json
 import os
 import pickle
+import socket
 import tempfile
+import threading
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
@@ -54,12 +77,31 @@ _FORMAT_VERSION = 1
 #: silently changes results.
 _FINGERPRINT_SUBPACKAGES = ("core", "hardware", "models", "pipeline")
 
+#: Consecutive remote failures after which the circuit opens and the
+#: process stops talking to the service (silent local-only degradation).
+_REMOTE_MAX_CONSECUTIVE_ERRORS = 3
+
+#: Bounded socket timeout for every remote operation (seconds).  A slow
+#: or dead service costs at most this much, at most
+#: ``_REMOTE_MAX_CONSECUTIVE_ERRORS`` times, then nothing.
+_REMOTE_DEFAULT_TIMEOUT = 2.0
+
 _enabled = False
 _cache_dir: Optional[Path] = None
 _code_fingerprint: Optional[str] = None
+_remote: Optional["RemoteCacheClient"] = None
 
 #: Hit/miss/write counters since process start (or the last reset).
-_stats = {"hits": 0, "misses": 0, "writes": 0, "errors": 0, "quarantined": 0}
+_stats = {
+    "hits": 0,
+    "misses": 0,
+    "writes": 0,
+    "errors": 0,
+    "quarantined": 0,
+    "remote_hits": 0,
+    "remote_misses": 0,
+    "remote_errors": 0,
+}
 
 #: Canonical key JSON per pinned object (model specs and efficiency
 #: models are hashed once; the strong reference keeps ids stable).  The
@@ -69,11 +111,34 @@ _object_keys: Dict[int, Tuple[Any, str]] = {}
 _MAX_OBJECT_KEYS = 4096
 
 
-def configure(cache_dir, *, enabled: bool = True) -> None:
-    """Point the cache at a directory (created lazily) and switch it on/off."""
-    global _enabled, _cache_dir
+def configure(
+    cache_dir,
+    *,
+    enabled: bool = True,
+    remote_url: Optional[str] = None,
+    remote_timeout: Optional[float] = None,
+) -> None:
+    """Point the cache at a directory (created lazily) and switch it on/off.
+
+    ``remote_url`` ("HOST:PORT") additionally attaches the shared
+    plan-cache service tier; omitting it (the default) detaches any
+    previously-configured remote, so reconfiguration is always explicit
+    and legacy callers keep their exact semantics.  The remote tier works
+    with or without a local directory (``cache_dir=None`` plus a url is a
+    remote-only cache).
+    """
+    global _enabled, _cache_dir, _remote
     _cache_dir = None if cache_dir is None else Path(cache_dir)
-    _enabled = bool(enabled) and _cache_dir is not None
+    _enabled = bool(enabled) and (_cache_dir is not None or remote_url is not None)
+    if _remote is not None:
+        _remote.close()
+    _remote = (
+        RemoteCacheClient(
+            remote_url, timeout=remote_timeout or _REMOTE_DEFAULT_TIMEOUT
+        )
+        if enabled and remote_url is not None
+        else None
+    )
     _object_keys.clear()
 
 
@@ -106,6 +171,11 @@ def is_enabled() -> bool:
 def cache_dir() -> Optional[Path]:
     """The configured cache directory (``None`` when unconfigured)."""
     return _cache_dir
+
+
+def remote_url() -> Optional[str]:
+    """The configured remote service url (``None`` without a remote tier)."""
+    return None if _remote is None else _remote.url
 
 
 def stats() -> Dict[str, int]:
@@ -151,10 +221,19 @@ def content_key(obj: Any) -> str:
     return digest
 
 
-def _entry_path(key_parts: Tuple[str, ...]) -> Path:
-    assert _cache_dir is not None
+def _entry_digest(key_parts: Tuple[str, ...]) -> str:
+    """The content digest addressing an entry in *both* tiers.
+
+    Embeds the format version and the code fingerprint, so the digest is
+    the complete cross-machine identity of an entry: the local file name
+    and the remote service key are this same string.
+    """
     text = "/".join((f"v{_FORMAT_VERSION}", code_fingerprint()) + key_parts)
-    digest = hashlib.sha256(text.encode()).hexdigest()
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _entry_path(digest: str) -> Path:
+    assert _cache_dir is not None
     return _cache_dir / "estimates" / f"{digest}.pkl"
 
 
@@ -174,43 +253,96 @@ def _quarantine(path: Path) -> None:
 
 
 def get(key_parts: Tuple[str, ...]) -> Tuple[bool, Any]:
-    """Look an entry up; returns ``(hit, value)``.
+    """Look an entry up through the tiers; returns ``(hit, value)``.
 
-    A missing file is a miss; an unreadable or corrupt file (truncated
-    write, bad pickle, bit rot) is a miss *plus* a quarantine -- the
-    broken entry is moved to ``<name>.pkl.corrupt`` so it is recomputed
-    and rewritten, never retried.  ``value`` may legitimately be ``None``
-    on a hit.
+    Local disk is consulted first.  A missing file is a miss; an
+    unreadable or corrupt file (truncated write, bad pickle, bit rot) is
+    a miss *plus* a quarantine -- the broken entry is moved to
+    ``<name>.pkl.corrupt`` so it is recomputed and rewritten, never
+    retried.  On a local miss the remote service (when configured) is
+    asked; a remote hit is unpickled, written back to local disk, and
+    counted as ``remote_hits``.  Any remote trouble (connection refused,
+    timeout, corrupt blob) counts one ``remote_errors`` and degrades to
+    a plain miss.  ``value`` may legitimately be ``None`` on a hit.
     """
     if not _enabled:
         return False, None
-    path = _entry_path(key_parts)
-    try:
-        with open(path, "rb") as fh:
-            value = pickle.load(fh)
-    except FileNotFoundError:
-        _stats["misses"] += 1
-        return False, None
-    except Exception:
-        _stats["misses"] += 1
-        _stats["errors"] += 1
-        _quarantine(path)
-        return False, None
-    _stats["hits"] += 1
-    return True, value
+    digest = _entry_digest(key_parts)
+    if _cache_dir is not None:
+        path = _entry_path(digest)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            pass
+        except Exception:
+            _stats["misses"] += 1
+            _stats["errors"] += 1
+            _quarantine(path)
+            return False, None
+        else:
+            _stats["hits"] += 1
+            return True, value
+    if _remote is not None:
+        status, blob = _remote.get(digest)
+        if status == "hit":
+            try:
+                value = pickle.loads(blob)
+            except Exception:
+                _stats["misses"] += 1
+                _stats["remote_errors"] += 1
+                return False, None
+            _stats["remote_hits"] += 1
+            _write_local(digest, blob)
+            return True, value
+        if status == "miss":
+            _stats["remote_misses"] += 1
+        else:
+            _stats["remote_errors"] += 1
+    _stats["misses"] += 1
+    return False, None
 
 
 def put(key_parts: Tuple[str, ...], value: Any) -> None:
-    """Store an entry atomically (best effort; IO errors are swallowed)."""
+    """Store an entry through both tiers (best effort; errors swallowed).
+
+    The value is pickled once; the same blob lands atomically on local
+    disk and is pushed to the remote service under a bounded socket
+    timeout, so a slow or dead remote can never block the simulation --
+    the worst case is one timeout per attempt until the circuit opens,
+    each counted in ``remote_errors``.
+    """
     if not _enabled:
         return
-    path = _entry_path(key_parts)
+    try:
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        # An unpicklable estimate component degrades to "not cached",
+        # never to a crash the uncached run would not have had.
+        _stats["errors"] += 1
+        return
+    digest = _entry_digest(key_parts)
+    if _write_local(digest, blob):
+        _stats["writes"] += 1
+    if _remote is not None:
+        if _remote.put(digest, blob):
+            if _cache_dir is None:
+                _stats["writes"] += 1
+        else:
+            _stats["remote_errors"] += 1
+
+
+def _write_local(digest: str, blob: bytes) -> bool:
+    """Atomically land a pickled blob in the local tier (best effort)."""
+    if _cache_dir is None:
+        return False
+    path = _entry_path(digest)
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(blob)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -219,9 +351,99 @@ def put(key_parts: Tuple[str, ...], value: Any) -> None:
                 pass
             raise
     except Exception:
-        # Best effort means *any* failure (IO, an unpicklable estimate
-        # component, ...) degrades to "not cached", never to a crash the
-        # uncached run would not have had.
         _stats["errors"] += 1
-        return
-    _stats["writes"] += 1
+        return False
+    return True
+
+
+class RemoteCacheClient:
+    """One process's connection to the shared plan-cache service.
+
+    A thread-safe, lazily-connected client over one persistent socket
+    (reconnected on error).  Every operation is bounded by the configured
+    timeout and *never raises*: failures return an error status and feed
+    the consecutive-failure circuit breaker -- after
+    :data:`_REMOTE_MAX_CONSECUTIVE_ERRORS` misfires the client goes
+    permanently quiet and every later call is a free local miss.
+    """
+
+    def __init__(self, url: str, *, timeout: float = _REMOTE_DEFAULT_TIMEOUT) -> None:
+        from repro.dist import protocol  # stdlib-only; no import cycle
+
+        self._protocol = protocol
+        self.url = str(url)
+        self._address = protocol.parse_url(url)
+        self.timeout = float(timeout)
+        self._sock = None
+        self._consecutive_errors = 0
+        self._lock = threading.Lock()
+
+    @property
+    def dead(self) -> bool:
+        """True once the circuit breaker has opened."""
+        return self._consecutive_errors >= _REMOTE_MAX_CONSECUTIVE_ERRORS
+
+    def get(self, key: str) -> Tuple[str, bytes]:
+        """Fetch a blob; returns ``("hit", blob)``, ``("miss", b"")`` or
+        ``("error", b"")``."""
+        response = self._request(self._protocol.encode_get(key))
+        if response is None:
+            return "error", b""
+        if response[:1] == self._protocol.STATUS_HIT:
+            return "hit", response[1:]
+        if response[:1] == self._protocol.STATUS_MISS:
+            return "miss", b""
+        return "error", b""
+
+    def put(self, key: str, blob: bytes) -> bool:
+        """Push a blob; False on any failure (bounded by the timeout)."""
+        response = self._request(self._protocol.encode_put(key, blob))
+        return response is not None and response[:1] == self._protocol.STATUS_OK
+
+    def server_stats(self) -> Optional[Dict[str, int]]:
+        """The service's counters (``None`` when unreachable)."""
+        response = self._request(self._protocol.OP_STATS)
+        if response is None or response[:1] != self._protocol.STATUS_STATS:
+            return None
+        try:
+            return json.loads(response[1:].decode())
+        except ValueError:
+            return None
+
+    def ping(self) -> bool:
+        response = self._request(self._protocol.OP_PING)
+        return response is not None and response[:1] == self._protocol.STATUS_OK
+
+    def close(self) -> None:
+        with self._lock:
+            self._close_socket()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _request(self, payload: bytes) -> Optional[bytes]:
+        if self.dead:
+            return None
+        with self._lock:
+            try:
+                if self._sock is None:
+                    self._sock = socket.create_connection(
+                        self._address, timeout=self.timeout
+                    )
+                self._protocol.send_frame(self._sock, payload)
+                response = self._protocol.recv_frame(self._sock)
+                if response is None:
+                    raise ConnectionError("service closed the connection")
+            except Exception:
+                self._close_socket()
+                self._consecutive_errors += 1
+                return None
+            self._consecutive_errors = 0
+            return response
+
+    def _close_socket(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None

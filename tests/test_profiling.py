@@ -91,7 +91,8 @@ class TestBenchPayloadBlocks:
         payload = timing.to_dict()
         assert set(payload["timings_by_kind"]) == set(payload["events_by_kind"])
         assert set(payload["plan_cache"]) == {
-            "hits", "misses", "writes", "errors", "quarantined"
+            "hits", "misses", "writes", "errors", "quarantined",
+            "remote_hits", "remote_misses", "remote_errors",
         }
         # The digest hashes the simulation outcome only; wall-clock noise
         # in the timing block must not perturb it (cross-checked by the
