@@ -30,6 +30,7 @@ DOCS = [
     REPO_ROOT / "docs" / "robustness.md",
     REPO_ROOT / "docs" / "performance.md",
     REPO_ROOT / "docs" / "distributed.md",
+    REPO_ROOT / "docs" / "static-analysis.md",
 ]
 EXAMPLES = [
     REPO_ROOT / "examples" / "quickstart.py",

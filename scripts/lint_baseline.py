@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Ratchet gate for ``repro lint``: fail on findings new vs the baseline.
+
+Runs the analyzer over ``src/`` and compares the findings against the
+committed ``lint-baseline.json``.  A finding is identified by
+``(rule, file, message)`` -- line numbers deliberately don't participate,
+so unrelated edits that shift code around do not churn the baseline.
+
+* New findings (present now, absent from the baseline) fail the gate.
+* Fixed findings (in the baseline, absent now) are reported as ready to
+  be ratcheted out; run with ``--update`` to rewrite the baseline.
+
+The committed baseline is empty -- the tree is lint-clean -- so in
+practice this is ``repro lint`` with a paper trail: the gate can only
+tighten, and any deliberate loosening is a reviewed diff to
+``lint-baseline.json``.
+
+    python scripts/lint_baseline.py             # gate (CI)
+    python scripts/lint_baseline.py --update    # rewrite the baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "lint-baseline.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def finding_key(finding: dict) -> tuple:
+    return (finding["rule"], finding["file"], finding["message"])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite lint-baseline.json from the current findings",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="paths to lint (default: src)",
+    )
+    args = parser.parse_args()
+
+    from repro.analysis import run_lint
+
+    report = run_lint(args.paths, root=str(REPO_ROOT))
+    current = {finding_key(f.to_dict()): f for f in report.findings}
+
+    if args.update:
+        payload = {
+            "schema_version": 1,
+            "findings": sorted(
+                (f.to_dict() for f in report.findings),
+                key=lambda d: (d["rule"], d["file"], d["line"]),
+            ),
+        }
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {BASELINE_PATH.name} with {len(current)} finding(s)")
+        return 0
+
+    try:
+        baseline_doc = json.loads(BASELINE_PATH.read_text())
+    except FileNotFoundError:
+        print(
+            f"error: {BASELINE_PATH.name} missing; run with --update first",
+            file=sys.stderr,
+        )
+        return 2
+    baseline = {finding_key(f) for f in baseline_doc.get("findings", [])}
+
+    new = [f for key, f in sorted(current.items()) if key not in baseline]
+    fixed = sorted(key for key in baseline if key not in current)
+
+    for finding in new:
+        print(
+            f"NEW  {finding.path}:{finding.line}:{finding.col}: "
+            f"[{finding.rule}] {finding.message}"
+        )
+    for rule, path, message in fixed:
+        print(f"FIXED  {path}: [{rule}] {message}")
+    if fixed and not new:
+        print(
+            f"{len(fixed)} baseline finding(s) are fixed; ratchet with "
+            f"--update to lock them out"
+        )
+    print(
+        f"lint baseline: {len(new)} new, {len(fixed)} fixed, "
+        f"{len(current)} current, {len(baseline)} baselined"
+    )
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

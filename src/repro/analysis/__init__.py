@@ -1,0 +1,52 @@
+"""Static analysis for the reproduction's bit-identity contracts.
+
+``repro.analysis`` is an AST-based lint engine with a plugin registry
+of project-specific rules (determinism, observer purity, registry and
+schema consistency, CLI/docs drift).  Run it as ``python -m repro lint``
+or programmatically::
+
+    from repro.analysis import run_lint
+
+    report = run_lint(["src"])
+    assert report.ok, [f.to_dict() for f in report.findings]
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import (
+    FORMATTERS,
+    INTERNAL_ERROR,
+    LINT_SCHEMA_VERSION,
+    PARSE_ERROR,
+    UNUSED_SUPPRESSION,
+    AnalysisRule,
+    Finding,
+    LintReport,
+    ModuleInfo,
+    Project,
+    discover_files,
+    format_github,
+    format_json,
+    format_text,
+    load_rules,
+    run_lint,
+)
+
+__all__ = [
+    "FORMATTERS",
+    "INTERNAL_ERROR",
+    "LINT_SCHEMA_VERSION",
+    "PARSE_ERROR",
+    "UNUSED_SUPPRESSION",
+    "AnalysisRule",
+    "Finding",
+    "LintReport",
+    "ModuleInfo",
+    "Project",
+    "discover_files",
+    "format_github",
+    "format_json",
+    "format_text",
+    "load_rules",
+    "run_lint",
+]

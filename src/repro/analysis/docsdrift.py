@@ -1,0 +1,101 @@
+"""CLI/docs drift: every user-facing flag must be documented.
+
+``cli.py`` is the reproduction's public surface; a flag that exists in
+``argparse`` but nowhere in the docs is a feature users cannot
+discover, and an invitation for the docs to describe behavior the CLI
+no longer has.  The rule is deliberately one-directional (CLI -> docs):
+prose may mention historical or external flags freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.core import AnalysisRule, Finding, ModuleInfo, Project
+from repro.registry import register_analysis_rule
+
+
+def _constant_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def iter_cli_surface(module: ModuleInfo) -> Iterable[Tuple[str, str, ast.AST]]:
+    """``(kind, name, node)`` for every constant-named flag/subcommand.
+
+    * ``("flag", "--seed", node)`` for each ``add_argument("--seed", ...)``
+      long option (single-dash shorthands ride along with their long
+      form and are not reported separately);
+    * ``("subcommand", "sweep", node)`` for each ``add_parser("sweep")``.
+    """
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr == "add_argument":
+            longs: List[str] = []
+            shorts: List[Tuple[str, ast.AST]] = []
+            for arg in node.args:
+                text = _constant_str(arg)
+                if text is None or not text.startswith("-"):
+                    continue
+                if text.startswith("--"):
+                    longs.append(text)
+                else:
+                    shorts.append((text, arg))
+            for text in longs:
+                yield ("flag", text, node)
+            if not longs:
+                for text, arg in shorts:
+                    yield ("flag", text, node)
+        elif func.attr == "add_parser":
+            name = _constant_str(node.args[0]) if node.args else None
+            if name is not None:
+                yield ("subcommand", name, node)
+
+
+@register_analysis_rule("cli-docs")
+class CliDocsRule(AnalysisRule):
+    """argparse flags and subcommands in cli.py must appear in the docs."""
+
+    id = "cli-docs"
+    family = "docs"
+    description = (
+        "every long option and subcommand that cli.py registers with "
+        "argparse must be mentioned in README.md or docs/*.md"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        cli = project.module_by_suffix("repro/cli.py")
+        if cli is None:
+            return
+        docs = project.docs_texts()
+        if not docs:
+            return  # fixture trees without docs: nothing to drift from
+        corpus = "\n".join(text for _, text in docs)
+        seen: Set[Tuple[str, str]] = set()
+        for kind, name, node in iter_cli_surface(cli):
+            if (kind, name) in seen:
+                continue
+            seen.add((kind, name))
+            if kind == "flag":
+                # Flags are recognizably documented only with the dashes.
+                documented = name in corpus
+            else:
+                documented = (
+                    f"repro {name}" in corpus
+                    or f"`{name}`" in corpus
+                    or f"m repro {name}" in corpus
+                )
+            if not documented:
+                yield self.finding(
+                    cli,
+                    node,
+                    f"CLI {kind} {name!r} is not mentioned in README.md or "
+                    f"docs/*.md; document it (or lint-ignore a deliberately "
+                    f"hidden {kind})",
+                )

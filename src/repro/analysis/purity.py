@@ -1,0 +1,207 @@
+"""Observer purity: ``RunObserver`` callbacks must be strictly read-only.
+
+The PR-6 contract -- observers are digest-neutral, so attaching one can
+never change simulation results -- has always been enforced by
+convention and by the golden-digest suite for the *shipped* observers.
+This rule enforces it structurally for every observer in the tree
+(including third-party plugins run through ``repro lint``): a callback
+that assigns to, deletes from, or calls a mutating method on anything
+reached from a callback *argument* (the kernel, a scheduler, an event,
+a job record...) is an error.  Writes rooted at ``self`` are the
+observer's own state and are always allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.core import AnalysisRule, Finding, ModuleInfo
+from repro.registry import register_analysis_rule
+
+#: Base classes whose subclasses receive simulator callbacks.
+OBSERVER_BASES = ("RunObserver", "InvariantObserver")
+
+#: Method names that mutate their receiver.  Intentionally broad: a
+#: false positive on an exotically-named pure method is one suppression
+#: line; a silent mutation voids bit-identical results.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "add",
+        "discard",
+        "remove",
+        "pop",
+        "popleft",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "sort",
+        "reverse",
+        "push",
+        "put",
+        "write",
+        "writelines",
+        "schedule",
+        "cancel",
+        "reset",
+        "requeue",
+        "evict",
+        "preempt",
+        "assign",
+        "submit",
+    }
+)
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """The plain name a ``a.b[c].d`` access chain is rooted at."""
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Starred)):
+        node = node.value
+    if isinstance(node, ast.Call):
+        return _root_name(node.func)
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _base_matches_observer(module: ModuleInfo, base: ast.AST) -> bool:
+    qualified = module.resolve(base)
+    if qualified is None:
+        return False
+    return qualified.split(".")[-1] in OBSERVER_BASES
+
+
+class _CallbackChecker(ast.NodeVisitor):
+    """Walks one ``on_*`` callback, flagging writes through arguments."""
+
+    def __init__(
+        self, rule: "ObserverPurityRule", module: ModuleInfo, foreign: Set[str]
+    ) -> None:
+        self.rule = rule
+        self.module = module
+        self.foreign = set(foreign)
+        self.findings: List[Finding] = []
+
+    def _is_foreign(self, node: ast.AST) -> bool:
+        root = _root_name(node)
+        return root is not None and root in self.foreign
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        self.findings.append(
+            self.rule.finding(
+                self.module,
+                node,
+                f"observer callback {what} -- callbacks must be strictly "
+                f"read-only on simulator state (the bit-identical-results "
+                f"contract); copy what you need onto self instead",
+            )
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                if self._is_foreign(target):
+                    self._flag(target, "writes to a callback argument")
+            elif isinstance(target, ast.Name) and self._is_foreign(node.value):
+                # ``k = context.kernel`` -- the alias stays foreign.
+                self.foreign.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.target, (ast.Attribute, ast.Subscript)):
+            if self._is_foreign(node.target):
+                self._flag(node.target, "writes to a callback argument")
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                if self._is_foreign(target):
+                    self._flag(target, "deletes from a callback argument")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in MUTATING_METHODS
+            and self._is_foreign(func.value)
+        ):
+            self._flag(
+                node,
+                f"calls mutating method .{func.attr}() on a callback argument",
+            )
+        elif (
+            isinstance(func, ast.Name)
+            and func.id in ("setattr", "delattr")
+            and node.args
+            and self._is_foreign(node.args[0])
+        ):
+            self._flag(node, f"calls {func.id}() on a callback argument")
+        self.generic_visit(node)
+
+
+@register_analysis_rule("observer-purity")
+class ObserverPurityRule(AnalysisRule):
+    """RunObserver/InvariantObserver callbacks must not mutate arguments."""
+
+    id = "observer-purity"
+    family = "purity"
+    description = (
+        "RunObserver/InvariantObserver on_* callbacks must be read-only: "
+        "no writes or mutating method calls through callback arguments"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        observer_classes = self._observer_classes(module)
+        for class_node in observer_classes:
+            for item in class_node.body:
+                if not isinstance(
+                    item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if not item.name.startswith("on_"):
+                    continue
+                params = [a.arg for a in item.args.args]
+                foreign = set(params[1:])  # everything but self
+                foreign.update(a.arg for a in item.args.kwonlyargs)
+                if item.args.vararg:
+                    foreign.add(item.args.vararg.arg)
+                if item.args.kwarg:
+                    foreign.add(item.args.kwarg.arg)
+                checker = _CallbackChecker(self, module, foreign)
+                checker.visit(item)
+                for finding in checker.findings:
+                    yield finding
+
+    @staticmethod
+    def _observer_classes(module: ModuleInfo) -> List[ast.ClassDef]:
+        """Observer subclasses in the file, transitively within the file."""
+        classes = [
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef)
+        ]
+        by_name: Dict[str, ast.ClassDef] = {c.name: c for c in classes}
+        observers: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for node in classes:
+                if node.name in observers:
+                    continue
+                for base in node.bases:
+                    direct = _base_matches_observer(module, base)
+                    local = (
+                        isinstance(base, ast.Name) and base.id in observers
+                    )
+                    if direct or local:
+                        observers.add(node.name)
+                        changed = True
+                        break
+        return [by_name[name] for name in sorted(observers)]

@@ -1,0 +1,14 @@
+"""Seed module for the ``analysis_rules`` registry.
+
+Importing this module registers the built-in rule set; the registry
+lists it as its ``seed_module`` so the rules appear on first use, and
+``repro.plugins`` entry points can add more exactly like policies or
+invariants do.
+"""
+
+from __future__ import annotations
+
+import repro.analysis.consistency  # noqa: F401  (registers consistency rules)
+import repro.analysis.determinism  # noqa: F401  (registers determinism rules)
+import repro.analysis.docsdrift  # noqa: F401  (registers docs-drift rules)
+import repro.analysis.purity  # noqa: F401  (registers purity rules)

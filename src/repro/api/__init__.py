@@ -62,12 +62,14 @@ from repro.api.schema import (
 from repro.registry import (
     ENTRY_POINT_GROUP,
     load_entry_point_plugins,
+    register_analysis_rule,
     register_arrival_process,
     register_bench_size,
     register_chaos_injector,
     register_fault_model,
     register_fuzz_budget,
     register_invariant,
+    register_kernel_backend,
     register_policy,
     register_preemption_rule,
 )
@@ -120,4 +122,6 @@ __all__ = [
     "register_invariant",
     "register_fuzz_budget",
     "register_chaos_injector",
+    "register_kernel_backend",
+    "register_analysis_rule",
 ]

@@ -85,6 +85,20 @@ TENANT_KEYS = (
 )
 
 
+def _check_environment(payload: Mapping[str, Any], where: str) -> None:
+    """The additive ``environment`` block (kernel backend + versions).
+
+    Digest-neutral provenance: checked only when present, so payloads
+    recorded before the block existed stay valid.
+    """
+    if "environment" not in payload:
+        return
+    block = _require_mapping(payload["environment"], f"{where}.environment")
+    _check_key(block, "kernel_backend", str, f"{where}.environment")
+    _check_key(block, "python", str, f"{where}.environment")
+    _check_key(block, "numpy", str, f"{where}.environment")
+
+
 def _check_metrics(block: Any, where: str) -> None:
     block = _require_mapping(block, where)
     for key in METRICS_KEYS:
@@ -124,6 +138,7 @@ def validate_run_payload(payload: Any) -> Mapping[str, Any]:
     payload = _require_mapping(payload, "run payload")
     _check_version(payload, "run payload")
     _check_key(payload, "scenario", str, "run payload")
+    _check_environment(payload, "run payload")
     _check_run_core(payload, "run payload")
     if "timings_by_kind" in payload:
         _check_count_map(payload, "timings_by_kind", "run payload")
@@ -211,6 +226,7 @@ def validate_profile_payload(payload: Any) -> Mapping[str, Any]:
     payload = _require_mapping(payload, "profile payload")
     _check_version(payload, "profile payload")
     _check_key(payload, "scenario", str, "profile payload")
+    _check_environment(payload, "profile payload")
     _check_key(payload, "wall_seconds", _NUMBER, "profile payload")
     _check_key(payload, "events_processed", int, "profile payload")
     _check_key(payload, "events_per_second", _NUMBER, "profile payload")

@@ -629,6 +629,27 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- lint --------------------------------------------------------------------------
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Statically verify the tree against the bit-identity contracts."""
+    from repro.analysis import FORMATTERS, load_rules, run_lint
+
+    if args.list_rules:
+        for rule in load_rules():
+            print(f"{rule.id:<22} [{rule.family}] {rule.description}")
+        return 0
+    try:
+        report = run_lint(args.paths, rule_ids=args.rule)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    output = FORMATTERS[args.format](report)
+    print(output)
+    return 0 if report.ok else 1
+
+
 # -- bench -------------------------------------------------------------------------
 
 
@@ -992,6 +1013,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_flags(fuzz_p)
     fuzz_p.set_defaults(func=cmd_fuzz)
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="statically check determinism & consistency contracts",
+    )
+    lint_p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    lint_p.add_argument(
+        "--format",
+        default="text",
+        choices=("text", "json", "github"),
+        help="output format (default: text; github emits workflow annotations)",
+    )
+    lint_p.add_argument(
+        "--rule",
+        action="append",
+        metavar="ID",
+        help="run only this rule id (repeatable; default: all registered rules)",
+    )
+    lint_p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules (id, family, description) and exit",
+    )
+    lint_p.set_defaults(func=cmd_lint)
 
     bench_p = sub.add_parser(
         "bench", help="run the simulator performance benchmarks"

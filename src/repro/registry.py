@@ -253,6 +253,11 @@ chaos_injectors = Registry("chaos injector", seed_module="repro.exec.chaos")
 #: batched same-timestamp dispatch loop).  Shipped: ``heapq`` (default)
 #: and ``soa``; see ``docs/performance.md``.
 kernel_backends = Registry("kernel backend", seed_module="repro.sim.events")
+#: Static-analysis lint rules: zero-argument factories producing
+#: :class:`repro.analysis.core.AnalysisRule` instances.  Registered
+#: names are addressable as ``repro lint --rule <name>`` and every
+#: registered rule runs by default; see ``docs/static-analysis.md``.
+analysis_rules = Registry("analysis rule", seed_module="repro.analysis.rules")
 
 
 def register_policy(name: str, policy: Any = None, *, overwrite: bool = False):
@@ -334,6 +339,19 @@ def register_chaos_injector(name: str, injector: Any = None, *, overwrite: bool 
     Registered names are addressable from ``repro sweep --chaos <name>``.
     """
     return chaos_injectors.register(name, injector, overwrite=overwrite)
+
+
+def register_analysis_rule(name: str, rule: Any = None, *, overwrite: bool = False):
+    """Register a static-analysis lint rule (decorator or direct call).
+
+    ``rule`` is a zero-argument callable (typically an
+    :class:`~repro.analysis.core.AnalysisRule` subclass) producing a
+    fresh rule instance per lint run.  ``python -m repro lint`` runs
+    every registered rule, so plugins extend the static verification
+    surface exactly like invariants extend the dynamic one (directly or
+    via ``repro.plugins`` entry points).
+    """
+    return analysis_rules.register(name, rule, overwrite=overwrite)
 
 
 def resolve_policy(policy: Any) -> Callable:
